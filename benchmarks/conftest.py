@@ -1,0 +1,20 @@
+"""Benchmark-harness configuration.
+
+Each ``benchmarks/test_*_bench.py`` module regenerates one table or
+figure of the paper at a reduced scale (so the whole suite runs in
+minutes) and prints the rendered rows through pytest-benchmark's
+``extra_info``.  Absolute numbers shrink with the scale; the *shape*
+(who wins, by roughly what factor) is what these reproduce.
+"""
+
+import pytest
+
+#: Workload scale used across the benchmark suite (fraction of the
+#: default experiment iteration counts).
+BENCH_SCALE = 0.25
+BENCH_SEEDS = (1,)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE

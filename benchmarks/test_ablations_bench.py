@@ -1,0 +1,60 @@
+"""Ablation benches for DESIGN.md's called-out design choices."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    silent_store_ablation,
+    sle_predictor_ablation,
+    sle_rob_threshold_ablation,
+    validate_policy_ablation,
+)
+
+from benchmarks.conftest import BENCH_SCALE
+
+
+def test_validate_policy_ablation_bench(benchmark):
+    table = benchmark.pedantic(
+        lambda: validate_policy_ablation(
+            scale=BENCH_SCALE, seed=1, benchmarks=("specjbb",), verbose=False
+        ),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(table)
+    assert "snoop_aware" in table and "predictor" in table
+
+
+def test_sle_predictor_ablation_bench(benchmark):
+    table = benchmark.pedantic(
+        lambda: sle_predictor_ablation(
+            scale=BENCH_SCALE, seed=1, benchmarks=("tpc-b",), verbose=False
+        ),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(table)
+    assert "simple-threshold" in table
+
+
+def test_sle_rob_threshold_ablation_bench(benchmark):
+    table = benchmark.pedantic(
+        lambda: sle_rob_threshold_ablation(
+            scale=BENCH_SCALE, seed=1, benchmark="raytrace", verbose=False
+        ),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(table)
+    assert "0.5" in table
+
+
+def test_silent_store_ablation_bench(benchmark):
+    table = benchmark.pedantic(
+        lambda: silent_store_ablation(
+            scale=BENCH_SCALE, seed=1, benchmarks=("ocean",), verbose=False
+        ),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(table)
+    assert "ocean" in table

@@ -1,0 +1,28 @@
+"""§6 — directory-based MESTI/E-MESTI study."""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.experiments.directory_study import HEADERS, collect
+
+from benchmarks.conftest import BENCH_SCALE
+
+
+def test_directory_study_bench(benchmark):
+    rows = benchmark.pedantic(
+        lambda: collect(scale=BENCH_SCALE, seed=1, benchmarks=("tpc-b",),
+                        verbose=False),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(render_table(HEADERS, rows, title="Directory study (§6)"))
+
+    by_kind = {row[1]: row for row in rows}
+    assert set(by_kind) == {"bus", "directory"}
+    # Validates keep working over the directory (multicast form).
+    assert by_kind["directory"][4] > 0
+    # E-MESTI still helps in both systems.
+    assert by_kind["directory"][3] > 0.95
+    assert by_kind["bus"][3] > 0.95
+    # Directory indirection costs baseline latency.
+    assert by_kind["directory"][2] > by_kind["bus"][2]

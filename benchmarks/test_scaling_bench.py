@@ -1,0 +1,27 @@
+"""§5.2 — 4/8-processor scaling study (the paper's abbreviated runs)."""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.experiments.scaling import HEADERS, collect
+
+from benchmarks.conftest import BENCH_SCALE
+
+
+def test_scaling_bench(benchmark):
+    rows = benchmark.pedantic(
+        lambda: collect(
+            scale=BENCH_SCALE, seed=1, benchmarks=("tpc-b",),
+            cpu_counts=(4, 8), verbose=False,
+        ),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(render_table(HEADERS, rows, title="Processor scaling (§5.2)"))
+
+    by_cpus = {row[1]: row for row in rows}
+    assert set(by_cpus) == {4, 8}
+    # More processors, more communication misses for the same work.
+    assert by_cpus[8][3] > by_cpus[4][3] * 0.8
+    # E-MESTI keeps helping at 8 processors.
+    assert by_cpus[8][4] > 0.95

@@ -1,0 +1,30 @@
+"""Table 1 — simulated machine parameters.
+
+Validates the verbatim Table 1 configuration and benchmarks system
+construction (building the 4-processor machine with its caches,
+controllers, and cores).
+"""
+
+from repro import System, get_benchmark, scaled_config, table1_config
+
+
+def test_table1_construction_bench(benchmark):
+    """Benchmark: build a full 4-processor system from Table 1 ratios."""
+
+    def build():
+        cfg = scaled_config()
+        return System(cfg, get_benchmark("radiosity", scale=0.01), seed=1)
+
+    system = benchmark(build)
+    assert len(system.cores) == 4
+    t1 = table1_config()
+    benchmark.extra_info["table1"] = {
+        "n_procs": t1.n_procs,
+        "width": t1.core.width,
+        "rob": t1.core.rob_size,
+        "l2_mb": t1.l2.size_bytes // (1024 * 1024),
+        "addr_latency": t1.bus.addr_latency,
+        "data_latency": t1.bus.data_latency,
+    }
+    assert t1.core.rob_size == 256
+    assert t1.bus.data_latency == 400

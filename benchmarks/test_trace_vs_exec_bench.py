@@ -1,0 +1,29 @@
+"""§5.1.2 — trace-driven capturability vs execution-driven speedups."""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.experiments.trace_vs_exec import HEADERS, collect
+
+from benchmarks.conftest import BENCH_SCALE
+
+
+def test_trace_vs_exec_bench(benchmark):
+    rows = benchmark.pedantic(
+        lambda: collect(scale=BENCH_SCALE, seed=1, benchmarks=("tpc-b",),
+                        verbose=False),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(render_table(HEADERS, rows, title="Trace vs execution (§5.1.2)"))
+
+    (_, comm, lvp_pct, mesti_pct, lvp_speedup, emesti_speedup) = rows[0]
+    assert comm > 0
+    # The paper's theoretical ordering: LVP covers the most misses...
+    assert lvp_pct > mesti_pct
+    assert lvp_pct > 30
+    # ...yet the measured speedup does not follow the capture rate:
+    # consumer-side speculation under-delivers relative to its
+    # theoretical coverage (the §5.1.2 "trace-based analysis is
+    # inconclusive" argument).
+    assert lvp_speedup - 1.0 < (lvp_pct / 100) * 0.8

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Compose your own workload with the declarative SyntheticMix API.
+
+Builds two custom sharing mixes — a "producer/consumer status board"
+that is perfect for E-MESTI, and a "packed counters" mix that only LVP
+can touch — and runs each under the relevant techniques.
+
+Usage:  python examples/custom_workload.py
+"""
+
+from repro import System, configure_technique, scaled_config
+from repro.workloads.synthetic import SyntheticMix, SyntheticWorkload
+
+MIXES = {
+    "status-board (TSS-heavy)": SyntheticMix(
+        iterations=120,
+        private_ops=16,
+        behaviors={
+            "ts_flags": 1.5,  # busy/idle pulses...
+            "read_shared": 1.0,  # ...polled by everyone
+            "migratory": 0.3,
+        },
+    ),
+    "packed-counters (false sharing)": SyntheticMix(
+        iterations=120,
+        private_ops=16,
+        behaviors={
+            "false_share": 2.0,  # others dirty the index lines...
+            "pointer_chase": 1.0,  # ...we chase pointers rooted there
+            "read_shared": 0.5,
+        },
+    ),
+}
+
+TECHNIQUES = ("base", "emesti", "lvp", "emesti+lvp")
+
+
+def main() -> None:
+    for name, mix in MIXES.items():
+        print(f"{name}:")
+        base_cycles = None
+        for technique in TECHNIQUES:
+            cfg = configure_technique(scaled_config(), technique)
+            result = System(cfg, SyntheticWorkload(mix), seed=21).run()
+            if base_cycles is None:
+                base_cycles = result.cycles
+            print(
+                f"  {technique:<12s} {result.cycles:>8,} cycles  "
+                f"speedup {base_cycles / result.cycles:5.3f}  "
+                f"comm {result.miss_class('comm'):>5.0f}  "
+                f"validates {result.txn('validate'):>5.0f}  "
+                f"lvp-hits {result.node_sum('lvp.correct'):>5.0f}"
+            )
+        print()
+    print("TSS-heavy sharing favors producer-side validates (E-MESTI).")
+    print("The packed-counter mix shows the paper's §5.1.2 caution in")
+    print("miniature: LVP predicts correctly (lvp-hits > 0) yet gains")
+    print("nothing, because the window already overlaps the independent")
+    print("walks — value prediction only pays when it exposes ILP/MLP")
+    print("the machine could not otherwise reach (see")
+    print("examples/value_prediction.py for the serialized case).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""MESTI and E-MESTI on a migratory lock/flag pattern.
+
+A "token" object (a lock word plus a status flag) migrates between
+processors: each user acquires it, flips the status busy/idle (a
+temporally silent pair), and moves on while the other processors poll
+the status.  Under plain MOESI every hand-off and every poll after a
+pulse is a communication miss; MESTI's validates re-install the
+pollers' copies, and E-MESTI's predictor keeps only the validates that
+actually help.
+
+Usage:  python examples/migratory_sharing.py
+"""
+
+from repro import System, configure_technique, scaled_config
+from repro.cpu.program import BlockBuilder, ThreadProgram
+
+TOKEN_LOCK = 0x9000
+STATUS = 0x9100
+PASSES = 60
+
+
+class MigratoryTokenWorkload:
+    """Round-robin-ish token users plus status pollers."""
+
+    name = "migratory-token"
+    cracking_ratio = 1.0
+
+    def build_programs(self, config, rng):
+        return [
+            ThreadProgram(self._thread(tid, rng.split(tid)), name=f"user[{tid}]")
+            for tid in range(config.n_procs)
+        ]
+
+    @staticmethod
+    def _thread(tid: int, rng):
+        b = BlockBuilder()
+        for _ in range(PASSES):
+            # Poll the status repeatedly with gaps (these are the
+            # misses validates eliminate).
+            for _ in range(6):
+                b.load(STATUS, b.fresh())
+                for _ in range(4):
+                    b.alu(latency=2)
+                yield b.take()
+            # Occasionally take the token and pulse the status.
+            if rng.random() < 0.35:
+                while True:
+                    b.larx(TOKEN_LOCK, pc=0x200)
+                    v = yield b.take()
+                    if v != 0:
+                        b.alu(latency=4)
+                        continue
+                    b.stcx(TOKEN_LOCK, tid + 1, pc=0x200,
+                           meta={"sle_fallback": ("cas",)})
+                    ok = yield b.take()
+                    if ok:
+                        break
+                b.store(STATUS, tid + 1)  # busy
+                for _ in range(6):
+                    b.alu(latency=2)
+                b.store(STATUS, 0)  # idle again: temporally silent pair
+                b.store(TOKEN_LOCK, 0)  # release: another silent pair
+                yield b.take()
+            # Think time (keeps pollers and token users in step).
+            for _ in range(60):
+                b.alu(latency=2)
+            yield b.take()
+        b.end()
+        yield b.take()
+
+
+def main() -> None:
+    rows = []
+    for technique in ("base", "mesti", "emesti"):
+        cfg = configure_technique(scaled_config(), technique)
+        result = System(cfg, MigratoryTokenWorkload(), seed=11).run()
+        rows.append((technique, result))
+
+    base_cycles = rows[0][1].cycles
+    print(f"{'technique':<8} {'cycles':>9} {'speedup':>8} {'comm':>6} "
+          f"{'validates':>10} {'revalidations':>14}")
+    for technique, result in rows:
+        n = result.config.n_procs
+        reval = sum(
+            result.stats.get(f"ctrl{i}.revalidations") for i in range(n)
+        )
+        print(
+            f"{technique:<8} {result.cycles:>9,} "
+            f"{base_cycles / result.cycles:>8.3f} "
+            f"{result.miss_class('comm'):>6.0f} "
+            f"{result.txn('validate'):>10.0f} {reval:>14.0f}"
+        )
+    print()
+    print("MESTI turns the pollers' communication misses back into hits;")
+    print("E-MESTI reaches the same point with fewer broadcast validates.")
+
+
+if __name__ == "__main__":
+    main()

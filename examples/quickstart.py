@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: build a 4-processor system, run a benchmark, read stats.
+
+Runs the radiosity workload model on the default scaled machine under
+the baseline MOESI protocol and under Enhanced MESTI, and prints the
+headline numbers: runtime, IPC, communication misses, and validates.
+
+Usage:  python examples/quickstart.py [scale]
+"""
+
+import sys
+
+from repro import System, configure_technique, get_benchmark, scaled_config, table1_config
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.3
+
+    print("The paper's Table 1 machine (verbatim parameters):")
+    t1 = table1_config()
+    print(f"  {t1.n_procs} processors, {t1.core.width}-wide, "
+          f"{t1.core.rob_size}-entry window")
+    print(f"  L2: {t1.l2.size_bytes // (1024 * 1024)}MB {t1.l2.ways}-way, "
+          f"remote latency {t1.bus.data_latency} cycles")
+    print()
+
+    config = scaled_config()
+    print(f"Experiment machine (scaled): L2 {config.l2.size_bytes // 1024}KB, "
+          f"remote latency {config.bus.data_latency} cycles")
+    print()
+
+    for technique in ("base", "emesti"):
+        cfg = configure_technique(config, technique)
+        workload = get_benchmark("radiosity", scale=scale)
+        result = System(cfg, workload, seed=1).run()
+        print(f"[{technique}] radiosity (scale={scale})")
+        print(f"  runtime:        {result.cycles:>10,} cycles")
+        print(f"  committed:      {result.committed:>10,} micro-ops "
+              f"(IPC {result.ipc:.2f})")
+        print(f"  comm misses:    {result.miss_class('comm'):>10,.0f} "
+              f"(of {result.miss_class('total'):,.0f} total)")
+        print(f"  validates:      {result.txn('validate'):>10,.0f}")
+        print(f"  bus txns:       {result.address_transactions:>10,.0f}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pyproject.toml` is the canonical metadata; this file only enables
+legacy `pip install -e .` / `setup.py develop` in offline environments
+whose setuptools cannot build wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""Reproduction of Lepak & Lipasti, "Reaping the Benefit of Temporal
+Silence to Improve Communication Performance" (ISPASS 2005).
+
+Public API tour:
+
+* :func:`repro.common.config.scaled_config` /
+  :func:`~repro.common.config.table1_config` — machine configurations.
+* :func:`repro.system.techniques.configure_technique` — select one of
+  the paper's technique combinations (base / mesti / emesti / lvp /
+  sle / combinations).
+* :func:`repro.workloads.registry.get_benchmark` — the seven Table 2
+  workload models.
+* :class:`repro.system.system.System` / :func:`~repro.system.system.run_workload`
+  — build and run a simulation, returning a
+  :class:`~repro.system.system.RunResult`.
+* :mod:`repro.experiments` — regenerate every table and figure.
+"""
+
+from repro.common.config import (
+    MachineConfig,
+    ProtocolKind,
+    ValidatePolicy,
+    scaled_config,
+    table1_config,
+)
+from repro.system.system import RunResult, System, run_workload
+from repro.system.techniques import ALL_TECHNIQUES, configure_technique
+from repro.workloads.registry import BENCHMARKS, get_benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineConfig",
+    "ProtocolKind",
+    "ValidatePolicy",
+    "scaled_config",
+    "table1_config",
+    "RunResult",
+    "System",
+    "run_workload",
+    "ALL_TECHNIQUES",
+    "configure_technique",
+    "BENCHMARKS",
+    "get_benchmark",
+    "__version__",
+]

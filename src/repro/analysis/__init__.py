@@ -1,0 +1,19 @@
+"""Analysis: miss classification, variability statistics, report tables,
+access tracing, trace-driven limit studies, and the executable
+paper-shape claims."""
+
+from repro.analysis.claims import PAPER_CLAIMS, evaluate_claims
+from repro.analysis.classify import MissClassifier
+from repro.analysis.trace import TraceRecorder
+from repro.analysis.tracedriven import TraceDrivenAnalyzer
+from repro.analysis.variability import ConfidenceInterval, mean_ci
+
+__all__ = [
+    "PAPER_CLAIMS",
+    "evaluate_claims",
+    "MissClassifier",
+    "TraceRecorder",
+    "TraceDrivenAnalyzer",
+    "ConfidenceInterval",
+    "mean_ci",
+]

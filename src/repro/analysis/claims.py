@@ -1,0 +1,150 @@
+"""The paper's qualitative claims, as machine-checkable predicates.
+
+EXPERIMENTS.md argues the reproduction preserves the paper's *shape*;
+this module makes that argument executable.  Each
+:class:`Claim` names a finding from the paper and evaluates it against
+a run matrix (the ``{benchmark: {technique: speedup}}`` mapping built
+by :func:`repro.experiments.figure7.speedups`), producing a
+:class:`ClaimReport` the harnesses can print and the benches can
+assert on.
+
+Thresholds are deliberately loose — they encode *direction and
+ordering*, not magnitudes, so they hold across seeds and scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.report import render_table
+
+Matrix = dict  # {benchmark: {technique: float speedup}}
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One falsifiable statement from the paper."""
+
+    name: str
+    source: str  # paper section
+    check: Callable[[Matrix], bool]
+
+    def evaluate(self, matrix: Matrix) -> bool:
+        """True if the matrix satisfies the claim."""
+        try:
+            return bool(self.check(matrix))
+        except KeyError:
+            return False
+
+
+def _s(matrix: Matrix, benchmark: str, technique: str) -> float:
+    return matrix[benchmark][technique]
+
+
+#: The headline findings of §5.3 and §6.
+PAPER_CLAIMS = (
+    Claim(
+        "plain MESTI slows specjbb substantially",
+        "§5.3.1 (Figure 7)",
+        lambda m: _s(m, "specjbb", "mesti") < 0.95,
+    ),
+    Claim(
+        "E-MESTI recovers specjbb to ~baseline",
+        "§5.3.1",
+        lambda m: _s(m, "specjbb", "emesti") > 0.96,
+    ),
+    Claim(
+        "E-MESTI never loses by more than noise",
+        "§5.3.1 ('improves or maintains performance in all cases')",
+        lambda m: all(m[b]["emesti"] > 0.95 for b in m),
+    ),
+    Claim(
+        "SLE's largest win is raytrace",
+        "§5.3.1 ('measurable speedup beyond E-MESTI and LVP')",
+        lambda m: _s(m, "raytrace", "sle")
+        == max(m[b]["sle"] for b in m),
+    ),
+    Claim(
+        "SLE beats every other technique on raytrace",
+        "§5.3.1",
+        lambda m: _s(m, "raytrace", "sle")
+        > max(_s(m, "raytrace", t) for t in ("mesti", "emesti", "lvp")),
+    ),
+    Claim(
+        "SLE does not win on any commercial workload",
+        "§5.3.1 ('robust performance appears more elusive')",
+        lambda m: all(
+            m[b]["sle"] <= max(m[b]["emesti"], m[b]["lvp"]) + 0.01
+            for b in ("specjbb", "specweb", "tpc-b", "tpc-h")
+        ),
+    ),
+    Claim(
+        "tpc-b gains the most from E-MESTI+LVP",
+        "§5.3 / §6 ('2.0% to 21% ... in these workloads', tpc-b at the top)",
+        lambda m: _s(m, "tpc-b", "emesti+lvp")
+        == max(m[b]["emesti+lvp"] for b in m),
+    ),
+    Claim(
+        "E-MESTI+LVP is roughly additive on tpc-b",
+        "§5.3.2 ('approximately equal to the sum of each method')",
+        lambda m: _s(m, "tpc-b", "emesti+lvp")
+        >= max(_s(m, "tpc-b", "emesti"), _s(m, "tpc-b", "lvp")) - 0.02,
+    ),
+    Claim(
+        "producer-side elimination generally beats consumer-side LVP",
+        "§5.1.2 / §6",
+        lambda m: sum(1 for b in m if m[b]["emesti"] >= m[b]["lvp"] - 0.01)
+        >= len(m) - 1,
+    ),
+)
+
+
+@dataclass
+class ClaimReport:
+    """Evaluation of every claim against one matrix."""
+
+    results: list  # [(Claim, bool)]
+
+    @property
+    def passed(self) -> int:
+        """Number of claims satisfied."""
+        return sum(1 for _, ok in self.results if ok)
+
+    @property
+    def total(self) -> int:
+        """Number of claims evaluated."""
+        return len(self.results)
+
+    @property
+    def all_hold(self) -> bool:
+        """True when every claim is satisfied."""
+        return self.passed == self.total
+
+    def failed_claims(self) -> list:
+        """The claims that did not hold."""
+        return [claim for claim, ok in self.results if not ok]
+
+    def render(self) -> str:
+        """Human-readable claim-by-claim table."""
+        rows = [
+            [("PASS" if ok else "FAIL"), claim.name, claim.source]
+            for claim, ok in self.results
+        ]
+        return render_table(
+            ["", "Claim", "Source"], rows,
+            title=f"Paper-shape claims: {self.passed}/{self.total} hold",
+        )
+
+
+def evaluate_claims(matrix: Matrix, claims=PAPER_CLAIMS) -> ClaimReport:
+    """Evaluate ``claims`` against a speedup matrix."""
+    return ClaimReport([(claim, claim.evaluate(matrix)) for claim in claims])
+
+
+def matrix_from_speedups(speedup_cis: dict) -> Matrix:
+    """Convert figure7's ``{bench: {tech: ConfidenceInterval}}`` to means."""
+    return {
+        bench: {tech: ci.mean for tech, ci in per.items()}
+        for bench, per in speedup_cis.items()
+    }

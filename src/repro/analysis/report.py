@@ -1,0 +1,69 @@
+"""Plain-text rendering of tables and bar charts for the experiments."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "") -> str:
+    """Render a monospaced table with right-aligned numeric columns."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(
+            " | ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def ascii_bar(value: float, scale: float, width: int = 40, marker: str = "#") -> str:
+    """One horizontal bar, ``scale`` units = full ``width``."""
+    if scale <= 0:
+        return ""
+    n = max(0, min(width, round(value / scale * width)))
+    return marker * n
+
+
+def render_grouped_bars(
+    groups: Sequence[str],
+    series: dict[str, Sequence[float]],
+    unit: str = "",
+    width: int = 44,
+    baseline: float | None = None,
+) -> str:
+    """Grouped horizontal bar chart: one block per group, one bar per series."""
+    peak = max((max(vals) for vals in series.values() if vals), default=1.0)
+    peak = max(peak, baseline or 0)
+    label_w = max(len(name) for name in series)
+    lines = []
+    for gi, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for name, vals in series.items():
+            value = vals[gi]
+            bar = ascii_bar(value, peak, width)
+            lines.append(f"  {name.ljust(label_w)} |{bar} {value:.3f}{unit}")
+        if baseline is not None:
+            lines.append(f"  {'(baseline)'.ljust(label_w)} |{ascii_bar(baseline, peak, width, '.')} {baseline:.3f}{unit}")
+        lines.append("")
+    return "\n".join(lines)

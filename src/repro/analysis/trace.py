@@ -1,0 +1,50 @@
+"""Access-trace recording.
+
+Attaches to a :class:`~repro.system.system.System` and records the
+per-processor memory reference stream (kind, address, store value) in
+issue order.  The trace feeds the trace-driven analyzer
+(:mod:`repro.analysis.tracedriven`) used to reproduce the paper's
+§5.1.2 argument that trace-based LVP studies over-estimate benefit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One memory reference."""
+
+    node: int
+    kind: str  # load | larx | store | stcx
+    addr: int
+    value: int  # store/stcx data (0 for loads)
+
+    @property
+    def is_write(self) -> bool:
+        """True for store-like records."""
+        return self.kind in ("store", "stcx")
+
+
+class TraceRecorder:
+    """Collects the reference stream of every processor in a system."""
+
+    def __init__(self, system):
+        self.records: list[TraceRecord] = []
+        for node in system.nodes:
+            node.trace = self._record
+
+    def _record(self, node: int, kind: str, addr: int, value: int) -> None:
+        self.records.append(TraceRecord(node, kind, addr, value))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def writes(self) -> int:
+        """Number of store/stcx records."""
+        return sum(1 for r in self.records if r.is_write)
+
+    def reads(self) -> int:
+        """Number of load/larx records."""
+        return len(self.records) - self.writes()

@@ -1,0 +1,89 @@
+"""Command-line interface.
+
+Usage (installed as ``repro-sim``, or ``python -m repro.cli``):
+
+    repro-sim run tpc-b --technique emesti+lvp --scale 0.5 --seed 1
+    repro-sim experiment figure7 --scale 0.6
+    repro-sim list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.config import scaled_config
+from repro.experiments.runner import summarize
+from repro.system.system import System
+from repro.system.techniques import ALL_TECHNIQUES, configure_technique
+from repro.workloads.registry import BENCHMARKS, get_benchmark
+
+EXPERIMENTS = (
+    "table2", "figure6", "figure7", "figure8", "sle_idioms", "ablations",
+    "trace_vs_exec", "scaling", "directory_study",
+)
+
+
+def cmd_list(_args) -> int:
+    """Handle ``repro-sim list``."""
+    print("benchmarks: ", ", ".join(BENCHMARKS))
+    print("techniques: ", ", ".join(ALL_TECHNIQUES))
+    print("experiments:", ", ".join(EXPERIMENTS))
+    return 0
+
+
+def cmd_run(args) -> int:
+    """Handle ``repro-sim run``."""
+    config = configure_technique(scaled_config(n_procs=args.procs), args.technique)
+    workload = get_benchmark(args.benchmark, scale=args.scale)
+    result = System(config, workload, seed=args.seed).run()
+    summary = summarize(result)
+    width = max(len(k) for k in summary)
+    for key, value in summary.items():
+        print(f"{key.ljust(width)} : {value}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    """Handle ``repro-sim experiment``."""
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    kwargs = {"scale": args.scale}
+    print(module.run(**kwargs))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Temporal-silence reproduction simulator (ISPASS 2005)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks, techniques, experiments")
+
+    run_p = sub.add_parser("run", help="run one benchmark/technique cell")
+    run_p.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    run_p.add_argument("--technique", default="base")
+    run_p.add_argument("--scale", type=float, default=0.5)
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument("--procs", type=int, default=4)
+
+    exp_p = sub.add_parser("experiment", help="regenerate a table/figure")
+    exp_p.add_argument("name", choices=EXPERIMENTS)
+    exp_p.add_argument("--scale", type=float, default=0.5)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {"list": cmd_list, "run": cmd_run, "experiment": cmd_experiment}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Coherence substrate: snooping bus, protocol FSMs, validate prediction.
+
+The protocol family implemented here follows the paper's Figure 2
+(MESTI), Figure 3 (Enhanced MESTI with the useful snoop response), and
+Figure 4 (the address-based useful-validate predictor), layered over
+conventional MESI/MOESI bases.
+"""
+
+from repro.coherence.states import LineState
+from repro.coherence.messages import BusTransaction, SnoopResult, TxnKind
+from repro.coherence.protocol import ProtocolLogic, make_protocol
+from repro.coherence.predictor import UsefulValidatePredictor
+from repro.coherence.bus import SnoopBus
+from repro.coherence.controller import CoherenceController
+
+__all__ = [
+    "LineState",
+    "BusTransaction",
+    "SnoopResult",
+    "TxnKind",
+    "ProtocolLogic",
+    "make_protocol",
+    "UsefulValidatePredictor",
+    "SnoopBus",
+    "CoherenceController",
+]

@@ -1,0 +1,154 @@
+"""Split-transaction snooping bus with an atomic-grant coherence model.
+
+Address transactions queue for the shared address bus (FIFO, one grant
+per ``addr_occupancy`` cycles).  At grant time the transaction is
+*atomic*: all remote caches are snoop-queried, the aggregate result is
+applied everywhere, and memory updates happen instantly — so the
+protocol has no transient states.  All latency is modeled around that
+atomic point: the requester's completion fires ``addr_latency`` cycles
+after grant for dataless transactions and after the data-network
+delivery (min ``data_latency``, serialized at ``data_occupancy``) for
+Read/ReadX.
+
+Per-transaction jitter (``MachineConfig.latency_jitter``) injects the
+small timing perturbations used by the Alameldeen–Wood variability
+methodology the paper adopts for its 95% confidence intervals.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.common.config import BusConfig
+from repro.common.events import Scheduler
+from repro.common.rng import SplitRng
+from repro.common.stats import ScopedStats
+from repro.coherence.messages import BusTransaction, TxnKind
+from repro.memory.mainmem import MainMemory
+
+
+class SnoopClient(Protocol):
+    """What the bus needs from each attached coherence controller."""
+
+    node_id: int
+
+    def pre_grant(self, txn: BusTransaction) -> bool:
+        """Fix up or cancel the requester's transaction at grant."""
+
+    def on_grant(self, txn: BusTransaction, data: "list[int] | None") -> None:
+        """Install the requester's state change at the atomic grant."""
+
+    def snoop_query(self, txn: BusTransaction) -> "object":
+        """Phase 1: shared/supply responses for a remote transaction."""
+
+    def snoop_apply(self, txn: BusTransaction) -> None:
+        """Phase 2: apply this cache's state transition."""
+
+    def supply_data(self, txn: BusTransaction) -> list[int]:
+        """Flush the dirty line's data to the requester."""
+
+
+CompletionCallback = Callable[[BusTransaction, "list[int] | None"], None]
+
+
+class SnoopBus:
+    """The address network plus the data crossbar."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        config: BusConfig,
+        memory: MainMemory,
+        stats: ScopedStats,
+        jitter: int = 0,
+        rng: SplitRng | None = None,
+    ):
+        self.scheduler = scheduler
+        self.config = config
+        self.memory = memory
+        self.stats = stats
+        self._jitter = jitter
+        self._rng = rng or SplitRng("bus")
+        self._clients: list[SnoopClient] = []
+        self._addr_free_at = 0
+        self._data_free_at = 0
+
+    def attach(self, client: SnoopClient) -> None:
+        """Register a coherence controller on the bus."""
+        self._clients.append(client)
+
+    @property
+    def n_clients(self) -> int:
+        """Number of attached controllers."""
+        return len(self._clients)
+
+    def request(
+        self, txn: BusTransaction, on_complete: CompletionCallback | None = None
+    ) -> None:
+        """Queue an address transaction; ``on_complete`` fires at completion."""
+        grant = max(self.scheduler.now, self._addr_free_at)
+        self._addr_free_at = grant + self.config.addr_occupancy
+        self.scheduler.at(grant, lambda: self._execute(txn, on_complete))
+
+    # ------------------------------------------------------------------
+
+    def _execute(self, txn: BusTransaction, on_complete: CompletionCallback | None) -> None:
+        now = self.scheduler.now
+        txn.grant_time = now
+
+        # Give the requester a pre-grant fixup opportunity: an Upgrade
+        # whose shared copy was invalidated while queued converts to a
+        # ReadX; a Validate whose line changed underneath is cancelled.
+        requester = self._clients[txn.requester]
+        if not requester.pre_grant(txn):
+            self.stats.add("txn.cancelled")
+            return
+        self.stats.add(f"txn.{txn.kind.value.lower()}")
+        self.stats.add("txn.total")
+
+        result = txn.result
+        remotes = [c for c in self._clients if c.node_id != txn.requester]
+        for client in remotes:
+            query = client.snoop_query(txn)
+            if query.assert_shared:
+                result.shared = True
+            if query.can_supply:
+                result.dirty_owner = client.node_id
+
+        # Capture the data payload at the atomic point, before state
+        # transitions disturb it.
+        data: list[int] | None = None
+        if txn.kind.carries_data_response:
+            if result.dirty_owner is not None:
+                owner = self._clients[result.dirty_owner]
+                data = owner.supply_data(txn)
+                result.owner_data = data
+                self.stats.add("txn.cache_to_cache")
+            else:
+                data = self.memory.read_line(txn.base)
+                self.stats.add("txn.from_memory")
+        elif txn.kind is TxnKind.WRITEBACK:
+            assert txn.data is not None
+            self.memory.write_line(txn.base, txn.data)
+
+        for client in remotes:
+            client.snoop_apply(txn)
+
+        # The requester's state change is part of the atomic grant:
+        # later transactions must observe the new owner/sharer.  Data
+        # delivery (below) only models latency.
+        requester.on_grant(txn, data)
+
+        done = now + self._completion_delay(txn)
+        if on_complete is not None:
+            self.scheduler.at(done, lambda: on_complete(txn, data))
+
+    def _completion_delay(self, txn: BusTransaction) -> int:
+        jitter = self._rng.randrange(self._jitter + 1) if self._jitter else 0
+        if not txn.kind.carries_data_response:
+            return self.config.addr_latency + jitter
+        # Data network: a shared resource with per-transfer occupancy.
+        now = self.scheduler.now
+        start = max(now, self._data_free_at)
+        self._data_free_at = start + self.config.data_occupancy
+        return (start - now) + self.config.data_latency + jitter

@@ -1,0 +1,12 @@
+"""Plain MESI: the base :class:`ProtocolLogic` with no extensions."""
+
+from __future__ import annotations
+
+from repro.common.config import ProtocolKind
+from repro.coherence.protocol import ProtocolLogic
+
+
+class MesiProtocol(ProtocolLogic):
+    """Conventional 4-state invalidate protocol."""
+
+    kind = ProtocolKind.MESI

@@ -1,0 +1,35 @@
+"""MESTI and MOESTI: temporal-silence protocols (paper Figure 2).
+
+The single addition over the base protocol is the **T** (temporally
+invalid) state: a valid line receiving an invalidation saves its copy —
+by construction the last globally visible value — instead of discarding
+it.  When the writer later detects that the line has reverted to that
+value it broadcasts a **validate**, and T copies return to shared,
+turning what would have been communication misses into hits.
+
+Only a single previous value is saved: any event that makes a *newer*
+value globally visible (a dirty flush or a writeback) drops T copies to
+I, because a future validate can no longer refer to their saved
+version.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import ProtocolKind
+from repro.coherence.protocol import ProtocolLogic
+
+
+class MestiProtocol(ProtocolLogic):
+    """MESI + T.  Validates imply a memory writeback (no O state)."""
+
+    kind = ProtocolKind.MESTI
+
+
+class MoestiProtocol(ProtocolLogic):
+    """MOESI + T, as simulated in the paper (Table 1: "MOESTI").
+
+    The validating owner retires to O, keeping the reverted dirty line
+    on-chip as the ordering point for subsequent reads.
+    """
+
+    kind = ProtocolKind.MOESTI

@@ -1,0 +1,17 @@
+"""MOESI: MESI plus the O (dirty shared owner) state.
+
+This is the paper's baseline — the Gigaplane-XB protocol of the
+simulated machine (Table 1).  A modified line servicing a remote read
+stays on-chip as the dirty owner instead of writing back to memory.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import ProtocolKind
+from repro.coherence.protocol import ProtocolLogic
+
+
+class MoesiProtocol(ProtocolLogic):
+    """5-state invalidate protocol with cache-to-cache dirty sharing."""
+
+    kind = ProtocolKind.MOESI

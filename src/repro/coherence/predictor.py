@@ -1,0 +1,98 @@
+"""Address-based useful-validate predictor (paper Figure 4, §2.4).
+
+Per-line predictor storage (two Mealy-machine state bits plus a
+saturating confidence counter) lives directly in the L2 tags — the
+fields travel with each :class:`~repro.memory.cache.CacheLine` — so the
+mechanism requires no PC or core-side information and can be built
+entirely outside the processor (§5.1.1).
+
+State machine (Figure 4B):
+
+* ``Start`` --TS detect--> ``TS Detected``; the confidence counter is
+  read at this transition (*) to decide whether to broadcast a validate.
+* ``TS Detected`` --external request--> ``Start``, confidence **+**
+  (the temporal silence was useful: a remote processor wanted the line).
+* ``TS Detected`` --local intermediate-value store--> ``L2 Upgrade
+  Request``; the upgrade's *useful snoop response* then gives
+  confidence **+** (asserted: someone consumed the validated data) or
+  **-** (not asserted: the validate was useless), returning to
+  ``Start``.  This is what makes training *continuous* even while
+  validates are successfully eliminating the misses that would
+  otherwise train the predictor (§2.4.1).
+"""
+
+from __future__ import annotations
+
+from repro.common.config import PredictorConfig
+from repro.common.stats import ScopedStats
+from repro.memory.cache import (
+    PRED_START,
+    PRED_TS_DETECTED,
+    PRED_UPGRADE_WAIT,
+    CacheLine,
+)
+
+
+class UsefulValidatePredictor:
+    """Drives the per-line confidence state stored in the L2 tags."""
+
+    def __init__(self, config: PredictorConfig, stats: ScopedStats):
+        config.validate()
+        self.config = config
+        self._stats = stats
+
+    def init_line(self, line: CacheLine) -> None:
+        """Cold-allocate predictor storage for a newly filled line."""
+        line.pred_state = PRED_START
+        line.pred_conf = self.config.initial_confidence
+
+    def on_ts_detect(self, line: CacheLine) -> bool:
+        """Temporal silence detected: return True to broadcast a validate.
+
+        This is the (*) transition in Figure 4: the confidence counter
+        is read, and the machine moves to ``TS Detected`` either way.
+        """
+        line.pred_state = PRED_TS_DETECTED
+        send = line.pred_conf >= self.config.threshold
+        self._stats.add("ts_detects")
+        self._stats.add("validates_sent" if send else "validates_suppressed")
+        return send
+
+    def on_external_request(self, line: CacheLine) -> None:
+        """A remote request arrived while the line was temporally silent."""
+        if line.pred_state == PRED_TS_DETECTED:
+            self._bump(line, self.config.increment)
+            line.pred_state = PRED_START
+            self._stats.add("useful_by_external_req")
+
+    def on_intermediate_store_upgrade(self, line: CacheLine) -> None:
+        """A non-update-silent store hit a validated (shared) line."""
+        if line.pred_state == PRED_TS_DETECTED:
+            line.pred_state = PRED_UPGRADE_WAIT
+
+    def on_upgrade_response(self, line: CacheLine, useful: bool) -> None:
+        """The upgrade's snoop responses arrived; train on usefulness."""
+        if line.pred_state != PRED_UPGRADE_WAIT:
+            return
+        if useful:
+            self._bump(line, self.config.increment)
+            self._stats.add("useful_by_snoop_response")
+        else:
+            self._bump(line, -self.config.decrement)
+            self._stats.add("useless_by_snoop_response")
+        line.pred_state = PRED_START
+
+    def on_intermediate_store_exclusive(self, line: CacheLine) -> None:
+        """A non-update-silent store hit while we retained exclusivity.
+
+        This happens when the previous temporal silence did not
+        broadcast a validate (confidence below threshold): no upgrade
+        occurs, so no snoop response is available; the machine simply
+        returns to Start.  Recovery to validating relies on external
+        requests observed during future TS episodes.
+        """
+        if line.pred_state == PRED_TS_DETECTED:
+            line.pred_state = PRED_START
+
+    def _bump(self, line: CacheLine, delta: int) -> None:
+        line.pred_conf = max(0, min(self.config.saturation, line.pred_conf + delta))

@@ -1,0 +1,220 @@
+"""Protocol logic base class and dispatch.
+
+A :class:`ProtocolLogic` encodes the *state transition rules* of one
+protocol; the :class:`~repro.coherence.controller.CoherenceController`
+drives the generic request/snoop flow and delegates every state
+decision here.  Snooping is two-phase to match the atomic-bus model:
+
+1. ``snoop_query`` — read-only: would this cache assert the shared
+   line, and can it supply the data?
+2. ``snoop_apply`` — performs the state transition, knowing the
+   aggregate :class:`~repro.coherence.messages.SnoopResult` (e.g. a
+   T-state line only survives a Read if no dirty owner flushed a new
+   value).
+
+The concrete subclasses live in :mod:`repro.coherence.mesi`,
+:mod:`~repro.coherence.moesi`, :mod:`~repro.coherence.mesti`, and
+:mod:`~repro.coherence.emesti`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import ProtocolConfig, ProtocolKind
+from repro.common.errors import ProtocolError
+from repro.coherence.messages import SnoopResult, TxnKind
+from repro.coherence.states import LineState
+from repro.memory.cache import CacheLine
+
+
+@dataclass
+class SnoopQuery:
+    """Read-only snoop answer from one remote cache."""
+
+    assert_shared: bool = False
+    can_supply: bool = False
+
+
+class ProtocolLogic:
+    """Base class for all protocol variants.
+
+    Subclasses override the three capability properties and, where the
+    behavior differs, the transition hooks.  The base implements plain
+    MESI; every extension is expressed as a delta.
+    """
+
+    kind: ProtocolKind = ProtocolKind.MESI
+
+    def __init__(self, config: ProtocolConfig):
+        self.config = config
+
+    # -- capabilities ---------------------------------------------------
+
+    @property
+    def has_owned(self) -> bool:
+        """Protocol includes the O (dirty shared) state."""
+        return self.kind.has_owned_state
+
+    @property
+    def has_temporal(self) -> bool:
+        """Protocol includes the T (temporally invalid) state."""
+        return self.kind.has_temporal_state
+
+    @property
+    def enhanced(self) -> bool:
+        """Protocol includes Validate_Shared + the useful snoop response."""
+        return False
+
+    # -- requester-side transitions -------------------------------------
+
+    def fill_state(self, kind: TxnKind, result: SnoopResult) -> LineState:
+        """State installed at the requester when its transaction completes."""
+        if kind is TxnKind.READ:
+            return LineState.S if result.shared else LineState.E
+        if kind in (TxnKind.READX, TxnKind.UPGRADE):
+            return LineState.M
+        raise ProtocolError(f"no fill state for {kind}")
+
+    def post_validate_state(self) -> LineState:
+        """Owner state after broadcasting a validate.
+
+        The owner forgoes exclusivity (§2.2).  With an O state the dirty
+        reverted data stays on-chip as dirty-shared; without one the
+        validate implies a writeback so memory matches the shared copy.
+        """
+        return LineState.O if self.has_owned else LineState.S
+
+    @property
+    def validate_writes_back(self) -> bool:
+        """True if a validate must also update memory (no O state)."""
+        return not self.has_owned
+
+    def revalidated_state(self) -> LineState:
+        """State a remote T line enters on receiving a validate."""
+        return LineState.S
+
+    # -- remote-side snooping --------------------------------------------
+
+    def snoop_query(self, line: CacheLine, kind: TxnKind) -> SnoopQuery:
+        """Phase 1: shared-line assertion and data-supply capability."""
+        state = line.state
+        if kind in (TxnKind.READ, TxnKind.READX):
+            return SnoopQuery(
+                assert_shared=self._asserts_shared(state, kind),
+                can_supply=state.dirty,
+            )
+        if kind is TxnKind.UPGRADE:
+            if state in (LineState.M, LineState.E):
+                raise ProtocolError(
+                    f"remote {state.value} line snooped an Upgrade: the "
+                    f"requester cannot have held a shared copy"
+                )
+            return SnoopQuery(assert_shared=self._asserts_shared(state, kind))
+        return SnoopQuery()
+
+    def _asserts_shared(self, state: LineState, kind: TxnKind) -> bool:
+        """Whether ``state`` asserts the shared line for ``kind``.
+
+        Plain protocols assert it from any valid state.  Enhanced MESTI
+        overrides this for Validate_Shared on invalidating transactions
+        (the useful snoop response, Figure 3).
+        """
+        return state.valid
+
+    def snoop_apply(
+        self, line: CacheLine, kind: TxnKind, result: SnoopResult
+    ) -> None:
+        """Phase 2: apply this remote cache's state transition."""
+        state = line.state
+        if kind is TxnKind.READ:
+            self._apply_read(line, state, result)
+        elif kind in (TxnKind.READX, TxnKind.UPGRADE):
+            self._apply_invalidate(line, state, kind, result)
+        elif kind is TxnKind.VALIDATE:
+            self._apply_validate(line, state)
+        elif kind is TxnKind.WRITEBACK:
+            self._apply_writeback(line, state)
+        else:  # pragma: no cover - defensive
+            raise ProtocolError(f"unknown transaction kind {kind}")
+
+    def _apply_read(
+        self, line: CacheLine, state: LineState, result: SnoopResult
+    ) -> None:
+        if state is LineState.M:
+            # Our data was flushed to the requester: it is now globally
+            # visible.  Without an O state we also write back to memory
+            # (the controller performs the memory update).
+            line.visible = list(line.data)
+            line.diverged = False
+            line.state = LineState.O if self.has_owned else LineState.S
+            if not self.has_owned:
+                line.dirty_mask = 0
+        elif state is LineState.E:
+            line.state = LineState.S
+        elif state is LineState.T:
+            # A dirty flush makes a new value globally visible; the
+            # saved version can no longer match a future validate.
+            if result.dirty_owner is not None:
+                line.state = LineState.I
+        # S, O, VS, I: unchanged on a Read.
+
+    def _apply_invalidate(
+        self, line: CacheLine, state: LineState, kind: TxnKind, result: SnoopResult
+    ) -> None:
+        if state is LineState.T:
+            # The saved value survives an Upgrade (the upgrader held the
+            # same globally visible copy we saved) but not a ReadX whose
+            # data came from a dirty owner (a newer value became
+            # visible in the flush).
+            if kind is TxnKind.READX and result.dirty_owner is not None:
+                line.state = LineState.I
+            return
+        if not state.valid:
+            return
+        if self.has_temporal:
+            # Figure 2: a valid copy enters T on an invalidate, saving
+            # the last globally visible value it currently holds.
+            line.state = LineState.T
+            line.dirty_mask = 0
+        else:
+            line.state = LineState.I
+            line.dirty_mask = 0
+
+    def _apply_validate(self, line: CacheLine, state: LineState) -> None:
+        if state is LineState.T:
+            line.state = self.revalidated_state()
+        elif state in (LineState.S, LineState.VS):
+            # A read granted between the validate's issue and its grant
+            # gave us the (already reverted) value; nothing to do.
+            pass
+        elif state.valid:
+            raise ProtocolError(
+                f"validate snooped by a line in {state.value}: the "
+                f"validating owner must have held the only valid copy"
+            )
+        # I: stays I (no saved value to re-install).
+
+    def _apply_writeback(self, line: CacheLine, state: LineState) -> None:
+        if state is LineState.T:
+            # Conservative: a writeback publishes the owner's (possibly
+            # new) value to memory; drop the saved version.
+            line.state = LineState.I
+
+
+def make_protocol(config: ProtocolConfig) -> ProtocolLogic:
+    """Instantiate the protocol logic selected by ``config``."""
+    from repro.coherence.emesti import EnhancedMestiProtocol
+    from repro.coherence.mesi import MesiProtocol
+    from repro.coherence.mesti import MestiProtocol, MoestiProtocol
+    from repro.coherence.moesi import MoesiProtocol
+
+    if config.enhanced:
+        return EnhancedMestiProtocol(config)
+    table = {
+        ProtocolKind.MESI: MesiProtocol,
+        ProtocolKind.MOESI: MoesiProtocol,
+        ProtocolKind.MESTI: MestiProtocol,
+        ProtocolKind.MOESTI: MoestiProtocol,
+    }
+    return table[config.kind](config)

@@ -1,0 +1,115 @@
+"""Runtime coherence-invariant checking.
+
+``CoherenceChecker`` attaches to a built system and audits the global
+cache state after every bus/directory grant — the moments at which the
+atomic-grant model promises consistency:
+
+* **single-writer**: at most one M/E copy of any line;
+* **writer exclusivity**: an M/E copy excludes every other valid copy;
+* **single-value**: all valid copies of a line agree on its contents;
+* **dirty conservation**: if nobody holds the line dirty, memory holds
+  the same value as any valid copy;
+* **T-copy discipline** (MESTI): every T copy of a line agrees with
+  every other T copy (single saved value).
+
+The checker costs a full scan per transaction, so it is a *debugging*
+tool: enable it in tests or when chasing a protocol bug, not in
+experiment runs.  PHARMsim's functional validation against SimOS-PPC
+played this role in the paper (§5.2); this is our equivalent,
+per-transaction instead of per-instruction.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ProtocolError
+from repro.coherence.states import LineState
+
+
+class CoherenceChecker:
+    """Audits every line's global state after each transaction grant."""
+
+    def __init__(self, system):
+        from repro.common.config import InterconnectKind
+
+        self.system = system
+        self.checks = 0
+        # On the snooping bus every T copy observes every visibility
+        # event, so all saved values agree.  A directory stops
+        # *tracking* T copies it will never contact again; those rot
+        # with stale saved values but can never be re-installed (no
+        # validate will reach them), so cross-copy agreement is not an
+        # invariant there.
+        self._t_copies_globally_consistent = (
+            system.config.interconnect is InterconnectKind.BUS
+        )
+        self._wrap(system.bus)
+
+    def _wrap(self, bus) -> None:
+        original = bus._execute
+
+        def checked(txn, on_complete):
+            original(txn, on_complete)
+            self.check_line(txn.base)
+            self.checks += 1
+
+        bus._execute = checked
+
+    # ------------------------------------------------------------------
+
+    def check_line(self, base: int) -> None:
+        """Raise :class:`ProtocolError` if any invariant fails for ``base``."""
+        copies = []
+        for ctrl in self.system.controllers:
+            line = ctrl.lookup(base)
+            if line is not None and line.has_data:
+                copies.append((ctrl.node_id, line))
+
+        writers = [(n, l) for n, l in copies
+                   if l.state in (LineState.M, LineState.E)]
+        valid = [(n, l) for n, l in copies if l.state.valid]
+        dirty = [(n, l) for n, l in copies if l.state.dirty]
+        t_copies = [(n, l) for n, l in copies if l.state is LineState.T]
+
+        if len(writers) > 1:
+            raise ProtocolError(
+                f"{base:#x}: multiple M/E owners "
+                f"{[(n, l.state.value) for n, l in writers]}"
+            )
+        if writers and len(valid) > 1:
+            raise ProtocolError(
+                f"{base:#x}: M/E owner P{writers[0][0]} coexists with "
+                f"valid copies {[(n, l.state.value) for n, l in valid]}"
+            )
+        if len(dirty) > 1:
+            raise ProtocolError(
+                f"{base:#x}: multiple dirty copies "
+                f"{[(n, l.state.value) for n, l in dirty]}"
+            )
+        values = {tuple(l.data) for _, l in valid}
+        if len(values) > 1:
+            raise ProtocolError(
+                f"{base:#x}: valid copies disagree: "
+                f"{[(n, l.state.value, l.data) for n, l in valid]}"
+            )
+        if valid and not dirty:
+            memory_words = self.system.memory.read_line(base)
+            if tuple(memory_words) not in values:
+                raise ProtocolError(
+                    f"{base:#x}: no dirty copy but memory "
+                    f"{memory_words} != cached {values}"
+                )
+        saved = {tuple(l.data) for _, l in t_copies}
+        if len(saved) > 1 and self._t_copies_globally_consistent:
+            raise ProtocolError(
+                f"{base:#x}: T copies saved different values: "
+                f"{[(n, l.data) for n, l in t_copies]}"
+            )
+
+    def check_all(self) -> None:
+        """Audit every line resident anywhere (end-of-run sweep)."""
+        bases = set()
+        for ctrl in self.system.controllers:
+            for line in ctrl.l2.resident_lines():
+                bases.add(line.base)
+        for base in bases:
+            self.check_line(base)

@@ -1,0 +1,59 @@
+"""Shared substrate: addressing, configuration, events, RNG, statistics.
+
+These modules have no dependency on the memory system, coherence layer,
+or processor model; every other package builds on them.
+"""
+
+from repro.common.addressing import (
+    DEFAULT_LINE_SIZE,
+    WORD_SIZE,
+    line_address,
+    line_offset,
+    word_index,
+    words_per_line,
+)
+from repro.common.config import (
+    BusConfig,
+    CacheConfig,
+    CoreConfig,
+    LVPConfig,
+    MachineConfig,
+    ProtocolConfig,
+    ProtocolKind,
+    SLEConfig,
+    StaleDetectionMode,
+    ValidatePolicy,
+    scaled_config,
+    table1_config,
+)
+from repro.common.errors import ConfigError, ProtocolError, SimulationError
+from repro.common.events import Scheduler
+from repro.common.rng import SplitRng
+from repro.common.stats import StatsRegistry
+
+__all__ = [
+    "DEFAULT_LINE_SIZE",
+    "WORD_SIZE",
+    "line_address",
+    "line_offset",
+    "word_index",
+    "words_per_line",
+    "BusConfig",
+    "CacheConfig",
+    "CoreConfig",
+    "LVPConfig",
+    "MachineConfig",
+    "ProtocolConfig",
+    "ProtocolKind",
+    "SLEConfig",
+    "StaleDetectionMode",
+    "ValidatePolicy",
+    "scaled_config",
+    "table1_config",
+    "ConfigError",
+    "ProtocolError",
+    "SimulationError",
+    "Scheduler",
+    "SplitRng",
+    "StatsRegistry",
+]

@@ -1,0 +1,38 @@
+"""Address arithmetic helpers.
+
+The simulated machine uses a flat byte-addressed physical address space.
+Caches operate on *lines* (power-of-two sized, 64 bytes by default) and
+store data at *word* granularity (8-byte words), which is the
+granularity at which store silence is detected, matching the paper's
+per-word dirty bits in Figure 5.
+"""
+
+from __future__ import annotations
+
+WORD_SIZE = 8
+DEFAULT_LINE_SIZE = 64
+
+
+def line_address(addr: int, line_size: int = DEFAULT_LINE_SIZE) -> int:
+    """Return the line-aligned base address containing ``addr``."""
+    return addr & ~(line_size - 1)
+
+
+def line_offset(addr: int, line_size: int = DEFAULT_LINE_SIZE) -> int:
+    """Return the byte offset of ``addr`` within its line."""
+    return addr & (line_size - 1)
+
+
+def word_index(addr: int, line_size: int = DEFAULT_LINE_SIZE) -> int:
+    """Return the index of the word within the line containing ``addr``."""
+    return line_offset(addr, line_size) // WORD_SIZE
+
+
+def words_per_line(line_size: int = DEFAULT_LINE_SIZE) -> int:
+    """Return the number of data words stored per cache line."""
+    return line_size // WORD_SIZE
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0

@@ -1,0 +1,312 @@
+"""Machine configuration (the paper's Table 1, plus a scaled variant).
+
+``table1_config`` reproduces the ISPASS 2005 Table 1 parameters
+verbatim (for documentation and parameter unit tests).  Experiments use
+``scaled_config``, which preserves the *ratios* that drive the paper's
+results — small fast local hits versus ~20x slower remote transfers, a
+window much smaller than the round-trip miss latency — while shrinking
+capacities so that synthetic workload footprints exercise the same miss
+classes at tractable simulation sizes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.common.addressing import DEFAULT_LINE_SIZE, is_power_of_two
+from repro.common.errors import ConfigError
+
+
+class ProtocolKind(enum.Enum):
+    """Base coherence protocol family."""
+
+    MESI = "MESI"
+    MOESI = "MOESI"
+    MESTI = "MESTI"
+    MOESTI = "MOESTI"
+
+    @property
+    def has_owned_state(self) -> bool:
+        """True if the protocol includes the O (dirty shared owner) state."""
+        return self in (ProtocolKind.MOESI, ProtocolKind.MOESTI)
+
+    @property
+    def has_temporal_state(self) -> bool:
+        """True if the protocol includes the T (temporally invalid) state."""
+        return self in (ProtocolKind.MESTI, ProtocolKind.MOESTI)
+
+
+class ValidatePolicy(enum.Enum):
+    """Policy deciding whether a detected temporal silence broadcasts a validate."""
+
+    ALWAYS = "always"
+    SNOOP_AWARE = "snoop_aware"
+    PREDICTOR = "predictor"
+
+
+class StaleDetectionMode(enum.Enum):
+    """How the owner detects reversion to the last globally visible value."""
+
+    IDEAL = "ideal"  # full stale copy always available (paper's default assumption)
+    EXPLICIT = "explicit"  # finite L1-Mirror + stale storage (Figure 5)
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    size_bytes: int
+    ways: int
+    line_size: int = DEFAULT_LINE_SIZE
+    latency: int = 1
+
+    @property
+    def num_lines(self) -> int:
+        """Total cache lines."""
+        return self.size_bytes // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets."""
+        return self.num_lines // self.ways
+
+    def validate(self, name: str) -> None:
+        """Raise :class:`ConfigError` if the geometry is inconsistent."""
+        if not is_power_of_two(self.line_size):
+            raise ConfigError(f"{name}: line_size must be a power of two")
+        if self.size_bytes % self.line_size:
+            raise ConfigError(f"{name}: size not a multiple of line size")
+        if self.num_lines % self.ways:
+            raise ConfigError(f"{name}: lines not divisible by ways")
+        if not is_power_of_two(self.num_sets):
+            raise ConfigError(f"{name}: set count must be a power of two")
+        if self.latency < 1:
+            raise ConfigError(f"{name}: latency must be >= 1")
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Out-of-order core window model parameters."""
+
+    width: int = 4  # dispatch/commit slots per cycle
+    rob_size: int = 128  # in-flight micro-op window (paper: 256 RUU)
+    store_buffer: int = 16  # post-commit store buffer entries
+    mshrs: int = 8  # outstanding line misses per core
+    fetch_redirect_penalty: int = 6  # pipeline refill after stall/redirect
+    squash_penalty: int = 8  # machine squash (LVP mispredict, SLE abort)
+    forward_latency: int = 1  # store-to-load forwarding
+
+
+@dataclass(frozen=True)
+class BusConfig:
+    """Split-transaction snooping bus + data crossbar timing."""
+
+    addr_latency: int = 200  # min latency for an address transaction
+    addr_occupancy: int = 20  # address bus busy time per transaction
+    data_latency: int = 400  # min latency memory / cache-to-cache data
+    data_occupancy: int = 50  # data network busy time per transfer
+
+
+@dataclass(frozen=True)
+class PredictorConfig:
+    """Useful-validate predictor tuning (paper §2.4.2: 3-4-1-1-7)."""
+
+    initial_confidence: int = 3
+    threshold: int = 4
+    increment: int = 1
+    decrement: int = 1
+    saturation: int = 7
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` if the configuration is inconsistent."""
+        if not 0 <= self.initial_confidence <= self.saturation:
+            raise ConfigError("initial confidence outside [0, saturation]")
+        if not 0 < self.threshold <= self.saturation:
+            raise ConfigError("threshold outside (0, saturation]")
+        if self.increment < 1 or self.decrement < 1:
+            raise ConfigError("increment/decrement must be >= 1")
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Coherence protocol selection and MESTI feature knobs."""
+
+    kind: ProtocolKind = ProtocolKind.MOESI
+    enhanced: bool = False  # E-MESTI: Validate_Shared + useful snoop response
+    validate_policy: ValidatePolicy = ValidatePolicy.ALWAYS
+    predictor: PredictorConfig = field(default_factory=PredictorConfig)
+    stale_detection: StaleDetectionMode = StaleDetectionMode.IDEAL
+    stale_storage_bytes: int = 32 * 1024  # Figure 5/6 explicit stale storage
+    squash_silent_stores: bool = False  # update-silent store suppression [21]
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` if the configuration is inconsistent."""
+        self.predictor.validate()
+        if self.enhanced and not self.kind.has_temporal_state:
+            raise ConfigError("enhanced (E-MESTI) requires a T-state protocol")
+        if self.validate_policy is ValidatePolicy.PREDICTOR and not self.enhanced:
+            raise ConfigError(
+                "the useful-validate predictor requires the enhanced protocol "
+                "(it trains on the useful snoop response)"
+            )
+        if self.stale_storage_bytes < 0:
+            raise ConfigError("stale_storage_bytes must be >= 0")
+
+
+@dataclass(frozen=True)
+class LVPConfig:
+    """Load value prediction with tag-match invalid cache lines (§3)."""
+
+    enabled: bool = False
+    predict_in_t_state: bool = True  # T-state lines also hold usable stale data
+
+
+@dataclass(frozen=True)
+class SLEConfig:
+    """Speculative lock elision, in-core variant (§4)."""
+
+    enabled: bool = False
+    rob_threshold: float = 0.5  # max critical-section fraction of the ROB
+    restart_limit: int = 2  # restarts before falling back to real acquire
+    confidence_enabled: bool = True  # enhanced predictor (§4.2.3); False = Rajwar's simple restart threshold
+    isync_safety_check: bool = True  # §4.2.2 mechanism; False = naive (all kernel CS fail)
+    # Rajwar's checkpointing variant (§4.2.1): speculation is bounded
+    # by store-buffer capacity (speculative stores) rather than the
+    # ROB, so region ops retire while speculation continues and much
+    # longer temporally silent pair distances become capturable.
+    checkpoint_mode: bool = False
+    checkpoint_restore_penalty: int = 16  # architected-state restore cost
+    confidence_bits: int = 4
+    initial_confidence: int = 8
+    attempt_threshold: int = 6
+    success_increment: int = 1
+    conflict_decrement: int = 2
+    no_release_decrement: int = 4
+    overflow_decrement: int = 3
+    serialize_decrement: int = 3
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` if the configuration is inconsistent."""
+        if not 0 < self.rob_threshold <= 1:
+            raise ConfigError("rob_threshold must be in (0, 1]")
+        top = (1 << self.confidence_bits) - 1
+        if not 0 <= self.initial_confidence <= top:
+            raise ConfigError("SLE initial confidence outside counter range")
+        if not 0 < self.attempt_threshold <= top:
+            raise ConfigError("SLE attempt threshold outside counter range")
+
+
+class InterconnectKind(enum.Enum):
+    """Coherence interconnect style."""
+
+    BUS = "bus"  # snooping broadcast (the paper's evaluation)
+    DIRECTORY = "directory"  # home-directory point-to-point (§6)
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Complete simulated machine description."""
+
+    n_procs: int = 4
+    core: CoreConfig = field(default_factory=CoreConfig)
+    l1: CacheConfig = field(default_factory=lambda: CacheConfig(16 * 1024, 4, latency=2))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(256 * 1024, 8, latency=12))
+    bus: BusConfig = field(default_factory=BusConfig)
+    protocol: ProtocolConfig = field(default_factory=ProtocolConfig)
+    lvp: LVPConfig = field(default_factory=LVPConfig)
+    sle: SLEConfig = field(default_factory=SLEConfig)
+    interconnect: InterconnectKind = InterconnectKind.BUS
+    latency_jitter: int = 0  # per-transaction random extra cycles (variability)
+
+    def validate(self) -> None:
+        """Check cross-field invariants; raise :class:`ConfigError` on failure."""
+        if self.n_procs < 1:
+            raise ConfigError("n_procs must be >= 1")
+        self.l1.validate("L1")
+        self.l2.validate("L2")
+        if self.l1.line_size != self.l2.line_size:
+            raise ConfigError("L1/L2 line sizes must match")
+        if self.l2.size_bytes < self.l1.size_bytes:
+            raise ConfigError("inclusive hierarchy requires L2 >= L1")
+        self.protocol.validate()
+        self.sle.validate()
+        if self.core.rob_size < 8 or self.core.width < 1:
+            raise ConfigError("core window too small")
+        if self.latency_jitter < 0:
+            raise ConfigError("latency_jitter must be >= 0")
+
+    @property
+    def line_size(self) -> int:
+        """Cache line size in bytes (L1 == L2)."""
+        return self.l1.line_size
+
+    def with_protocol(self, **changes) -> "MachineConfig":
+        """Return a copy with protocol fields replaced."""
+        return replace(self, protocol=replace(self.protocol, **changes))
+
+    def with_core(self, **changes) -> "MachineConfig":
+        """Return a copy with core fields replaced."""
+        return replace(self, core=replace(self.core, **changes))
+
+    def with_lvp(self, **changes) -> "MachineConfig":
+        """Return a copy with LVP fields replaced."""
+        return replace(self, lvp=replace(self.lvp, **changes))
+
+    def with_sle(self, **changes) -> "MachineConfig":
+        """Return a copy with SLE fields replaced."""
+        return replace(self, sle=replace(self.sle, **changes))
+
+
+def table1_config() -> MachineConfig:
+    """The paper's Table 1 machine, verbatim.
+
+    4-processor PowerPC SMP: 8-wide core with a 256-entry RUU and
+    128-entry LSQ; 64 KB direct-mapped L0s (folded into our L1 level),
+    512 KB 8-way L1s, a unified 16 MB 8-way L2; 400-cycle minimum
+    memory / cache-to-cache latency over a crossbar (50-cycle
+    occupancy) and a 200-cycle minimum-latency address bus (20-cycle
+    occupancy).  This configuration is provided for fidelity checks and
+    documentation; its capacities are far larger than the synthetic
+    workload footprints, so experiments use :func:`scaled_config`.
+    """
+    return MachineConfig(
+        n_procs=4,
+        core=CoreConfig(width=8, rob_size=256, store_buffer=32, mshrs=16,
+                        fetch_redirect_penalty=6, squash_penalty=8),
+        l1=CacheConfig(512 * 1024, 8, latency=6),  # L0 1+1 + L1 4 additive
+        l2=CacheConfig(16 * 1024 * 1024, 8, latency=21),
+        bus=BusConfig(addr_latency=200, addr_occupancy=20,
+                      data_latency=400, data_occupancy=50),
+        protocol=ProtocolConfig(kind=ProtocolKind.MOESI),
+    )
+
+
+def scaled_config(n_procs: int = 4) -> MachineConfig:
+    """The default experiment machine: Table 1 ratios at tractable scale.
+
+    Capacities shrink ~32x (synthetic footprints shrink to match) and
+    latencies ~2x, preserving the local-hit : remote-miss latency ratio
+    (~2 : 12 : 200+) and the window-size : miss-latency ratio that
+    governs how much of LVP's verification latency the core can hide.
+    """
+    return MachineConfig(
+        n_procs=n_procs,
+        core=CoreConfig(width=4, rob_size=128, store_buffer=16, mshrs=8),
+        l1=CacheConfig(16 * 1024, 4, latency=2),
+        l2=CacheConfig(256 * 1024, 8, latency=12),
+        bus=BusConfig(addr_latency=30, addr_occupancy=8,
+                      data_latency=170, data_occupancy=16),
+        # Predictor tuning 5-4-2-1-7 rather than the paper's 3-4-1-1-7:
+        # predictor storage travels with the L2 line, so migratory
+        # lines restart cold at every ownership hand-off; at our scaled
+        # migration frequency the paper's conservative cold start and
+        # slow recovery suppress most useful validates.  The tuning was
+        # determined experimentally, exactly as §2.4.2 did for the
+        # original machine; the predictor-tuning ablation bench reports
+        # the alternatives including the paper's values.
+        protocol=ProtocolConfig(
+            kind=ProtocolKind.MOESI,
+            predictor=PredictorConfig(initial_confidence=5, increment=2),
+        ),
+    )

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the simulator.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures without catching unrelated bugs.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A machine or workload configuration is invalid or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an impossible state (internal invariant)."""
+
+
+class ProtocolError(SimulationError):
+    """A coherence protocol invariant was violated.
+
+    Raised when a cache observes a transaction that is illegal in its
+    current state — e.g. two modified owners for one line, a validate
+    arriving for a line whose saved value cannot match, or an unknown
+    transaction type.  These always indicate a simulator bug, never a
+    property of the simulated program.
+    """
+
+
+class DeadlockError(SimulationError):
+    """Forward progress stopped: no events pending but threads unfinished."""

@@ -1,0 +1,102 @@
+"""Hierarchical statistics counters.
+
+Every component increments named counters in a shared
+:class:`StatsRegistry`; names are dotted paths
+(``bus.txn.read``, ``core0.commit.loads``).  Registries can be merged
+and diffed, which the experiment harness uses to subtract warmup
+intervals and to aggregate across processors.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+
+class StatsRegistry:
+    """A mapping of dotted counter names to integer/float values."""
+
+    def __init__(self):
+        self._counters: dict[str, float] = defaultdict(float)
+
+    def add(self, name: str, amount: float = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self._counters[name] += amount
+
+    def set(self, name: str, value: float) -> None:
+        """Set counter ``name`` to an absolute value."""
+        self._counters[name] = value
+
+    def get(self, name: str, default: float = 0) -> float:
+        """Read counter ``name`` (0 if never touched)."""
+        return self._counters.get(name, default)
+
+    def __getitem__(self, name: str) -> float:
+        return self._counters.get(name, 0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._counters)
+
+    def items(self) -> Iterable[tuple[str, float]]:
+        """Iterate over ``(name, value)`` pairs in sorted name order."""
+        return sorted(self._counters.items())
+
+    def with_prefix(self, prefix: str) -> dict[str, float]:
+        """Return all counters whose name starts with ``prefix``."""
+        return {k: v for k, v in self._counters.items() if k.startswith(prefix)}
+
+    def sum_prefix(self, prefix: str) -> float:
+        """Sum all counters whose name starts with ``prefix``."""
+        return sum(v for k, v in self._counters.items() if k.startswith(prefix))
+
+    def scoped(self, prefix: str) -> "ScopedStats":
+        """Return a view that prepends ``prefix.`` to every counter name."""
+        return ScopedStats(self, prefix)
+
+    def merge(self, other: "StatsRegistry") -> None:
+        """Add every counter of ``other`` into this registry."""
+        for name, value in other._counters.items():
+            self._counters[name] += value
+
+    def snapshot(self) -> dict[str, float]:
+        """Return a plain-dict copy of all counters."""
+        return dict(self._counters)
+
+    def diff(self, earlier: dict[str, float]) -> dict[str, float]:
+        """Return counters minus an earlier :meth:`snapshot`."""
+        out = {}
+        for name, value in self._counters.items():
+            delta = value - earlier.get(name, 0)
+            if delta:
+                out[name] = delta
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"StatsRegistry({len(self._counters)} counters)"
+
+
+class ScopedStats:
+    """A prefix-applying view onto a :class:`StatsRegistry`."""
+
+    def __init__(self, registry: StatsRegistry, prefix: str):
+        self._registry = registry
+        self._prefix = prefix.rstrip(".") + "."
+
+    def add(self, name: str, amount: float = 1) -> None:
+        """Increment ``prefix.name`` in the backing registry."""
+        self._registry.add(self._prefix + name, amount)
+
+    def set(self, name: str, value: float) -> None:
+        """Set ``prefix.name`` in the backing registry."""
+        self._registry.set(self._prefix + name, value)
+
+    def get(self, name: str, default: float = 0) -> float:
+        """Read ``prefix.name`` from the backing registry."""
+        return self._registry.get(self._prefix + name, default)
+
+    def scoped(self, prefix: str) -> "ScopedStats":
+        """Nest a further prefix under this one."""
+        return ScopedStats(self._registry, self._prefix + prefix)

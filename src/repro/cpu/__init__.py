@@ -1,0 +1,7 @@
+"""Processor model: micro-op ISA, thread programs, OoO window core."""
+
+from repro.cpu.isa import Block, MicroOp, OpKind
+from repro.cpu.program import BlockBuilder, ThreadProgram
+from repro.cpu.core import Core
+
+__all__ = ["Block", "MicroOp", "OpKind", "BlockBuilder", "ThreadProgram", "Core"]

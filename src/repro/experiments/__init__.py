@@ -1,0 +1,16 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+* :mod:`repro.experiments.table2`  — workload characteristics.
+* :mod:`repro.experiments.figure6` — stale-storage capacity sweep.
+* :mod:`repro.experiments.figure7` — per-technique speedups with CIs.
+* :mod:`repro.experiments.figure8` — address-transaction breakdown.
+* :mod:`repro.experiments.sle_idioms` — §5.3.1 elision statistics.
+* :mod:`repro.experiments.ablations` — validate policies, SLE knobs.
+
+All build on :mod:`repro.experiments.runner`, which runs and caches the
+(benchmark × technique × seed) matrix.
+"""
+
+from repro.experiments.runner import MatrixRunner, RunSummary, summarize
+
+__all__ = ["MatrixRunner", "RunSummary", "summarize"]

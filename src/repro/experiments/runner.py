@@ -1,0 +1,168 @@
+"""Matrix runner: execute (benchmark × technique × seed) simulations.
+
+Every run is reduced to a :class:`RunSummary` (a plain dict of the
+numbers the figures need) and cached as JSON under ``results/`` so the
+per-figure harnesses can share runs: Figure 7 (performance) and
+Figure 8 (address transactions) use the same matrix, Table 2 uses its
+``mesti`` column, and the SLE statistics of §5.3.1 its ``sle`` column.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Iterable
+
+from repro.common.config import MachineConfig, scaled_config
+from repro.system.system import RunResult, System
+from repro.system.techniques import configure_technique
+from repro.workloads.registry import BENCHMARKS, get_benchmark
+
+import dataclasses
+
+#: Default timing-perturbation magnitude for variability runs
+#: (Alameldeen–Wood): a few percent of the remote latency.
+DEFAULT_JITTER = 8
+
+RunSummary = dict
+
+
+def summarize(result: RunResult, wall_seconds: float = 0.0) -> RunSummary:
+    """Reduce a :class:`RunResult` to the numbers the figures report."""
+    stats = result.stats
+    n = result.config.n_procs if result.config else 4
+    summary: RunSummary = {
+        "cycles": result.cycles,
+        "committed": result.committed,
+        "ipc": result.ipc,
+        "wall_seconds": round(wall_seconds, 3),
+        "txn_total": stats.get("bus.txn.total"),
+        "txn_read": stats.get("bus.txn.read"),
+        "txn_readx": stats.get("bus.txn.readx"),
+        "txn_upgrade": stats.get("bus.txn.upgrade"),
+        "txn_validate": stats.get("bus.txn.validate"),
+        "txn_writeback": stats.get("bus.txn.writeback"),
+        "txn_cache_to_cache": stats.get("bus.txn.cache_to_cache"),
+        "miss_total": stats.get("misses.miss.total"),
+        "miss_cold": stats.get("misses.miss.cold"),
+        "miss_capacity": stats.get("misses.miss.capacity"),
+        "miss_comm": stats.get("misses.miss.comm"),
+        "miss_comm_tss": stats.get("misses.miss.comm.tss"),
+        "miss_comm_false": stats.get("misses.miss.comm.false"),
+        "miss_comm_true": stats.get("misses.miss.comm.true"),
+    }
+    for name, key in [
+        ("commit.load", "loads"),
+        ("commit.store", "stores"),
+        ("commit.larx", "larx"),
+        ("commit.stcx", "stcx"),
+        ("commit.alu", "alu"),
+    ]:
+        summary[key] = sum(stats.get(f"core{i}.{name}") for i in range(n))
+    for name, key in [
+        ("stores.update_silent", "us_stores"),
+        ("lvp.predictions", "lvp_predictions"),
+        ("lvp.correct", "lvp_correct"),
+        ("lvp.mispredictions", "lvp_mispredictions"),
+    ]:
+        summary[key] = sum(stats.get(f"node{i}.{name}") for i in range(n))
+    for name, key in [
+        ("ts_stores", "ts_stores"),
+        ("validates_broadcast", "validates_broadcast"),
+        ("validates_suppressed", "validates_suppressed"),
+        ("revalidations", "revalidations"),
+    ]:
+        summary[key] = sum(stats.get(f"ctrl{i}.{name}") for i in range(n))
+    for name in (
+        "candidates",
+        "attempts",
+        "successes",
+        "filtered_by_confidence",
+        "restarts",
+        "fallback_acquisitions",
+        "failure.no_release",
+        "failure.conflict",
+        "failure.serialize",
+        "failure.nested",
+    ):
+        key = "sle_" + name.replace("failure.", "fail_")
+        summary[key] = sum(stats.get(f"sle{i}.{name}") for i in range(n))
+    return summary
+
+
+class MatrixRunner:
+    """Runs and caches the benchmark × technique × seed matrix."""
+
+    def __init__(
+        self,
+        config: MachineConfig | None = None,
+        scale: float = 1.0,
+        results_dir: str | Path = "results",
+        label: str = "matrix",
+        verbose: bool = True,
+    ):
+        self.base_config = config or scaled_config()
+        self.scale = scale
+        self.results_dir = Path(results_dir)
+        self.label = label
+        self.verbose = verbose
+        self._cache: dict[str, RunSummary] = {}
+        self._cache_path = self.results_dir / f"{label}_scale{scale}.json"
+        if self._cache_path.exists():
+            self._cache = json.loads(self._cache_path.read_text())
+
+    @staticmethod
+    def key(benchmark: str, technique: str, seed: int) -> str:
+        """Cache key for one (benchmark, technique, seed) cell."""
+        return f"{benchmark}|{technique}|{seed}"
+
+    def run_one(
+        self, benchmark: str, technique: str, seed: int, force: bool = False
+    ) -> RunSummary:
+        """Run (or fetch from cache) one cell of the matrix."""
+        key = self.key(benchmark, technique, seed)
+        if not force and key in self._cache:
+            return self._cache[key]
+        config = configure_technique(self.base_config, technique)
+        config = dataclasses.replace(config, latency_jitter=DEFAULT_JITTER)
+        workload = get_benchmark(benchmark, scale=self.scale)
+        start = time.time()
+        result = System(config, workload, seed=seed).run(
+            max_cycles=500_000_000, max_events=300_000_000
+        )
+        summary = summarize(result, time.time() - start)
+        self._cache[key] = summary
+        self._save()
+        if self.verbose:
+            print(
+                f"  ran {benchmark:>9s} / {technique:<15s} seed={seed} "
+                f"cycles={summary['cycles']:>9.0f} ipc={summary['ipc']:.2f} "
+                f"({summary['wall_seconds']:.1f}s)",
+                flush=True,
+            )
+        return summary
+
+    def run_matrix(
+        self,
+        benchmarks: Iterable[str] | None = None,
+        techniques: Iterable[str] = ("base",),
+        seeds: Iterable[int] = (1, 2, 3),
+    ) -> dict[str, RunSummary]:
+        """Run every requested cell; returns the key->summary mapping."""
+        out = {}
+        for benchmark in benchmarks or BENCHMARKS:
+            for technique in techniques:
+                for seed in seeds:
+                    out[self.key(benchmark, technique, seed)] = self.run_one(
+                        benchmark, technique, seed
+                    )
+        return out
+
+    def cells(self, benchmark: str, technique: str, seeds: Iterable[int]) -> list[RunSummary]:
+        """Fetch (running if needed) all seeds of one cell."""
+        return [self.run_one(benchmark, technique, s) for s in seeds]
+
+    def _save(self) -> None:
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        self._cache_path.write_text(json.dumps(self._cache, indent=1, sort_keys=True))

@@ -1,0 +1,72 @@
+"""Processor-count scaling (§5.2's abbreviated 8/16-processor studies).
+
+Runs selected benchmarks on 4-, 8-, and 16-processor systems under the
+baseline and E-MESTI.  Communication misses grow with sharer count, so
+validate leverage typically grows with the machine — while the address
+network's fixed occupancy makes useless traffic costlier, which is why
+the paper positions E-MESTI for "coherence bandwidth-limited
+environments".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.report import render_table
+from repro.common.config import scaled_config
+from repro.experiments.runner import DEFAULT_JITTER, summarize
+from repro.system.system import System
+from repro.system.techniques import configure_technique
+from repro.workloads.registry import get_benchmark
+
+HEADERS = [
+    "Benchmark",
+    "CPUs",
+    "Base cycles",
+    "Comm misses",
+    "E-MESTI speedup",
+    "Validates",
+]
+
+
+def collect(scale=0.4, seed=1, benchmarks=("tpc-b", "radiosity"),
+            cpu_counts=(4, 8, 16), verbose=True):
+    """Run the experiment and return its result rows."""
+    rows = []
+    for benchmark in benchmarks:
+        for n in cpu_counts:
+            base_cfg = dataclasses.replace(
+                configure_technique(scaled_config(n_procs=n), "base"),
+                latency_jitter=DEFAULT_JITTER,
+            )
+            base = summarize(
+                System(base_cfg, get_benchmark(benchmark, scale=scale), seed=seed)
+                .run(max_cycles=500_000_000, max_events=300_000_000)
+            )
+            em_cfg = dataclasses.replace(
+                configure_technique(scaled_config(n_procs=n), "emesti"),
+                latency_jitter=DEFAULT_JITTER,
+            )
+            emesti = summarize(
+                System(em_cfg, get_benchmark(benchmark, scale=scale), seed=seed)
+                .run(max_cycles=500_000_000, max_events=300_000_000)
+            )
+            rows.append([
+                benchmark, n, base["cycles"], base["miss_comm"],
+                round(base["cycles"] / emesti["cycles"], 3),
+                emesti["txn_validate"],
+            ])
+            if verbose:
+                print(f"  scaling {benchmark} n={n} done", flush=True)
+    return rows
+
+
+def run(scale=0.4, seed=1, benchmarks=("tpc-b", "radiosity"),
+        cpu_counts=(4, 8, 16), verbose=True) -> str:
+    """Run the experiment and return the rendered text."""
+    rows = collect(scale, seed, benchmarks, cpu_counts, verbose)
+    return render_table(HEADERS, rows, title="Processor-count scaling (§5.2)")
+
+
+if __name__ == "__main__":
+    print(run())

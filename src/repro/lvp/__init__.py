@@ -1,0 +1,5 @@
+"""Load value prediction with tag-match invalid cache lines (paper §3)."""
+
+from repro.lvp.unit import LVPUnit
+
+__all__ = ["LVPUnit"]

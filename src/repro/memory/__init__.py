@@ -1,0 +1,24 @@
+"""Memory substrate: data caches, MSHRs, store buffer, stale storage.
+
+Caches store real per-word data values — store value locality
+(update silence, temporal silence) is detected on actual values, not
+oracle annotations, exactly as the hardware in the paper would.
+"""
+
+from repro.memory.cache import CacheLine, SetAssocCache
+from repro.memory.mainmem import MainMemory
+from repro.memory.mshr import MSHREntry, MSHRFile
+from repro.memory.stale import ExplicitStaleDetector, StaleStorage
+from repro.memory.storebuffer import StoreBuffer, StoreEntry
+
+__all__ = [
+    "CacheLine",
+    "SetAssocCache",
+    "MainMemory",
+    "MSHREntry",
+    "MSHRFile",
+    "ExplicitStaleDetector",
+    "StaleStorage",
+    "StoreBuffer",
+    "StoreEntry",
+]

@@ -1,0 +1,53 @@
+"""Main memory: the backing store for all cache lines.
+
+Data is kept at line granularity in a sparse dict; unwritten lines read
+as zero, which the workload region allocator relies on (locks start
+free, counters start at zero).
+"""
+
+from __future__ import annotations
+
+from repro.common.addressing import words_per_line
+from repro.common.errors import SimulationError
+
+
+class MainMemory:
+    """Sparse line-granularity physical memory."""
+
+    def __init__(self, line_size: int):
+        self._line_size = line_size
+        self._n_words = words_per_line(line_size)
+        self._lines: dict[int, list[int]] = {}
+
+    @property
+    def line_size(self) -> int:
+        """Cache line size in bytes (L1 == L2)."""
+        return self._line_size
+
+    def read_line(self, base: int) -> list[int]:
+        """Return a copy of the words of the line at ``base``."""
+        self._check(base)
+        line = self._lines.get(base)
+        return list(line) if line is not None else [0] * self._n_words
+
+    def write_line(self, base: int, words: list[int]) -> None:
+        """Replace the line at ``base`` with ``words``."""
+        self._check(base)
+        if len(words) != self._n_words:
+            raise SimulationError(
+                f"writeback of {len(words)} words, line holds {self._n_words}"
+            )
+        self._lines[base] = list(words)
+
+    def read_word(self, base: int, index: int) -> int:
+        """Read one word from the line at ``base``."""
+        line = self._lines.get(base)
+        return line[index] if line is not None else 0
+
+    def touched_lines(self) -> int:
+        """Number of lines ever written (diagnostics)."""
+        return len(self._lines)
+
+    def _check(self, base: int) -> None:
+        if base % self._line_size:
+            raise SimulationError(f"unaligned line address {base:#x}")

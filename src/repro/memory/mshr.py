@@ -1,0 +1,94 @@
+"""Miss status holding registers.
+
+One MSHR tracks one outstanding line miss.  Requests to the same line
+merge into the existing entry.  For LVP (§3.2) each MSHR additionally
+records which words were speculatively delivered from tag-match invalid
+data and the oldest in-flight operation attached to a speculative
+delivery; when coherent data arrives the delivered words are compared
+and the entry either advances the commit pointer or squashes at that
+oldest operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass
+class SpecDelivery:
+    """One speculatively-delivered word within an MSHR (LVP)."""
+
+    word_index: int
+    value: int
+    consumer: Any  # the in-flight window op that consumed the value
+
+
+@dataclass
+class MSHREntry:
+    """One outstanding line miss."""
+
+    base: int
+    is_store: bool = False
+    waiters: list[Callable[[list[int]], None]] = field(default_factory=list)
+    spec_deliveries: list[SpecDelivery] = field(default_factory=list)
+    issued_at: int = 0
+    # Set when the transaction's bus grant has occurred: the data the
+    # waiters will receive was captured at that instant.  Merged
+    # reserve-loads (larx) consult this: arming a reservation *after*
+    # the grant, when the line has since been invalidated, would pair a
+    # fresh reservation with a pre-invalidation value and break LL/SC.
+    granted: bool = False
+
+    def add_waiter(self, callback: Callable[[list[int]], None]) -> None:
+        """Register a completion callback fired with the line data."""
+        self.waiters.append(callback)
+
+    def record_speculation(self, word_index: int, value: int, consumer: Any) -> None:
+        """Record that ``consumer`` received speculative ``value`` (LVP)."""
+        self.spec_deliveries.append(SpecDelivery(word_index, value, consumer))
+
+    def mismatched_deliveries(self, arrived: list[int]) -> list[SpecDelivery]:
+        """Return speculative deliveries contradicted by the real data."""
+        return [d for d in self.spec_deliveries if arrived[d.word_index] != d.value]
+
+
+class MSHRFile:
+    """A fixed-capacity file of :class:`MSHREntry`, keyed by line base."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("MSHR capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: dict[int, MSHREntry] = {}
+
+    def get(self, base: int) -> MSHREntry | None:
+        """Return the outstanding entry for ``base``, if any."""
+        return self._entries.get(base)
+
+    @property
+    def full(self) -> bool:
+        """True at capacity."""
+        return len(self._entries) >= self.capacity
+
+    def allocate(self, base: int, now: int, is_store: bool = False) -> MSHREntry:
+        """Create an entry for ``base``; the file must not be full."""
+        if base in self._entries:
+            raise ValueError(f"MSHR already allocated for {base:#x}")
+        if self.full:
+            raise ValueError("MSHR file full")
+        entry = MSHREntry(base=base, is_store=is_store, issued_at=now)
+        self._entries[base] = entry
+        return entry
+
+    def release(self, base: int) -> MSHREntry:
+        """Remove and return the entry for ``base``."""
+        return self._entries.pop(base)
+
+    def outstanding(self) -> int:
+        """Number of entries in flight."""
+        return len(self._entries)
+
+    def entries(self):
+        """Iterate over outstanding entries."""
+        return self._entries.values()

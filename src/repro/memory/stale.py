@@ -1,0 +1,131 @@
+"""Space-efficient stale-value storage for temporal silence detection.
+
+Implements the mechanism of the paper's Figure 5 (§2.5.1):
+
+* an **L1-Mirror**, geometrically identical to the L1-D, which captures
+  the temporal-silence candidate value when a line fills into the L1 —
+  either the fill data itself (if the L2 indicates the fill is a
+  correct stale version, i.e. no intermediate value was written back)
+  or the entry recovered from the stale storage;
+* a finite, LRU **stale storage** that receives the mirror entry when
+  the L1-D displaces a dirty line, so the candidate survives across L1
+  residencies.
+
+Stores compare only against the L1-Mirror (same access time as the
+L1-D), so detection is immediate and validates incur no delay.
+Replacements from either structure cause no correctness issue — the
+L1-D or L2 always holds the coherent data — they merely forfeit
+detection of temporally silent pairs whose lifetime exceeds the
+retained candidate (Figure 6 quantifies this loss versus capacity).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.common.config import CacheConfig
+from repro.common.stats import ScopedStats
+
+
+class StaleStorage:
+    """LRU store of per-line stale candidate values (Figure 5)."""
+
+    def __init__(self, capacity_lines: int):
+        if capacity_lines < 0:
+            raise ValueError("stale storage capacity must be >= 0")
+        self.capacity_lines = capacity_lines
+        self._entries: OrderedDict[int, list[int]] = OrderedDict()
+
+    def put(self, base: int, words: list[int]) -> None:
+        """Insert/refresh the candidate for ``base``, evicting LRU."""
+        if self.capacity_lines == 0:
+            return
+        if base in self._entries:
+            self._entries.move_to_end(base)
+        self._entries[base] = list(words)
+        while len(self._entries) > self.capacity_lines:
+            self._entries.popitem(last=False)
+
+    def get(self, base: int) -> list[int] | None:
+        """Return and refresh the candidate for ``base``, if retained."""
+        words = self._entries.get(base)
+        if words is not None:
+            self._entries.move_to_end(base)
+            return list(words)
+        return None
+
+    def drop(self, base: int) -> None:
+        """Discard the candidate for ``base`` (it can no longer match)."""
+        self._entries.pop(base, None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class ExplicitStaleDetector:
+    """The L1-Mirror + stale-storage temporal-silence detector.
+
+    The coherence controller queries :meth:`candidate` on each store to
+    an owned line; a non-None result that equals the stored-to line's
+    current data is a detected temporal silence.  All hooks are called
+    by the node's memory system as lines move through the hierarchy.
+    """
+
+    def __init__(
+        self,
+        l1_config: CacheConfig,
+        stale_storage_bytes: int,
+        stats: ScopedStats,
+    ):
+        self._line_size = l1_config.line_size
+        self.mirror_capacity = l1_config.num_lines
+        self.storage = StaleStorage(stale_storage_bytes // l1_config.line_size)
+        self._mirror: OrderedDict[int, list[int] | None] = OrderedDict()
+        self._stats = stats
+
+    # -- hierarchy hooks -------------------------------------------------
+
+    def on_l1_fill(self, base: int, fill_words: list[int], l2_was_dirty: bool) -> None:
+        """A line filled into the L1-D.
+
+        If the L2 indicates no intermediate value was previously written
+        back (the fill *is* a correct stale version), capture the fill
+        data; otherwise try to recover the candidate from the stale
+        storage.
+        """
+        if l2_was_dirty:
+            candidate = self.storage.get(base)
+            self._stats.add(
+                "mirror.recovered" if candidate is not None else "mirror.lost"
+            )
+        else:
+            candidate = list(fill_words)
+            self._stats.add("mirror.captured")
+        self._mirror[base] = candidate
+        self._mirror.move_to_end(base)
+        while len(self._mirror) > self.mirror_capacity:
+            self._mirror.popitem(last=False)
+
+    def on_l1_evict(self, base: int, was_dirty: bool) -> None:
+        """The L1-D displaced a line; bank its candidate if it was dirty."""
+        candidate = self._mirror.pop(base, None)
+        if was_dirty and candidate is not None:
+            self.storage.put(base, candidate)
+
+    def on_invalidate(self, base: int) -> None:
+        """The line was invalidated: the candidate version is obsolete."""
+        self._mirror.pop(base, None)
+        self.storage.drop(base)
+
+    def on_visibility(self, base: int, words: list[int]) -> None:
+        """A new value became globally visible; rebase the candidate."""
+        if base in self._mirror:
+            self._mirror[base] = list(words)
+        if self.storage.get(base) is not None:
+            self.storage.put(base, words)
+
+    # -- detection -------------------------------------------------------
+
+    def candidate(self, base: int) -> list[int] | None:
+        """The stale candidate to compare stores against (mirror only)."""
+        return self._mirror.get(base)

@@ -1,0 +1,65 @@
+"""Post-commit store buffer.
+
+Committed stores drain to the L1 in order; loads search the buffer
+newest-first for same-word forwarding.  A full buffer back-pressures
+commit in the core.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass
+class StoreEntry:
+    """One committed store waiting to drain."""
+
+    addr: int
+    value: int
+    seq: int  # program-order sequence of the committing op
+    pc: int = 0
+
+
+class StoreBuffer:
+    """A FIFO of committed stores with word-granularity forwarding."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("store buffer capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: deque[StoreEntry] = deque()
+
+    @property
+    def full(self) -> bool:
+        """True at capacity."""
+        return len(self._entries) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        """True when unoccupied."""
+        return not self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def push(self, entry: StoreEntry) -> None:
+        """Append a committed store; the buffer must not be full."""
+        if self.full:
+            raise ValueError("store buffer full")
+        self._entries.append(entry)
+
+    def head(self) -> StoreEntry | None:
+        """The next store to drain, or None."""
+        return self._entries[0] if self._entries else None
+
+    def pop(self) -> StoreEntry:
+        """Remove and return the head store."""
+        return self._entries.popleft()
+
+    def forward(self, addr: int) -> int | None:
+        """Return the value of the youngest buffered store to ``addr``."""
+        for entry in reversed(self._entries):
+            if entry.addr == addr:
+                return entry.value
+        return None

@@ -1,0 +1,15 @@
+"""Speculative Lock Elision (paper §4), in-core variant.
+
+Elision idioms are detected from larx/stcx pairs; critical sections are
+buffered inside the ROB (bounded by ``SLEConfig.rob_threshold``);
+atomicity violations are detected by snooping the speculative read and
+write sets; a per-PC confidence predictor with failure-mode-specific
+hysteresis gates attempts (§4.2.3); isync-protected kernel critical
+sections are handled by the context-safety check of §4.2.2.
+"""
+
+from repro.sle.confidence import ElisionConfidence
+from repro.sle.engine import SLEEngine
+from repro.sle.idiom import IdiomTracker
+
+__all__ = ["ElisionConfidence", "SLEEngine", "IdiomTracker"]

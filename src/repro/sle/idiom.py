@@ -1,0 +1,44 @@
+"""Elision idiom detection (§4.1).
+
+The trigger is the PowerPC pattern the paper describes: a load-locked
+(larx) followed by a store-conditional (stcx) to the same address.  In
+full-system code this idiom is *imprecise* — it also implements atomic
+increments, list insertion, reservation clearing, and lock releases —
+so a matched idiom is only a *candidate*; the confidence predictor and
+the elision outcome decide its fate.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.core import Phase, WinOp
+from repro.cpu.isa import OpKind
+
+
+class IdiomTracker:
+    """Remembers the most recent larx per core to match against stcx."""
+
+    def __init__(self):
+        self._last_larx: WinOp | None = None
+
+    def note_larx(self, w: WinOp) -> None:
+        """Record a fetched load-locked op."""
+        if w.op.kind is OpKind.LARX:
+            self._last_larx = w
+
+    def match(self, stcx: WinOp) -> WinOp | None:
+        """Return the matching larx for this stcx candidate, if usable.
+
+        The larx must target the same address and have completed (so
+        its observed value — the prospective "free" value the release
+        must restore — is known).  Program block structure guarantees
+        this: larx is a control op, so the stcx is fetched only after
+        the larx committed.
+        """
+        larx = self._last_larx
+        if larx is None or larx.dead:
+            return None
+        if larx.op.addr != stcx.op.addr:
+            return None
+        if larx.phase is not Phase.DONE or larx.value is None:
+            return None
+        return larx

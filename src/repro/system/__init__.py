@@ -1,0 +1,6 @@
+"""System assembly: multiprocessor wiring, run loop, technique matrix."""
+
+from repro.system.system import RunResult, System
+from repro.system.techniques import ALL_TECHNIQUES, configure_technique
+
+__all__ = ["RunResult", "System", "ALL_TECHNIQUES", "configure_technique"]

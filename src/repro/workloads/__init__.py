@@ -1,0 +1,23 @@
+"""Synthetic execution-driven workloads modeled on the paper's Table 2.
+
+Each benchmark is a reactive multi-threaded program built from shared
+fragments (spin locks, barriers, atomic read-modify-write idioms,
+migratory objects, false-sharing updates, temporally-silent flag
+pulses, private/streaming compute) with per-benchmark composition and
+parameters calibrated to the published workload characteristics:
+instruction mix, update/temporally silent store fractions, miss-rate
+class, locking style, and operating-system interference level.
+"""
+
+from repro.workloads.base import BenchmarkWorkload, WorkloadParams
+from repro.workloads.registry import BENCHMARKS, get_benchmark
+from repro.workloads.synthetic import SyntheticMix, SyntheticWorkload
+
+__all__ = [
+    "BenchmarkWorkload",
+    "WorkloadParams",
+    "BENCHMARKS",
+    "get_benchmark",
+    "SyntheticMix",
+    "SyntheticWorkload",
+]

@@ -1,0 +1,67 @@
+"""Workload base class.
+
+A :class:`BenchmarkWorkload` builds one reactive thread program per
+processor from a shared address-space layout.  ``WorkloadParams.scale``
+scales the main-loop iteration count, letting tests run tiny instances
+and experiments run full ones from the same definitions.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.common.config import MachineConfig
+from repro.common.rng import SplitRng
+from repro.cpu.program import BlockBuilder, ThreadProgram
+
+
+@dataclass
+class WorkloadParams:
+    """Tuning knobs common to every benchmark."""
+
+    iterations: int | None = None  # override the benchmark default
+    scale: float = 1.0  # multiplies the iteration count
+
+
+class BenchmarkWorkload(abc.ABC):
+    """One synthetic benchmark (see the per-module docstrings)."""
+
+    name: str = "?"
+    description: str = ""
+    default_iterations: int = 300
+    #: Instr ≈ cracking_ratio × micro-ops (PowerPC instruction cracking,
+    #: calibrated per benchmark from Table 2's Instr/µop columns).
+    cracking_ratio: float = 0.80
+
+    def __init__(self, params: WorkloadParams | None = None):
+        self.params = params or WorkloadParams()
+
+    @property
+    def iterations(self) -> int:
+        """Effective main-loop iteration count (scaled)."""
+        base = self.params.iterations or self.default_iterations
+        return max(1, int(base * self.params.scale))
+
+    def build_programs(self, config: MachineConfig, rng: SplitRng) -> list[ThreadProgram]:
+        """Instantiate one program per processor over a fresh layout."""
+        layout = self.build_layout(config, rng.split("layout"))
+        programs = []
+        for tid in range(config.n_procs):
+            gen = self.thread_main(tid, config, layout, rng.split(f"thread{tid}"))
+            programs.append(ThreadProgram(gen, name=f"{self.name}[{tid}]"))
+        return programs
+
+    @abc.abstractmethod
+    def build_layout(self, config: MachineConfig, rng: SplitRng):
+        """Allocate the shared address-space layout for this benchmark."""
+
+    @abc.abstractmethod
+    def thread_main(self, tid: int, config: MachineConfig, layout, rng: SplitRng):
+        """The generator program executed by thread ``tid``."""
+
+    @staticmethod
+    def finish(b: BlockBuilder):
+        """Terminal fragment: emit the END block."""
+        b.end()
+        yield b.take()

@@ -1,0 +1,146 @@
+"""Synchronization fragments: spin locks, barriers, atomic RMW idioms.
+
+These are generator *fragments* composed into thread programs with
+``yield from``.  Each yields complete basic blocks through the caller's
+:class:`~repro.cpu.program.BlockBuilder` and receives control values
+(larx results, stcx success) back — the execution-driven reactivity
+that makes lock hand-off, contention, and SLE behavior emerge from the
+protocol rather than from a trace.
+
+PowerPC-style conventions: a lock is one padded word, 0 = free; acquire
+is a larx/stcx loop writing ``tid+1``; kernel-style acquires append the
+isync that protects AIX critical sections (§4.2.2) and funnel through
+*shared static PCs* (kernel lock routines), producing the predictor
+interference of §4.2.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.rng import SplitRng
+from repro.cpu.program import BlockBuilder
+
+#: Shared static PC modeling kernel synchronization routines: kernel
+#: lock acquires AND kernel atomic RMW idioms (list insertion,
+#: fetch-and-add, reservation clearing) funnel through the *same*
+#: larx/stcx instructions — "few static instructions are participating
+#: ... substantial interference in the predictor occurs between
+#: critical sections exhibiting different elision behavior" (§4.2.3).
+KERNEL_LOCK_PC = 0x1000
+KERNEL_ATOMIC_PC = KERNEL_LOCK_PC
+USER_PC_BASE = 0x2000
+
+#: Free-lock sentinel.
+FREE = 0
+
+
+def acquire_lock(
+    b: BlockBuilder,
+    rng: SplitRng,
+    lock_addr: int,
+    pc: int,
+    held: int = 1,
+    kernel: bool = False,
+    unsafe_isync_prob: float = 0.0,
+):
+    """Spin-acquire ``lock_addr``; leaves the trailing isync (kernel) pending.
+
+    Yields blocks; the caller continues appending critical-section ops
+    to ``b`` after the fragment returns (so the isync leads the CS
+    block, as in AIX lock routines).
+    """
+    spins = 0
+    while True:
+        if spins:
+            # Exponentialish backoff as straight-line filler work.
+            for _ in range(min(spins, 6)):
+                b.alu(latency=4)
+        b.larx(lock_addr, pc=pc)
+        observed = yield b.take()
+        if observed != FREE:
+            spins += 1
+            continue
+        b.stcx(lock_addr, held, pc=pc, meta={"sle_fallback": ("cas",)})
+        ok = yield b.take()
+        if ok:
+            break
+        spins += 1
+    if kernel:
+        b.isync(unsafe_ctx=rng.random() < unsafe_isync_prob, pc=pc + 1)
+
+
+def release_lock(b: BlockBuilder, lock_addr: int, pc: int = 0) -> None:
+    """Append the release: lwsync + store of the free value.
+
+    The store restores the value the acquire's larx observed — the
+    temporally silent half of the store pair.  (No yield: the caller
+    flushes, so post-CS work can share the block.)
+    """
+    b.sync(pc=pc)
+    b.store(lock_addr, FREE, pc=pc + 1)
+
+
+def atomic_add(
+    b: BlockBuilder, addr: int, pc: int, delta: int = 1
+):
+    """larx/stcx fetch-and-add loop; returns the value observed.
+
+    This is the non-lock use of the elision idiom (§4.1): SLE cannot
+    distinguish it from a lock acquire at speculation start, and no
+    reverting store ever arrives.
+    """
+    while True:
+        b.larx(addr, pc=pc)
+        observed = yield b.take()
+        b.stcx(addr, observed + delta, pc=pc, meta={"sle_fallback": ("add", delta)})
+        ok = yield b.take()
+        if ok:
+            return observed
+
+
+@dataclass(frozen=True)
+class BarrierSpace:
+    """Addresses of a sense-reversing barrier's state."""
+
+    lock_addr: int
+    count_addr: int
+    flag_addr: int
+    n_threads: int
+
+
+def barrier_wait(
+    b: BlockBuilder,
+    rng: SplitRng,
+    bar: BarrierSpace,
+    sense: dict,
+    pc: int,
+):
+    """Sense-reversing barrier (SPLASH-2 style).
+
+    ``sense`` is the thread's mutable local-sense cell
+    (``{"sense": 0}``).  The count read inside the critical section is
+    a control op, so SLE attempts on barrier locks abort — one of the
+    natural imprecision sources.
+    """
+    sense["sense"] ^= 1
+    target = sense["sense"]
+    yield from acquire_lock(b, rng, bar.lock_addr, pc, held=1)
+    b.load_ctl(bar.count_addr, pc=pc + 2)
+    count = yield b.take()
+    if count + 1 == bar.n_threads:
+        b.store(bar.count_addr, 0, pc=pc + 3)
+        b.store(bar.flag_addr, target, pc=pc + 4)
+        release_lock(b, bar.lock_addr, pc=pc + 5)
+        yield b.take()
+    else:
+        b.store(bar.count_addr, count + 1, pc=pc + 3)
+        release_lock(b, bar.lock_addr, pc=pc + 5)
+        yield b.take()
+        while True:
+            for _ in range(4):
+                b.alu(latency=4)
+            b.load_ctl(bar.flag_addr, pc=pc + 6)
+            flag = yield b.take()
+            if flag == target:
+                break

@@ -1,0 +1,114 @@
+"""ocean — SPLASH-2 Ocean (258x258) model.
+
+Barrier-separated phases of grid stencil compute: mostly private,
+cache-resident work with a high update-silent store fraction (grid
+points rewriting converged values), boundary-row exchange with
+neighbors (true sharing), and a lock-protected global error reduction.
+An initialization phase models the operating-system interference the
+paper observed ("substantial contribution from the operating system,
+predominantly during the initialization phase"): kernel-PC atomic
+increments and kernel lock sections that poison the elision idiom,
+giving ocean its small SLE slowdown despite user locks being precise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import MachineConfig
+from repro.common.rng import SplitRng
+from repro.cpu.program import BlockBuilder
+from repro.workloads.base import BenchmarkWorkload
+from repro.workloads.fragments import (
+    kernel_section,
+    migratory_update,
+    private_work,
+    read_shared,
+)
+from repro.workloads.locks import (
+    KERNEL_ATOMIC_PC,
+    KERNEL_LOCK_PC,
+    USER_PC_BASE,
+    BarrierSpace,
+    atomic_add,
+    barrier_wait,
+)
+from repro.workloads.regions import Region, RegionAllocator
+
+
+@dataclass
+class OceanLayout:
+    """Address-space layout for the ocean model."""
+    grids: list[Region]  # per-thread grid partition
+    boundaries: list[Region]  # boundary rows between neighbors i and i+1
+    err_lock: int
+    err_data: Region
+    kernel_lock: int
+    kernel_data: Region
+    alloc_counter: int
+    barrier: BarrierSpace
+
+
+class OceanWorkload(BenchmarkWorkload):
+    """SPLASH-2 Ocean model (see module docstring)."""
+    name = "ocean"
+    description = "SPLASH-2 Ocean: barriered grid solver"
+    default_iterations = 24  # solver phases
+    cracking_ratio = 0.87  # 859M instr / 984M µops
+
+    def build_layout(self, config: MachineConfig, rng: SplitRng) -> OceanLayout:
+        """Allocate the shared address-space layout."""
+        alloc = RegionAllocator(config.line_size)
+        n = config.n_procs
+        return OceanLayout(
+            grids=[alloc.alloc(f"grid{t}", 64) for t in range(n)],
+            boundaries=[alloc.alloc(f"boundary{t}", 4) for t in range(n)],
+            err_lock=alloc.lock_line("err_lock"),
+            err_data=alloc.alloc("err_data", 2),
+            kernel_lock=alloc.lock_line("kernel_lock"),
+            kernel_data=alloc.alloc("kernel_data", 8),
+            alloc_counter=alloc.alloc("alloc_counter", 1).word(0, 0),
+            barrier=BarrierSpace(
+                lock_addr=alloc.lock_line("barrier_lock"),
+                count_addr=alloc.alloc("barrier_count", 1).word(0, 0),
+                flag_addr=alloc.alloc("barrier_flag", 1).word(0, 0),
+                n_threads=n,
+            ),
+        )
+
+    def thread_main(self, tid: int, config: MachineConfig, layout: OceanLayout, rng: SplitRng):
+        """The generator program executed by one thread."""
+        b = BlockBuilder()
+        sense = {"sense": 0}
+        n = config.n_procs
+        my_grid = layout.grids[tid]
+        right = layout.boundaries[tid]
+        left = layout.boundaries[(tid - 1) % n]
+
+        # Initialization: memory allocation via kernel services.
+        for _ in range(6):
+            yield from atomic_add(b, layout.alloc_counter, KERNEL_ATOMIC_PC)
+            yield from kernel_section(
+                b, rng, layout.kernel_lock, layout.kernel_data, KERNEL_LOCK_PC, tid
+            )
+            yield from private_work(b, rng, my_grid, 24, us_prob=0.0)
+        yield from barrier_wait(b, rng, layout.barrier, sense, USER_PC_BASE)
+
+        # Solver phases.
+        for _phase in range(self.iterations):
+            for _ in range(5):
+                yield from private_work(b, rng, my_grid, 30, us_prob=0.12)
+            # Boundary exchange: read neighbors' rows, publish our own.
+            yield from read_shared(b, rng, left, 6)
+            yield from read_shared(b, rng, right, 2)
+            for i in range(4):
+                b.store(right.word(i, tid % 8), rng.randrange(1, 1 << 30))
+            yield b.take()
+            # Global error reduction under a user lock.
+            if rng.random() < 0.5:
+                yield from migratory_update(
+                    b, rng, layout.err_lock, layout.err_data, tid,
+                    USER_PC_BASE + 0x10, n_words=2,
+                )
+            yield from barrier_wait(b, rng, layout.barrier, sense, USER_PC_BASE)
+        yield from self.finish(b)

@@ -1,0 +1,67 @@
+"""Address-space layout for synthetic workloads.
+
+Allocates non-overlapping, line-aligned regions in the flat physical
+address space.  Lock variables get a full line each ("all lock-based
+data structures ... are padded to minimize coherence conflicts",
+Table 2 caption); data regions are sized in lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.addressing import DEFAULT_LINE_SIZE, WORD_SIZE
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named, line-aligned slab of the address space."""
+
+    name: str
+    base: int
+    lines: int
+    line_size: int = DEFAULT_LINE_SIZE
+
+    @property
+    def size_bytes(self) -> int:
+        """Region size in bytes."""
+        return self.lines * self.line_size
+
+    @property
+    def end(self) -> int:
+        """Append the program-terminating END op."""
+        return self.base + self.size_bytes
+
+    def line(self, index: int) -> int:
+        """Address of the ``index``-th line (wraps around)."""
+        return self.base + (index % self.lines) * self.line_size
+
+    def word(self, line_index: int, word_index: int = 0) -> int:
+        """Address of a word within a line of the region."""
+        words = self.line_size // WORD_SIZE
+        return self.line(line_index) + (word_index % words) * WORD_SIZE
+
+
+class RegionAllocator:
+    """Bump allocator for :class:`Region` slabs, with guard gaps."""
+
+    def __init__(self, line_size: int = DEFAULT_LINE_SIZE, start: int = 0x1_0000):
+        self._line_size = line_size
+        self._cursor = start
+        self.regions: dict[str, Region] = {}
+
+    def alloc(self, name: str, lines: int) -> Region:
+        """Allocate ``lines`` cache lines under ``name``."""
+        if lines < 1:
+            raise ValueError(f"region {name!r}: need at least one line")
+        if name in self.regions:
+            raise ValueError(f"region {name!r} already allocated")
+        region = Region(name, self._cursor, lines, self._line_size)
+        # A one-line guard gap prevents accidental adjacency sharing.
+        self._cursor = region.end + self._line_size
+        self.regions[name] = region
+        return region
+
+    def lock_line(self, name: str) -> int:
+        """Allocate one padded lock variable; returns its word address."""
+        return self.alloc(name, 1).word(0, 0)

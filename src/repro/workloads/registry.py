@@ -1,0 +1,37 @@
+"""Benchmark registry: the paper's seven workloads by name."""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+from repro.workloads.base import BenchmarkWorkload, WorkloadParams
+from repro.workloads.ocean import OceanWorkload
+from repro.workloads.radiosity import RadiosityWorkload
+from repro.workloads.raytrace import RaytraceWorkload
+from repro.workloads.specjbb import SpecjbbWorkload
+from repro.workloads.specweb import SpecwebWorkload
+from repro.workloads.tpcb import TpcbWorkload
+from repro.workloads.tpch import TpchWorkload
+
+#: Table 2 order.
+BENCHMARKS: dict[str, type[BenchmarkWorkload]] = {
+    "ocean": OceanWorkload,
+    "radiosity": RadiosityWorkload,
+    "raytrace": RaytraceWorkload,
+    "specjbb": SpecjbbWorkload,
+    "specweb": SpecwebWorkload,
+    "tpc-b": TpcbWorkload,
+    "tpc-h": TpchWorkload,
+}
+
+SCIENTIFIC = ("ocean", "radiosity", "raytrace")
+COMMERCIAL = ("specjbb", "specweb", "tpc-b", "tpc-h")
+
+
+def get_benchmark(name: str, scale: float = 1.0, iterations: int | None = None) -> BenchmarkWorkload:
+    """Instantiate a benchmark by Table 2 name."""
+    cls = BENCHMARKS.get(name)
+    if cls is None:
+        raise ConfigError(
+            f"unknown benchmark {name!r}; choose from {sorted(BENCHMARKS)}"
+        )
+    return cls(WorkloadParams(iterations=iterations, scale=scale))

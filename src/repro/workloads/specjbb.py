@@ -1,0 +1,79 @@
+"""specjbb — SPEC JBB (server-side Java) model.
+
+Capacity-miss dominated: each warehouse thread streams a footprint far
+larger than the L2, so "most misses are capacity misses [and] none of
+the techniques provides additional leverage" — except negatively:
+object-header flag pulses on effectively *private* lines are perfect
+temporal silence, so plain MESTI broadcasts a validate for every pulse
+that no remote cache can ever use, flooding the address network (the
+paper's −30% MESTI outlier).  E-MESTI's predictor learns the validates
+are useless (no remote copies → no useful snoop response) and recovers
+to ≈ baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import MachineConfig
+from repro.common.rng import SplitRng
+from repro.cpu.program import BlockBuilder
+from repro.workloads.base import BenchmarkWorkload
+from repro.workloads.fragments import private_work, stream_walk, ts_flag_pulse
+from repro.workloads.locks import KERNEL_ATOMIC_PC, atomic_add
+from repro.workloads.regions import Region, RegionAllocator
+
+
+@dataclass
+class SpecjbbLayout:
+    """Address-space layout for the specjbb model."""
+    heaps: list[Region]  # per-warehouse object heap (>> L2)
+    headers: list[Region]  # per-warehouse object-header flag lines
+    privates: list[Region]
+    gc_counter: int
+
+
+class SpecjbbWorkload(BenchmarkWorkload):
+    """SPEC JBB model (see module docstring)."""
+    name = "specjbb"
+    description = "SPEC JBB: capacity-dominated warehouses, private flag pulses"
+    default_iterations = 280
+    cracking_ratio = 0.57  # 1.08B / 1.91B
+
+    heap_lines = 5000  # ~320 KB/thread: exceeds the scaled 256 KB L2
+
+    def build_layout(self, config: MachineConfig, rng: SplitRng) -> SpecjbbLayout:
+        """Allocate the shared address-space layout."""
+        alloc = RegionAllocator(config.line_size)
+        n = config.n_procs
+        return SpecjbbLayout(
+            heaps=[alloc.alloc(f"heap{t}", self.heap_lines) for t in range(n)],
+            headers=[alloc.alloc(f"headers{t}", 16) for t in range(n)],
+            privates=[alloc.alloc(f"priv{t}", 32) for t in range(n)],
+            gc_counter=alloc.alloc("gc_counter", 1).word(0, 0),
+        )
+
+    def thread_main(self, tid: int, config: MachineConfig, layout: SpecjbbLayout, rng: SplitRng):
+        """The generator program executed by one thread."""
+        b = BlockBuilder()
+        heap = layout.heaps[tid]
+        headers = layout.headers[tid]
+        priv = layout.privates[tid]
+        stream_state: dict = {}
+        for _it in range(self.iterations):
+            # Transaction: walk fresh objects (capacity misses).
+            yield from stream_walk(b, stream_state, heap, 14, write_frac=0.35, rng=rng)
+            # Object lock-bit pulses on our own headers: perfect
+            # temporal silence that no other processor ever observes —
+            # each one costs plain MESTI a useless validate plus the
+            # re-upgrade at the next pulse.
+            for _ in range(8):
+                yield from ts_flag_pulse(
+                    b, headers.word(rng.randrange(headers.lines), 0),
+                    work_ops=4, busy_value=tid + 1,
+                )
+            yield from private_work(b, rng, priv, 20, us_prob=0.2)
+            # Occasional allocator/GC bookkeeping through the kernel.
+            if rng.random() < 0.08:
+                yield from atomic_add(b, layout.gc_counter, KERNEL_ATOMIC_PC)
+        yield from self.finish(b)

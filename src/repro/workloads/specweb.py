@@ -1,0 +1,103 @@
+"""specweb — SPEC web-serving model.
+
+Irregular producer/consumer sharing: worker threads update a shared
+session table and connection ring whose consumers vary from episode to
+episode, so validate usefulness is only *partially* predictable ("the
+sharing pattern is more complicated than the simple predictor can
+capture").  Kernel locks (shared static PCs, isync) appear in the
+request path, giving SLE its commercial-workload failure mode (the
+paper reports ≈ −3% for SLE here); false sharing in per-connection
+statistics gives LVP its ancillary target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import MachineConfig
+from repro.common.rng import SplitRng
+from repro.cpu.program import BlockBuilder
+from repro.workloads.base import BenchmarkWorkload
+from repro.workloads.fragments import (
+    false_share_update,
+    kernel_section,
+    private_work,
+    read_shared,
+    stream_walk,
+    ts_flag_pulse,
+)
+from repro.workloads.locks import KERNEL_LOCK_PC
+from repro.workloads.regions import Region, RegionAllocator
+
+
+@dataclass
+class SpecwebLayout:
+    """Address-space layout for the specweb model."""
+    sessions: Region  # shared read-write session table
+    ring: Region  # connection ring: shared status flags
+    stats: Region  # per-connection stats: false sharing
+    kernel_locks: list[int]
+    kernel_data: Region
+    files: list[Region]  # per-thread file-cache streams
+    privates: list[Region]
+
+
+class SpecwebWorkload(BenchmarkWorkload):
+    """SPEC web-serving model (see module docstring)."""
+    name = "specweb"
+    description = "SPEC web serving: irregular sharing + kernel locks"
+    default_iterations = 300
+    cracking_ratio = 0.65  # 3.0B / 4.63B
+
+    def build_layout(self, config: MachineConfig, rng: SplitRng) -> SpecwebLayout:
+        """Allocate the shared address-space layout."""
+        alloc = RegionAllocator(config.line_size)
+        n = config.n_procs
+        return SpecwebLayout(
+            sessions=alloc.alloc("sessions", 64),
+            ring=alloc.alloc("ring", 16),
+            stats=alloc.alloc("stats", 12),
+            # Few kernel locks: the request path funnels through them,
+            # so concurrent elided sections conflict on kernel data.
+            kernel_locks=[alloc.lock_line(f"klock{i}") for i in range(2)],
+            kernel_data=alloc.alloc("kernel_data", 16),
+            files=[alloc.alloc(f"files{t}", 1200) for t in range(n)],
+            privates=[alloc.alloc(f"priv{t}", 32) for t in range(n)],
+        )
+
+    def thread_main(self, tid: int, config: MachineConfig, layout: SpecwebLayout, rng: SplitRng):
+        """The generator program executed by one thread."""
+        b = BlockBuilder()
+        priv = layout.privates[tid]
+        files = layout.files[tid]
+        stream_state: dict = {}
+        for _it in range(self.iterations):
+            # Accept/route a request through a kernel critical section.
+            lock = layout.kernel_locks[rng.randrange(len(layout.kernel_locks))]
+            yield from kernel_section(
+                b, rng, lock, layout.kernel_data, KERNEL_LOCK_PC, tid,
+                unsafe_isync_prob=0.05,
+            )
+            # Session state: irregular shared read-write.
+            line = rng.randrange(layout.sessions.lines)
+            reg = b.fresh()
+            b.load(layout.sessions.word(line, rng.randrange(8)), reg)
+            b.store(
+                layout.sessions.word(line, rng.randrange(8)),
+                rng.randrange(1, 1 << 30), sregs=(reg,),
+            )
+            yield b.take()
+            # Connection status pulse: silent pair with irregular readers.
+            if rng.random() < 0.4:
+                yield from ts_flag_pulse(
+                    b, layout.ring.word(rng.randrange(layout.ring.lines), 0),
+                    work_ops=4, busy_value=tid + 1,
+                )
+            if rng.random() < 0.5:
+                yield from read_shared(b, rng, layout.ring, 3)
+            # Per-connection statistics: false sharing.
+            yield from false_share_update(b, rng, layout.stats, tid, 3)
+            # Serve the file: stream + private scratch.
+            yield from stream_walk(b, stream_state, files, 6, write_frac=0.1, rng=rng)
+            yield from private_work(b, rng, priv, 14, us_prob=0.15)
+        yield from self.finish(b)

@@ -1,0 +1,168 @@
+"""User-composable synthetic workloads.
+
+The seven benchmark models are hand-written compositions of the
+fragment library; this module exposes the same machinery as a
+*declarative* API so downstream users can build their own sharing
+mixes without writing generator code:
+
+    from repro.workloads.synthetic import SyntheticMix, SyntheticWorkload
+
+    mix = SyntheticMix(
+        iterations=200,
+        private_ops=30,
+        behaviors={
+            "migratory": 1.0,     # lock-protected migratory records
+            "false_share": 0.5,   # packed per-thread counters
+            "ts_flags": 0.5,      # plain-store silent pairs
+            "atomic": 0.25,       # larx/stcx fetch-and-add
+            "stream": 0.0,        # > L2 streaming
+            "read_shared": 1.0,   # read-mostly data
+        },
+    )
+    result = run_workload(config, SyntheticWorkload(mix), seed=1)
+
+Behavior weights are *expected executions per iteration* (values > 1
+repeat, fractional values fire probabilistically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.config import MachineConfig
+from repro.common.errors import ConfigError
+from repro.common.rng import SplitRng
+from repro.cpu.program import BlockBuilder
+from repro.workloads.base import BenchmarkWorkload, WorkloadParams
+from repro.workloads.fragments import (
+    dependent_walk,
+    false_share_update,
+    migratory_update,
+    private_work,
+    read_shared,
+    stream_walk,
+    ts_flag_pulse,
+)
+from repro.workloads.locks import KERNEL_ATOMIC_PC, USER_PC_BASE, atomic_add
+from repro.workloads.regions import RegionAllocator
+
+#: Behaviors a mix may reference.
+BEHAVIORS = (
+    "migratory",
+    "false_share",
+    "ts_flags",
+    "atomic",
+    "stream",
+    "read_shared",
+    "pointer_chase",  # dependent walk rooted in a falsely-shared line
+)
+
+
+@dataclass(frozen=True)
+class SyntheticMix:
+    """Declarative description of a synthetic workload."""
+
+    iterations: int = 200
+    private_ops: int = 20  # cache-resident compute per iteration
+    us_prob: float = 0.1  # update-silent store rate in private work
+    n_locks: int = 4  # migratory lock/record pairs
+    shared_lines: int = 64  # read-mostly region size
+    stream_lines: int = 2048  # per-thread streaming footprint
+    kernel_locks: bool = False  # migratory locks kernel-style (isync)
+    behaviors: dict = field(default_factory=lambda: {"migratory": 1.0})
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` if the configuration is inconsistent."""
+        unknown = set(self.behaviors) - set(BEHAVIORS)
+        if unknown:
+            raise ConfigError(
+                f"unknown behaviors {sorted(unknown)}; choose from {BEHAVIORS}"
+            )
+        if self.iterations < 1:
+            raise ConfigError("iterations must be >= 1")
+        if any(w < 0 for w in self.behaviors.values()):
+            raise ConfigError("behavior weights must be >= 0")
+
+
+class SyntheticWorkload(BenchmarkWorkload):
+    """A workload assembled from a :class:`SyntheticMix`."""
+
+    name = "synthetic"
+    cracking_ratio = 0.75
+
+    def __init__(self, mix: SyntheticMix, params: WorkloadParams | None = None):
+        mix.validate()
+        super().__init__(params or WorkloadParams(iterations=mix.iterations))
+        self.mix = mix
+
+    def build_layout(self, config: MachineConfig, rng: SplitRng):
+        """Allocate the shared address-space layout."""
+        alloc = RegionAllocator(config.line_size)
+        mix = self.mix
+        return {
+            "locks": [alloc.lock_line(f"lock{i}") for i in range(mix.n_locks)],
+            "records": [alloc.alloc(f"rec{i}", 2) for i in range(mix.n_locks)],
+            "shared": alloc.alloc("shared", mix.shared_lines),
+            "flags": alloc.alloc("flags", 8),
+            "stats": alloc.alloc("stats", 8),
+            "counters": [alloc.alloc(f"ctr{i}", 1).word(0, 0) for i in range(2)],
+            "streams": [
+                alloc.alloc(f"stream{t}", mix.stream_lines)
+                for t in range(config.n_procs)
+            ],
+            "privates": [
+                alloc.alloc(f"priv{t}", 32) for t in range(config.n_procs)
+            ],
+        }
+
+    def thread_main(self, tid: int, config: MachineConfig, layout, rng: SplitRng):
+        """The generator program executed by one thread."""
+        mix = self.mix
+        b = BlockBuilder()
+        stream_state: dict = {}
+
+        def times(weight: float) -> int:
+            whole = int(weight)
+            return whole + (1 if rng.random() < weight - whole else 0)
+
+        for _it in range(self.iterations):
+            for _ in range(times(mix.behaviors.get("migratory", 0))):
+                i = rng.randrange(mix.n_locks)
+                yield from migratory_update(
+                    b, rng, layout["locks"][i], layout["records"][i], tid,
+                    USER_PC_BASE + 0x10 * i, n_words=2,
+                    kernel=mix.kernel_locks,
+                )
+            for _ in range(times(mix.behaviors.get("false_share", 0))):
+                yield from false_share_update(b, rng, layout["stats"], tid, 2)
+            for _ in range(times(mix.behaviors.get("ts_flags", 0))):
+                yield from ts_flag_pulse(
+                    b, layout["flags"].word(rng.randrange(8), 0),
+                    work_ops=4, busy_value=tid + 1,
+                )
+            for _ in range(times(mix.behaviors.get("atomic", 0))):
+                yield from atomic_add(
+                    b, layout["counters"][rng.randrange(2)], KERNEL_ATOMIC_PC
+                )
+            for _ in range(times(mix.behaviors.get("stream", 0))):
+                yield from stream_walk(
+                    b, stream_state, layout["streams"][tid], 8,
+                    write_frac=0.25, rng=rng,
+                )
+            for _ in range(times(mix.behaviors.get("read_shared", 0))):
+                yield from read_shared(b, rng, layout["shared"], 4)
+            for _ in range(times(mix.behaviors.get("pointer_chase", 0))):
+                # Root on our own (read-only) word of the falsely
+                # shared stats region: a correct LVP prediction lets
+                # the dependent streaming misses launch early.
+                yield from dependent_walk(
+                    b, rng,
+                    [(layout["stats"], tid), (layout["streams"][tid], None),
+                     (layout["streams"][tid], None)],
+                )
+            if mix.private_ops:
+                yield from private_work(
+                    b, rng, layout["privates"][tid], mix.private_ops,
+                    us_prob=mix.us_prob,
+                )
+        yield from self.finish(b)

@@ -1,0 +1,96 @@
+"""The executable paper-shape claims."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis.claims import (
+    PAPER_CLAIMS,
+    Claim,
+    evaluate_claims,
+    matrix_from_speedups,
+)
+
+BENCHES = ("ocean", "radiosity", "raytrace", "specjbb", "specweb", "tpc-b", "tpc-h")
+TECHS = ("mesti", "emesti", "lvp", "sle", "emesti+lvp")
+
+
+def paperlike_matrix():
+    """A matrix shaped like the paper's Figure 7."""
+    rows = {
+        "ocean": [1.01, 1.01, 1.02, 0.98, 1.03],
+        "radiosity": [1.01, 1.02, 1.01, 1.025, 1.03],
+        "raytrace": [1.02, 1.03, 1.00, 1.09, 1.03],
+        "specjbb": [0.70, 1.00, 0.995, 1.00, 1.00],
+        "specweb": [0.99, 1.04, 1.01, 0.97, 1.05],
+        "tpc-b": [1.065, 1.14, 1.09, 1.00, 1.21],
+        "tpc-h": [1.02, 1.03, 1.02, 0.985, 1.04],
+    }
+    return {b: dict(zip(TECHS, vals)) for b, vals in rows.items()}
+
+
+def test_paper_figures_satisfy_every_claim():
+    report = evaluate_claims(paperlike_matrix())
+    assert report.all_hold, report.render()
+
+
+def test_broken_matrix_fails_claims():
+    matrix = paperlike_matrix()
+    matrix["specjbb"]["mesti"] = 1.10  # MESTI "winning" on specjbb
+    matrix["raytrace"]["sle"] = 0.90  # SLE losing its showcase
+    report = evaluate_claims(matrix)
+    assert not report.all_hold
+    failed = {c.name for c in report.failed_claims()}
+    assert "plain MESTI slows specjbb substantially" in failed
+    assert any("raytrace" in name for name in failed)
+
+
+def test_missing_benchmark_counts_as_failure():
+    matrix = paperlike_matrix()
+    del matrix["specjbb"]
+    report = evaluate_claims(matrix)
+    assert not report.all_hold
+
+
+def test_render_lists_every_claim():
+    report = evaluate_claims(paperlike_matrix())
+    text = report.render()
+    for claim in PAPER_CLAIMS:
+        assert claim.name in text
+    assert f"{report.passed}/{report.total}" in text
+
+
+def test_custom_claim():
+    claim = Claim("toy", "nowhere", lambda m: m["x"]["y"] > 1)
+    assert claim.evaluate({"x": {"y": 2}})
+    assert not claim.evaluate({"x": {"y": 0.5}})
+    assert not claim.evaluate({})  # missing keys fail closed
+
+
+def test_measured_matrix_satisfies_the_claims():
+    """The shipped full-scale results satisfy the paper's shape."""
+    path = pathlib.Path(__file__).resolve().parents[2] / "results" / "matrix_scale1.0.json"
+    if not path.exists():
+        pytest.skip("full-scale results not generated")
+    cells = json.loads(path.read_text())
+    matrix: dict = {}
+    for key, summary in cells.items():
+        bench, tech, seed = key.split("|")
+        matrix.setdefault(bench, {}).setdefault(tech, []).append(summary["cycles"])
+    means = {
+        bench: {
+            tech: sum(vals) / len(vals) for tech, vals in per.items()
+        }
+        for bench, per in matrix.items()
+    }
+    speedups = {
+        bench: {
+            tech: means[bench]["base"] / cycles
+            for tech, cycles in per.items()
+            if tech != "base"
+        }
+        for bench, per in means.items()
+    }
+    report = evaluate_claims(speedups)
+    assert report.all_hold, "\n" + report.render()

@@ -1,0 +1,90 @@
+"""Miss classification (Figure 1 taxonomy)."""
+
+import pytest
+
+from repro.analysis.classify import MissClassifier
+from repro.common.stats import StatsRegistry
+
+
+@pytest.fixture
+def cls():
+    stats = StatsRegistry()
+    return MissClassifier(stats.scoped("m"), n_procs=2), stats
+
+
+BASE = 0x1000
+
+
+def words(*pairs):
+    out = [0] * 8
+    for idx, val in pairs:
+        out[idx] = val
+    return out
+
+
+def test_first_miss_is_cold(cls):
+    c, stats = cls
+    assert c.on_miss(0, BASE, 0) == "cold"
+    assert stats["m.miss.cold"] == 1
+
+
+def test_refill_then_evict_is_capacity(cls):
+    c, stats = cls
+    c.on_miss(0, BASE, 0)
+    c.on_fill(0, BASE, words())
+    c.on_local_evict(0, BASE)
+    assert c.on_miss(0, BASE, 0) == "capacity"
+
+
+def test_remote_invalidation_makes_comm(cls):
+    c, stats = cls
+    c.on_miss(0, BASE, 0)
+    c.on_fill(0, BASE, words())
+    c.on_remote_invalidate(0, BASE, words((0, 5)))
+    assert c.on_miss(0, BASE, 0) == "comm"
+    assert stats["m.miss.comm"] == 1
+
+
+def test_comm_subclass_tss(cls):
+    c, stats = cls
+    c.on_miss(0, BASE, 0)
+    c.on_fill(0, BASE, words((0, 5)))
+    c.on_remote_invalidate(0, BASE, words((0, 5)))
+    c.on_miss(0, BASE, 0)
+    c.on_fill(0, BASE, words((0, 5)))  # identical: the store pair reverted
+    assert stats["m.miss.comm.tss"] == 1
+
+
+def test_comm_subclass_false_sharing(cls):
+    c, stats = cls
+    c.on_miss(0, BASE, 0)
+    c.on_fill(0, BASE, words())
+    c.on_remote_invalidate(0, BASE, words((0, 1), (3, 9)))
+    c.on_miss(0, BASE, 0)  # we access word 0
+    c.on_fill(0, BASE, words((0, 1), (3, 99)))  # only word 3 changed
+    assert stats["m.miss.comm.false"] == 1
+
+
+def test_comm_subclass_true_sharing(cls):
+    c, stats = cls
+    c.on_miss(0, BASE, 2)
+    c.on_fill(0, BASE, words())
+    c.on_remote_invalidate(0, BASE, words((2, 7)))
+    c.on_miss(0, BASE, 2)
+    c.on_fill(0, BASE, words((2, 8)))  # the accessed word changed
+    assert stats["m.miss.comm.true"] == 1
+
+
+def test_nodes_tracked_independently(cls):
+    c, stats = cls
+    c.on_miss(0, BASE, 0)
+    c.on_fill(0, BASE, words())
+    assert c.on_miss(1, BASE, 0) == "cold"
+
+
+def test_totals(cls):
+    c, stats = cls
+    for i in range(3):
+        c.on_miss(0, BASE + i * 64, 0)
+    assert stats["m.miss.total"] == 3
+    assert c.total_misses() == 3

@@ -1,0 +1,45 @@
+"""Text rendering for tables and bar charts."""
+
+from repro.analysis.report import ascii_bar, render_grouped_bars, render_table
+
+
+def test_render_table_alignment():
+    out = render_table(["Name", "Value"], [["a", 1], ["bb", 22.5]])
+    lines = out.splitlines()
+    assert "Name" in lines[0] and "Value" in lines[0]
+    assert "-+-" in lines[1]
+    assert len(lines) == 4
+
+
+def test_render_table_title():
+    out = render_table(["X"], [[1]], title="Hello")
+    assert out.splitlines()[0] == "Hello"
+
+
+def test_number_formatting():
+    out = render_table(["V"], [[1234567.0], [0.123456], [12.34], [0]])
+    assert "1,234,567" in out
+    assert "0.123" in out
+    assert "12.3" in out
+
+
+def test_ascii_bar_scaling():
+    assert ascii_bar(5, 10, width=10) == "#####"
+    assert ascii_bar(10, 10, width=10) == "#" * 10
+    assert ascii_bar(0, 10, width=10) == ""
+    assert ascii_bar(20, 10, width=10) == "#" * 10  # clamped
+    assert ascii_bar(1, 0) == ""  # degenerate scale
+
+
+def test_grouped_bars():
+    out = render_grouped_bars(
+        ["g1", "g2"], {"serieA": [1.0, 2.0], "serieB": [2.0, 1.0]}, unit="x"
+    )
+    assert "g1:" in out and "g2:" in out
+    assert "serieA" in out and "serieB" in out
+    assert "2.000x" in out
+
+
+def test_grouped_bars_with_baseline():
+    out = render_grouped_bars(["g"], {"s": [1.5]}, baseline=1.0)
+    assert "(baseline)" in out

@@ -1,0 +1,70 @@
+"""Confidence-interval machinery (Alameldeen-Wood methodology)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.variability import ConfidenceInterval, mean_ci, speedup_ci
+
+
+def test_single_sample_zero_width():
+    ci = mean_ci([5.0])
+    assert ci.mean == 5.0 and ci.half_width == 0.0
+
+
+def test_identical_samples_zero_width():
+    ci = mean_ci([3.0, 3.0, 3.0])
+    assert ci.mean == 3.0
+    assert ci.half_width == pytest.approx(0.0)
+
+
+def test_known_interval():
+    # mean 10, sd 1, n=4 -> sem 0.5, t(0.975, df=3) = 3.182
+    ci = mean_ci([9.0, 10.0, 10.0, 11.0])
+    assert ci.mean == pytest.approx(10.0)
+    assert ci.half_width == pytest.approx(3.182 * (0.816 / 2), rel=0.01)
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        mean_ci([])
+
+
+def test_overlap():
+    a = ConfidenceInterval(mean=1.0, half_width=0.1, n=3)
+    b = ConfidenceInterval(mean=1.15, half_width=0.1, n=3)
+    c = ConfidenceInterval(mean=1.5, half_width=0.1, n=3)
+    assert a.overlaps(b) and b.overlaps(a)
+    assert not a.overlaps(c)
+
+
+def test_speedup_paired():
+    base = [100.0, 110.0, 105.0]
+    variant = [90.0, 100.0, 96.0]
+    ci = speedup_ci(base, variant)
+    assert 1.05 < ci.mean < 1.15
+    assert ci.n == 3
+
+
+def test_speedup_unpaired_fallback():
+    ci = speedup_ci([100.0, 102.0], [50.0, 51.0, 49.0])
+    assert ci.mean == pytest.approx(101.0 / 50.0, rel=0.02)
+
+
+def test_str_render():
+    assert "±" in str(ConfidenceInterval(mean=1.0, half_width=0.01, n=3))
+
+
+@given(st.lists(st.floats(min_value=1.0, max_value=1e6), min_size=2, max_size=30))
+def test_mean_within_interval(samples):
+    ci = mean_ci(samples)
+    assert ci.low <= ci.mean <= ci.high
+    assert ci.half_width >= 0
+
+
+@given(
+    st.lists(st.floats(min_value=10.0, max_value=1e5), min_size=2, max_size=10),
+)
+def test_paired_speedup_of_identical_runs_is_one(samples):
+    ci = speedup_ci(samples, list(samples))
+    assert ci.mean == pytest.approx(1.0)

@@ -1,0 +1,162 @@
+"""MESI/MOESI behavior through the full memory system (2–4 nodes)."""
+
+import pytest
+
+from repro.coherence.states import LineState
+from tests.harness import MemHarness
+
+
+ADDR = 0x10000
+
+
+@pytest.fixture
+def h2(tiny_config):
+    return MemHarness(tiny_config)
+
+
+@pytest.fixture
+def h2_mesi(tiny_config):
+    from repro.common.config import ProtocolKind
+
+    return MemHarness(tiny_config.with_protocol(kind=ProtocolKind.MESI))
+
+
+class TestMoesiBasics:
+    def test_first_read_installs_exclusive(self, h2):
+        kind, value, _ = h2.load(0, ADDR)
+        assert kind == "miss"
+        assert value == 0
+        assert h2.line_state(0, ADDR) is LineState.E
+
+    def test_second_reader_gets_shared_and_demotes_e(self, h2):
+        h2.load(0, ADDR)
+        h2.load(1, ADDR)
+        assert h2.line_state(0, ADDR) is LineState.S
+        assert h2.line_state(1, ADDR) is LineState.S
+
+    def test_store_makes_modified(self, h2):
+        h2.store(0, ADDR, 42)
+        assert h2.line_state(0, ADDR) is LineState.M
+        kind, value, _ = h2.load(0, ADDR)
+        assert kind == "hit" and value == 42
+
+    def test_store_to_exclusive_upgrades_silently(self, h2):
+        h2.load(0, ADDR)  # E
+        before = h2.stats["bus.txn.total"]
+        h2.store(0, ADDR, 7)
+        assert h2.stats["bus.txn.total"] == before  # E->M without bus
+        assert h2.line_state(0, ADDR) is LineState.M
+
+    def test_store_to_shared_issues_upgrade(self, h2):
+        h2.load(0, ADDR)
+        h2.load(1, ADDR)
+        before = h2.stats["bus.txn.upgrade"]
+        h2.store(0, ADDR, 7)
+        assert h2.stats["bus.txn.upgrade"] == before + 1
+        assert h2.line_state(1, ADDR) is LineState.I
+
+    def test_dirty_read_flushes_and_owner_keeps_o(self, h2):
+        h2.store(0, ADDR, 42)
+        kind, value, _ = h2.load(1, ADDR)
+        assert kind == "miss" and value == 42
+        assert h2.line_state(0, ADDR) is LineState.O
+        assert h2.line_state(1, ADDR) is LineState.S
+        assert h2.stats["bus.txn.cache_to_cache"] == 1
+
+    def test_communication_value_propagates(self, h2):
+        h2.store(0, ADDR, 1)
+        h2.store(1, ADDR, 2)
+        kind, value, _ = h2.load(0, ADDR)
+        assert value == 2
+
+    def test_mesi_dirty_read_writes_back_to_memory(self, h2_mesi):
+        h2_mesi.store(0, ADDR, 42)
+        h2_mesi.load(1, ADDR)
+        assert h2_mesi.line_state(0, ADDR) is LineState.S
+        assert h2_mesi.memory.read_line(ADDR)[0] == 42
+
+    def test_word_granularity(self, h2):
+        h2.store(0, ADDR, 1)
+        h2.store(0, ADDR + 8, 2)
+        assert h2.load(1, ADDR + 8)[1] == 2
+        assert h2.load(1, ADDR)[1] == 1
+
+    def test_update_silent_store_counted(self, h2):
+        h2.store(0, ADDR, 5)
+        h2.store(0, ADDR, 5)
+        assert h2.stats["node0.stores.update_silent"] == 1
+
+    def test_silent_store_squashing_avoids_upgrade(self, tiny_config):
+        h = MemHarness(tiny_config.with_protocol(squash_silent_stores=True))
+        h.store(0, ADDR, 5)
+        h.load(1, ADDR)  # both shared now
+        before = h.stats["bus.txn.upgrade"]
+        h.store(0, ADDR, 5)  # silent: no ownership needed
+        assert h.stats["bus.txn.upgrade"] == before
+        assert h.line_state(1, ADDR) is LineState.S
+        assert h.stats["node0.stores.silent_squashed"] == 1
+
+
+class TestEvictionsAndWritebacks:
+    def test_dirty_eviction_reaches_memory(self, tiny_config):
+        h = MemHarness(tiny_config)
+        h.store(0, ADDR, 99)
+        # Walk enough lines in the same set to force eviction.
+        l2 = h.controllers[0].l2
+        set_stride = l2.config.num_sets * 64
+        for i in range(1, l2.config.ways + 1):
+            h.load(0, ADDR + i * set_stride)
+        assert h.line_state(0, ADDR) is None
+        assert h.memory.read_line(ADDR)[0] == 99
+        assert h.stats["bus.txn.writeback"] >= 1
+
+    def test_inclusion_l1_dropped_on_l2_eviction(self, tiny_config):
+        h = MemHarness(tiny_config)
+        h.store(0, ADDR, 1)
+        assert h.nodes[0].l1.lookup(ADDR) is not None
+        l2 = h.controllers[0].l2
+        set_stride = l2.config.num_sets * 64
+        for i in range(1, l2.config.ways + 1):
+            h.load(0, ADDR + i * set_stride)
+        assert h.nodes[0].l1.lookup(ADDR) is None
+
+
+class TestReservations:
+    def test_stcx_succeeds_after_larx(self, h2):
+        kind, value, _ = h2.load(0, ADDR, reserve=True)
+        assert value == 0
+        assert h2.stcx(0, ADDR, 1)
+        assert h2.load(0, ADDR)[1] == 1
+
+    def test_stcx_without_reservation_fails(self, h2):
+        assert not h2.stcx(0, ADDR, 1)
+
+    def test_remote_store_breaks_reservation(self, h2):
+        h2.load(0, ADDR, reserve=True)
+        h2.store(1, ADDR, 7)
+        assert not h2.stcx(0, ADDR, 1)
+        assert h2.load(1, ADDR)[1] == 7  # failed stcx wrote nothing
+
+    def test_remote_load_keeps_reservation(self, h2):
+        h2.load(0, ADDR, reserve=True)
+        h2.load(1, ADDR)
+        assert h2.stcx(0, ADDR, 1)
+
+    def test_contended_stcx_exactly_one_winner(self, tiny4_config):
+        h = MemHarness(tiny4_config)
+        ops = []
+        for p in range(4):
+            op = h.new_op()
+            h.nodes[p].load(ADDR, op, reserve=True, allow_spec=False)
+            ops.append(op)
+        h.drain()
+        results = [[] for _ in range(4)]
+        for p in range(4):
+            latency = h.nodes[p].stcx(ADDR, p + 1, 0, results[p].append)
+            assert latency is None or results[p]
+        h.drain()
+        wins = [r[0] for r in results if r]
+        assert sum(wins) == 1  # exactly one success
+        winner = wins.index(True) if True in wins else None
+        final = h.load(0, ADDR)[1]
+        assert final in (1, 2, 3, 4)

@@ -1,0 +1,57 @@
+"""Error hierarchy and defensive protocol checks."""
+
+import pytest
+
+from repro.common.errors import (
+    ConfigError,
+    DeadlockError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+from repro.coherence.messages import BusTransaction, TxnKind
+
+
+def test_hierarchy():
+    assert issubclass(ConfigError, ReproError)
+    assert issubclass(SimulationError, ReproError)
+    assert issubclass(ProtocolError, SimulationError)
+    assert issubclass(DeadlockError, SimulationError)
+
+
+def test_supply_data_without_dirty_copy_rejected(tiny_config):
+    from tests.harness import MemHarness
+
+    h = MemHarness(tiny_config)
+    h.load(0, 0x1000)  # E, clean
+    txn = BusTransaction(TxnKind.READ, 0x1000, requester=1)
+    h.controllers[0].l2.lookup(0x1000).dirty_mask = 0
+    # E is not dirty: the controller must refuse to supply.
+    from repro.coherence.states import LineState
+
+    assert h.controllers[0].lookup(0x1000).state is LineState.E
+    with pytest.raises(ProtocolError):
+        h.controllers[0].supply_data(txn)
+
+
+def test_supply_data_for_absent_line_rejected(tiny_config):
+    from tests.harness import MemHarness
+
+    h = MemHarness(tiny_config)
+    txn = BusTransaction(TxnKind.READ, 0x2000, requester=1)
+    with pytest.raises(ProtocolError):
+        h.controllers[0].supply_data(txn)
+
+
+def test_txn_repr_readable():
+    txn = BusTransaction(TxnKind.READX, 0x1040, requester=2)
+    text = repr(txn)
+    assert "ReadX" in text and "P2" in text
+
+
+def test_grant_write_without_ownership_rejected(tiny_config):
+    from tests.harness import MemHarness
+
+    h = MemHarness(tiny_config)
+    with pytest.raises(SimulationError):
+        h.nodes[0]._grant_write(0x3000, 0, 1)

@@ -1,0 +1,120 @@
+"""Exhaustive protocol-FSM conformance tables.
+
+For each protocol, every (state, observed transaction, data source)
+combination is checked against the expected next state — the
+machine-checkable form of the paper's Figures 2 and 3.
+"""
+
+import pytest
+
+from repro.common.config import ProtocolConfig, ProtocolKind, ValidatePolicy
+from repro.coherence.messages import SnoopResult, TxnKind
+from repro.coherence.protocol import make_protocol
+from repro.coherence.states import LineState
+from repro.memory.cache import CacheLine
+
+I, S, E, M, O, T, VS = (
+    LineState.I, LineState.S, LineState.E, LineState.M,
+    LineState.O, LineState.T, LineState.VS,
+)
+
+#: (protocol kind, enhanced) -> {(state, txn, dirty_flush?) -> next state}
+#: Only legal-to-observe combinations appear; illegal ones raise and are
+#: tested separately in test_protocol_unit.
+MESI_TABLE = {
+    (M, TxnKind.READ, True): S,
+    (E, TxnKind.READ, False): S,
+    (S, TxnKind.READ, False): S,
+    (I, TxnKind.READ, False): I,
+    (M, TxnKind.READX, True): I,
+    (E, TxnKind.READX, False): I,
+    (S, TxnKind.READX, False): I,
+    (I, TxnKind.READX, False): I,
+    (S, TxnKind.UPGRADE, False): I,
+    (I, TxnKind.UPGRADE, False): I,
+    (S, TxnKind.WRITEBACK, False): S,
+    (I, TxnKind.WRITEBACK, False): I,
+}
+
+MOESI_TABLE = dict(MESI_TABLE)
+MOESI_TABLE.update({
+    (M, TxnKind.READ, True): O,
+    (O, TxnKind.READ, True): O,
+    (O, TxnKind.READX, True): I,
+    (O, TxnKind.UPGRADE, False): I,
+})
+
+MOESTI_TABLE = dict(MOESI_TABLE)
+MOESTI_TABLE.update({
+    # Valid copies save the last visible value on invalidation (Fig 2).
+    (M, TxnKind.READX, True): T,
+    (O, TxnKind.READX, True): T,
+    (E, TxnKind.READX, False): T,
+    (S, TxnKind.READX, False): T,
+    (S, TxnKind.UPGRADE, False): T,
+    (O, TxnKind.UPGRADE, False): T,
+    # The saved copy's fate tracks visibility events.
+    (T, TxnKind.READ, False): T,  # memory-sourced: still the visible value
+    (T, TxnKind.READ, True): I,  # dirty flush published a new value
+    (T, TxnKind.READX, False): T,
+    (T, TxnKind.READX, True): I,
+    (T, TxnKind.UPGRADE, False): T,  # upgrader held the same visible copy
+    (T, TxnKind.WRITEBACK, False): I,  # conservative drop
+    (T, TxnKind.VALIDATE, False): S,  # re-install (Fig 2)
+    (I, TxnKind.VALIDATE, False): I,
+    (S, TxnKind.VALIDATE, False): S,  # benign race
+})
+
+EMESTI_TABLE = dict(MOESTI_TABLE)
+EMESTI_TABLE.update({
+    (T, TxnKind.VALIDATE, False): VS,  # Fig 3: re-install as VS
+    (VS, TxnKind.READ, False): VS,
+    (VS, TxnKind.READX, False): T,  # MESTI behavior, shared withheld
+    (VS, TxnKind.UPGRADE, False): T,
+    (VS, TxnKind.VALIDATE, False): VS,
+    (VS, TxnKind.WRITEBACK, False): VS,
+})
+
+CASES = []
+for kind, enhanced, table in (
+    (ProtocolKind.MESI, False, MESI_TABLE),
+    (ProtocolKind.MOESI, False, MOESI_TABLE),
+    (ProtocolKind.MOESTI, False, MOESTI_TABLE),
+    (ProtocolKind.MOESTI, True, EMESTI_TABLE),
+):
+    for (state, txn, dirty), expected in table.items():
+        label = f"{kind.value}{'-E' if enhanced else ''}:{state.value}-{txn.value}-{'flush' if dirty else 'mem'}"
+        CASES.append(pytest.param(kind, enhanced, state, txn, dirty, expected, id=label))
+
+
+@pytest.mark.parametrize("kind,enhanced,state,txn,dirty,expected", CASES)
+def test_snoop_transition(kind, enhanced, state, txn, dirty, expected):
+    cfg = ProtocolConfig(
+        kind=kind, enhanced=enhanced,
+        validate_policy=ValidatePolicy.PREDICTOR if enhanced else ValidatePolicy.ALWAYS,
+    )
+    protocol = make_protocol(cfg)
+    line = CacheLine(8)
+    line.base = 0x40
+    line.state = state
+    result = SnoopResult(dirty_owner=(0 if dirty else None))
+    protocol.snoop_apply(line, txn, result)
+    assert line.state is expected
+
+
+#: Requester fill states: (txn, shared) -> state.
+FILL_CASES = [
+    (TxnKind.READ, False, E),
+    (TxnKind.READ, True, S),
+    (TxnKind.READX, False, M),
+    (TxnKind.READX, True, M),
+    (TxnKind.UPGRADE, False, M),
+    (TxnKind.UPGRADE, True, M),
+]
+
+
+@pytest.mark.parametrize("kind", [ProtocolKind.MESI, ProtocolKind.MOESI, ProtocolKind.MOESTI])
+@pytest.mark.parametrize("txn,shared,expected", FILL_CASES)
+def test_fill_states(kind, txn, shared, expected):
+    protocol = make_protocol(ProtocolConfig(kind=kind))
+    assert protocol.fill_state(txn, SnoopResult(shared=shared)) is expected

@@ -1,0 +1,153 @@
+"""MESTI/MOESTI temporal-silence behavior (paper §2, Figure 2)."""
+
+import pytest
+
+from repro.coherence.states import LineState
+from tests.harness import MemHarness
+
+ADDR = 0x10000
+
+
+@pytest.fixture
+def h(mesti_config):
+    return MemHarness(mesti_config)
+
+
+class TestTState:
+    def test_invalidation_enters_t_and_saves_value(self, h):
+        h.store(0, ADDR, 5)
+        h.load(1, ADDR)  # P1 shares the value 5
+        h.store(0, ADDR, 6)  # upgrade invalidates P1
+        line = h.controllers[1].lookup(ADDR)
+        assert line.state is LineState.T
+        assert line.data[0] == 5  # the last globally visible value
+
+    def test_t_lines_do_not_hit(self, h):
+        h.store(0, ADDR, 5)
+        h.load(1, ADDR)
+        h.store(0, ADDR, 6)
+        kind, value, _ = h.load(1, ADDR, spec=False)
+        assert kind == "miss"
+        assert value == 6
+
+    def test_temporally_silent_pair_validates_and_reinstalls(self, h):
+        h.store(0, ADDR, 0)  # establish visible value 0
+        h.load(1, ADDR)  # P1 caches it
+        h.store(0, ADDR, 1)  # intermediate value store -> P1 in T
+        assert h.line_state(1, ADDR) is LineState.T
+        before = h.stats["bus.txn.validate"]
+        h.store(0, ADDR, 0)  # reverting store: temporal silence
+        h.drain()
+        assert h.stats["bus.txn.validate"] == before + 1
+        assert h.line_state(1, ADDR) is LineState.S
+        kind, value, _ = h.load(1, ADDR)
+        assert kind == "hit"  # the communication miss was eliminated
+        assert value == 0
+
+    def test_validating_owner_retires_to_owned(self, h):
+        h.store(0, ADDR, 0)
+        h.load(1, ADDR)
+        h.store(0, ADDR, 1)
+        h.store(0, ADDR, 0)
+        h.drain()
+        assert h.line_state(0, ADDR) is LineState.O  # MOESTI keeps dirty shared
+
+    def test_ts_store_counted(self, h):
+        h.store(0, ADDR, 0)
+        h.load(1, ADDR)
+        h.store(0, ADDR, 1)
+        h.store(0, ADDR, 0)
+        assert h.stats["ctrl0.ts_stores"] == 1
+
+    def test_non_reverting_store_does_not_validate(self, h):
+        h.store(0, ADDR, 0)
+        h.load(1, ADDR)
+        h.store(0, ADDR, 1)
+        h.store(0, ADDR, 2)
+        h.drain()
+        assert h.stats["bus.txn.validate"] == 0
+        assert h.line_state(1, ADDR) is LineState.T
+
+    def test_partial_line_reversion_is_not_silence(self, h):
+        h.store(0, ADDR, 0)
+        h.store(0, ADDR + 8, 0)
+        h.load(1, ADDR)
+        h.store(0, ADDR, 1)
+        h.store(0, ADDR + 8, 1)
+        h.store(0, ADDR, 0)  # word 0 reverts, word 1 does not
+        h.drain()
+        assert h.stats["bus.txn.validate"] == 0
+
+
+class TestTStateVersioning:
+    def test_dirty_flush_drops_third_party_t_copy(self, tiny4_config, mesti_config):
+        import dataclasses
+
+        cfg = dataclasses.replace(mesti_config, n_procs=3)
+        h = MemHarness(cfg)
+        h.store(0, ADDR, 0)
+        h.load(1, ADDR)
+        h.store(0, ADDR, 1)  # P1 -> T(0)
+        assert h.line_state(1, ADDR) is LineState.T
+        h.load(2, ADDR)  # P0 flushes 1: a NEW value became visible
+        assert h.line_state(1, ADDR) is LineState.I
+
+    def test_writeback_drops_t_copies(self, mesti_config):
+        h = MemHarness(mesti_config)
+        h.store(0, ADDR, 0)
+        h.load(1, ADDR)
+        h.store(0, ADDR, 1)
+        assert h.line_state(1, ADDR) is LineState.T
+        # Force P0 to evict the dirty line.
+        l2 = h.controllers[0].l2
+        stride = l2.config.num_sets * 64
+        for i in range(1, l2.config.ways + 1):
+            h.load(0, ADDR + i * stride)
+        assert h.line_state(1, ADDR) is LineState.I
+
+    def test_upgrade_preserves_other_t_copies(self, tiny4_config, mesti_config):
+        import dataclasses
+
+        cfg = dataclasses.replace(mesti_config, n_procs=3)
+        h = MemHarness(cfg)
+        h.store(0, ADDR, 0)
+        h.load(1, ADDR)
+        h.load(2, ADDR)
+        h.store(0, ADDR, 1)  # both P1, P2 -> T(0) via upgrade
+        assert h.line_state(1, ADDR) is LineState.T
+        assert h.line_state(2, ADDR) is LineState.T
+        h.store(0, ADDR, 0)  # revert: validate re-installs BOTH
+        h.drain()
+        assert h.line_state(1, ADDR) is LineState.S
+        assert h.line_state(2, ADDR) is LineState.S
+
+    def test_validate_eliminates_multiple_remote_misses(self, mesti_config):
+        import dataclasses
+
+        h = MemHarness(dataclasses.replace(mesti_config, n_procs=4))
+        h.store(0, ADDR, 0)
+        for p in (1, 2, 3):
+            h.load(p, ADDR)
+        h.store(0, ADDR, 1)
+        h.store(0, ADDR, 0)
+        h.drain()
+        reads_before = h.stats["bus.txn.read"]
+        for p in (1, 2, 3):
+            kind, value, _ = h.load(p, ADDR)
+            assert kind == "hit" and value == 0
+        assert h.stats["bus.txn.read"] == reads_before
+
+    def test_lock_handoff_scenario(self, h):
+        """The motivating idiom: acquire/release with no observer between."""
+        lock = ADDR
+        # P1 spins once while free, caching 0.
+        assert h.load(1, lock)[1] == 0
+        # P0 acquires and releases (P1 not looking).
+        h.load(0, lock, reserve=True)
+        assert h.stcx(0, lock, 1)
+        assert h.line_state(1, lock) is LineState.T
+        h.store(0, lock, 0)  # release: temporally silent
+        h.drain()
+        # P1's next acquire attempt hits locally: no communication miss.
+        kind, value, _ = h.load(1, lock, reserve=True)
+        assert kind == "hit" and value == 0

@@ -1,0 +1,52 @@
+"""Predictor storage lives in the L2 tags: it travels with the line."""
+
+import pytest
+
+from repro.coherence.states import LineState
+from tests.harness import MemHarness
+
+ADDR = 0x10000
+
+
+@pytest.fixture
+def h(emesti_config):
+    return MemHarness(emesti_config)
+
+
+def force_evict(h, proc, addr):
+    l2 = h.controllers[proc].l2
+    stride = l2.config.num_sets * 64
+    for i in range(1, l2.config.ways + 1):
+        h.load(proc, addr + i * stride)
+
+
+def test_confidence_lost_on_eviction(h):
+    h.store(0, ADDR, 0)
+    line = h.controllers[0].lookup(ADDR)
+    line.pred_conf = 7  # fully trained
+    force_evict(h, 0, ADDR)
+    h.store(0, ADDR, 1)  # refetch
+    line = h.controllers[0].lookup(ADDR)
+    # Cold again: re-initialized to the configured initial confidence.
+    assert line.pred_conf == h.config.protocol.predictor.initial_confidence
+
+
+def test_confidence_cold_on_migration(h):
+    """Ownership migration restarts prediction at the new owner —
+    the effect behind our scaled predictor tuning (see scaled_config)."""
+    h.store(0, ADDR, 0)
+    h.controllers[0].lookup(ADDR).pred_conf = 7
+    h.store(1, ADDR, 5)  # P1 takes ownership
+    line1 = h.controllers[1].lookup(ADDR)
+    assert line1.pred_conf == h.config.protocol.predictor.initial_confidence
+
+
+def test_confidence_survives_t_state(h):
+    """Losing the line to T (not eviction) keeps the predictor bits."""
+    h.store(0, ADDR, 0)
+    h.load(1, ADDR)
+    line1 = h.controllers[1].lookup(ADDR)
+    line1.pred_conf = 6
+    h.store(0, ADDR, 1)  # P1 -> T
+    assert h.line_state(1, ADDR) is LineState.T
+    assert h.controllers[1].lookup(ADDR).pred_conf == 6

@@ -1,0 +1,134 @@
+"""Useful-validate predictor state machine in isolation (Figure 4B)."""
+
+import pytest
+
+from repro.common.config import PredictorConfig
+from repro.common.errors import ConfigError
+from repro.common.stats import StatsRegistry
+from repro.coherence.predictor import UsefulValidatePredictor
+from repro.memory.cache import (
+    PRED_START,
+    PRED_TS_DETECTED,
+    PRED_UPGRADE_WAIT,
+    CacheLine,
+)
+
+
+@pytest.fixture
+def pred():
+    stats = StatsRegistry()
+    return UsefulValidatePredictor(PredictorConfig(), stats.scoped("p")), stats
+
+
+def line_with(pred, conf=None):
+    line = CacheLine(8)
+    line.base = 0
+    pred.init_line(line)
+    if conf is not None:
+        line.pred_conf = conf
+    return line
+
+
+def test_init_line_sets_initial_confidence(pred):
+    p, _ = pred
+    line = line_with(p)
+    assert line.pred_conf == 3
+    assert line.pred_state == PRED_START
+
+
+def test_ts_detect_reads_confidence_and_moves_to_detected(pred):
+    p, _ = pred
+    low = line_with(p, conf=3)
+    assert p.on_ts_detect(low) is False
+    assert low.pred_state == PRED_TS_DETECTED
+    high = line_with(p, conf=4)
+    assert p.on_ts_detect(high) is True
+    assert high.pred_state == PRED_TS_DETECTED
+
+
+def test_external_request_increments_and_resets(pred):
+    p, _ = pred
+    line = line_with(p, conf=3)
+    p.on_ts_detect(line)
+    p.on_external_request(line)
+    assert line.pred_conf == 4
+    assert line.pred_state == PRED_START
+
+
+def test_external_request_ignored_outside_detected(pred):
+    p, _ = pred
+    line = line_with(p, conf=3)
+    p.on_external_request(line)
+    assert line.pred_conf == 3
+
+
+def test_upgrade_path_useful_increments(pred):
+    p, _ = pred
+    line = line_with(p, conf=4)
+    p.on_ts_detect(line)
+    p.on_intermediate_store_upgrade(line)
+    assert line.pred_state == PRED_UPGRADE_WAIT
+    p.on_upgrade_response(line, useful=True)
+    assert line.pred_conf == 5
+    assert line.pred_state == PRED_START
+
+
+def test_upgrade_path_useless_decrements(pred):
+    p, _ = pred
+    line = line_with(p, conf=4)
+    p.on_ts_detect(line)
+    p.on_intermediate_store_upgrade(line)
+    p.on_upgrade_response(line, useful=False)
+    assert line.pred_conf == 3
+
+
+def test_upgrade_response_ignored_when_not_waiting(pred):
+    p, _ = pred
+    line = line_with(p, conf=4)
+    p.on_upgrade_response(line, useful=True)
+    assert line.pred_conf == 4
+
+
+def test_exclusive_intermediate_store_returns_to_start(pred):
+    p, _ = pred
+    line = line_with(p, conf=2)
+    p.on_ts_detect(line)  # suppressed
+    p.on_intermediate_store_exclusive(line)
+    assert line.pred_state == PRED_START
+    assert line.pred_conf == 2  # no snoop response available: unchanged
+
+
+def test_confidence_saturates_at_seven(pred):
+    p, _ = pred
+    line = line_with(p, conf=7)
+    p.on_ts_detect(line)
+    p.on_external_request(line)
+    assert line.pred_conf == 7
+
+
+def test_confidence_floors_at_zero(pred):
+    p, _ = pred
+    line = line_with(p, conf=0)
+    p.on_ts_detect(line)
+    p.on_intermediate_store_upgrade(line)
+    p.on_upgrade_response(line, useful=False)
+    assert line.pred_conf == 0
+
+
+def test_invalid_tuning_rejected():
+    stats = StatsRegistry()
+    with pytest.raises(ConfigError):
+        UsefulValidatePredictor(
+            PredictorConfig(initial_confidence=9, saturation=7), stats.scoped("p")
+        )
+
+
+def test_stats_recorded(pred):
+    p, stats = pred
+    line = line_with(p, conf=4)
+    p.on_ts_detect(line)
+    assert stats["p.ts_detects"] == 1
+    assert stats["p.validates_sent"] == 1
+    low = line_with(p, conf=0)
+    p.on_ts_detect(low)
+    assert stats["p.validates_suppressed"] == 1

@@ -1,0 +1,195 @@
+"""Direct protocol-FSM transition tests (Figures 2 and 3)."""
+
+import pytest
+
+from repro.common.config import ProtocolConfig, ProtocolKind, ValidatePolicy
+from repro.common.errors import ProtocolError
+from repro.coherence.messages import SnoopResult, TxnKind
+from repro.coherence.protocol import make_protocol
+from repro.coherence.states import LineState
+from repro.memory.cache import CacheLine
+
+
+def proto(kind, enhanced=False):
+    cfg = ProtocolConfig(
+        kind=kind, enhanced=enhanced,
+        validate_policy=ValidatePolicy.PREDICTOR if enhanced else ValidatePolicy.ALWAYS,
+    )
+    return make_protocol(cfg)
+
+
+def line_in(state, data=0):
+    line = CacheLine(8)
+    line.base = 0x100
+    line.state = state
+    line.data = [data] * 8
+    return line
+
+
+class TestFillStates:
+    def test_read_fill(self):
+        p = proto(ProtocolKind.MESI)
+        assert p.fill_state(TxnKind.READ, SnoopResult(shared=False)) is LineState.E
+        assert p.fill_state(TxnKind.READ, SnoopResult(shared=True)) is LineState.S
+
+    def test_write_fills(self):
+        p = proto(ProtocolKind.MOESI)
+        assert p.fill_state(TxnKind.READX, SnoopResult()) is LineState.M
+        assert p.fill_state(TxnKind.UPGRADE, SnoopResult()) is LineState.M
+
+    def test_no_fill_for_validate(self):
+        with pytest.raises(ProtocolError):
+            proto(ProtocolKind.MOESTI).fill_state(TxnKind.VALIDATE, SnoopResult())
+
+
+class TestReadSnoop:
+    def test_mesi_m_flushes_to_s(self):
+        p = proto(ProtocolKind.MESI)
+        line = line_in(LineState.M, 7)
+        p.snoop_apply(line, TxnKind.READ, SnoopResult(dirty_owner=0))
+        assert line.state is LineState.S
+        assert line.visible == [7] * 8
+
+    def test_moesi_m_flushes_to_o(self):
+        p = proto(ProtocolKind.MOESI)
+        line = line_in(LineState.M)
+        p.snoop_apply(line, TxnKind.READ, SnoopResult(dirty_owner=0))
+        assert line.state is LineState.O
+
+    def test_e_demotes_to_s(self):
+        p = proto(ProtocolKind.MESI)
+        line = line_in(LineState.E)
+        p.snoop_apply(line, TxnKind.READ, SnoopResult())
+        assert line.state is LineState.S
+
+    def test_t_survives_memory_sourced_read(self):
+        p = proto(ProtocolKind.MOESTI)
+        line = line_in(LineState.T)
+        p.snoop_apply(line, TxnKind.READ, SnoopResult(dirty_owner=None))
+        assert line.state is LineState.T
+
+    def test_t_dropped_by_dirty_flush(self):
+        p = proto(ProtocolKind.MOESTI)
+        line = line_in(LineState.T)
+        p.snoop_apply(line, TxnKind.READ, SnoopResult(dirty_owner=2))
+        assert line.state is LineState.I
+
+
+class TestInvalidateSnoop:
+    @pytest.mark.parametrize("state", [LineState.S, LineState.E, LineState.M, LineState.O])
+    def test_temporal_protocol_saves_in_t(self, state):
+        p = proto(ProtocolKind.MOESTI)
+        line = line_in(state, 9)
+        p.snoop_apply(line, TxnKind.READX, SnoopResult())
+        assert line.state is LineState.T
+        assert line.data == [9] * 8  # the saved value
+
+    def test_plain_protocol_drops_to_i(self):
+        p = proto(ProtocolKind.MOESI)
+        line = line_in(LineState.S)
+        p.snoop_apply(line, TxnKind.UPGRADE, SnoopResult())
+        assert line.state is LineState.I
+
+    def test_t_survives_upgrade(self):
+        p = proto(ProtocolKind.MOESTI)
+        line = line_in(LineState.T)
+        p.snoop_apply(line, TxnKind.UPGRADE, SnoopResult())
+        assert line.state is LineState.T
+
+    def test_t_dropped_by_readx_with_flush(self):
+        p = proto(ProtocolKind.MOESTI)
+        line = line_in(LineState.T)
+        p.snoop_apply(line, TxnKind.READX, SnoopResult(dirty_owner=1))
+        assert line.state is LineState.I
+
+    def test_remote_m_on_upgrade_is_protocol_error(self):
+        p = proto(ProtocolKind.MESI)
+        with pytest.raises(ProtocolError):
+            p.snoop_query(line_in(LineState.M), TxnKind.UPGRADE)
+
+
+class TestValidateSnoop:
+    def test_t_revalidates_to_s(self):
+        p = proto(ProtocolKind.MOESTI)
+        line = line_in(LineState.T)
+        p.snoop_apply(line, TxnKind.VALIDATE, SnoopResult())
+        assert line.state is LineState.S
+
+    def test_enhanced_revalidates_to_vs(self):
+        p = proto(ProtocolKind.MOESTI, enhanced=True)
+        line = line_in(LineState.T)
+        p.snoop_apply(line, TxnKind.VALIDATE, SnoopResult())
+        assert line.state is LineState.VS
+
+    def test_i_stays_i(self):
+        p = proto(ProtocolKind.MOESTI)
+        line = line_in(LineState.I)
+        p.snoop_apply(line, TxnKind.VALIDATE, SnoopResult())
+        assert line.state is LineState.I
+
+    def test_m_receiving_validate_is_error(self):
+        p = proto(ProtocolKind.MOESTI)
+        with pytest.raises(ProtocolError):
+            p.snoop_apply(line_in(LineState.M), TxnKind.VALIDATE, SnoopResult())
+
+    def test_s_receiving_validate_is_benign(self):
+        p = proto(ProtocolKind.MOESTI)
+        line = line_in(LineState.S)
+        p.snoop_apply(line, TxnKind.VALIDATE, SnoopResult())
+        assert line.state is LineState.S
+
+
+class TestUsefulSnoopResponse:
+    def test_vs_withholds_shared_on_invalidation(self):
+        p = proto(ProtocolKind.MOESTI, enhanced=True)
+        q = p.snoop_query(line_in(LineState.VS), TxnKind.UPGRADE)
+        assert not q.assert_shared
+
+    def test_vs_asserts_shared_on_read(self):
+        p = proto(ProtocolKind.MOESTI, enhanced=True)
+        q = p.snoop_query(line_in(LineState.VS), TxnKind.READ)
+        assert q.assert_shared
+
+    def test_s_asserts_shared_on_invalidation(self):
+        p = proto(ProtocolKind.MOESTI, enhanced=True)
+        q = p.snoop_query(line_in(LineState.S), TxnKind.UPGRADE)
+        assert q.assert_shared
+
+    def test_vs_demotes_on_local_access(self):
+        p = proto(ProtocolKind.MOESTI, enhanced=True)
+        line = line_in(LineState.VS)
+        p.on_local_access(line)
+        assert line.state is LineState.S
+
+    def test_vs_enters_t_on_invalidation(self):
+        p = proto(ProtocolKind.MOESTI, enhanced=True)
+        line = line_in(LineState.VS, 5)
+        p.snoop_apply(line, TxnKind.READX, SnoopResult())
+        assert line.state is LineState.T
+        assert line.data == [5] * 8
+
+
+class TestWritebackSnoop:
+    def test_t_dropped_by_remote_writeback(self):
+        p = proto(ProtocolKind.MOESTI)
+        line = line_in(LineState.T)
+        p.snoop_apply(line, TxnKind.WRITEBACK, SnoopResult())
+        assert line.state is LineState.I
+
+    def test_s_unaffected_by_writeback(self):
+        p = proto(ProtocolKind.MOESTI)
+        line = line_in(LineState.S)
+        p.snoop_apply(line, TxnKind.WRITEBACK, SnoopResult())
+        assert line.state is LineState.S
+
+
+class TestValidateSemantics:
+    def test_moesti_validates_to_owned(self):
+        p = proto(ProtocolKind.MOESTI)
+        assert p.post_validate_state() is LineState.O
+        assert not p.validate_writes_back
+
+    def test_mesti_validates_to_shared_with_writeback(self):
+        p = proto(ProtocolKind.MESTI)
+        assert p.post_validate_state() is LineState.S
+        assert p.validate_writes_back

@@ -1,0 +1,84 @@
+"""The runtime coherence checker, and whole-benchmark audited runs."""
+
+import dataclasses
+
+import pytest
+
+from repro.coherence.states import LineState
+from repro.coherence.validation import CoherenceChecker
+from repro.common.errors import ProtocolError
+from repro.system.system import System
+from repro.system.techniques import configure_technique
+from repro.workloads.registry import get_benchmark
+
+
+def audited_run(config, benchmark="radiosity", scale=0.03, seed=1):
+    system = System(config, get_benchmark(benchmark, scale=scale), seed=seed)
+    checker = CoherenceChecker(system)
+    system.run(max_cycles=30_000_000, max_events=10_000_000)
+    checker.check_all()
+    return checker
+
+
+@pytest.mark.parametrize(
+    "technique", ["base", "mesti", "emesti", "lvp", "sle", "emesti+lvp+sle"]
+)
+def test_benchmark_run_upholds_invariants(technique, tiny4_config):
+    cfg = configure_technique(tiny4_config, technique)
+    checker = audited_run(cfg)
+    assert checker.checks > 50  # the audit actually ran per grant
+
+
+def test_directory_run_upholds_invariants(tiny4_config):
+    from repro.common.config import InterconnectKind
+
+    cfg = configure_technique(tiny4_config, "emesti")
+    cfg = dataclasses.replace(cfg, interconnect=InterconnectKind.DIRECTORY)
+    checker = audited_run(cfg, benchmark="tpc-b")
+    assert checker.checks > 50
+
+
+def test_checker_detects_planted_violation(tiny4_config):
+    system = System(
+        tiny4_config, get_benchmark("radiosity", scale=0.02), seed=1
+    )
+    checker = CoherenceChecker(system)
+    system.run(max_cycles=30_000_000)
+    # Plant a second writer for a resident line.
+    victim = next(iter(system.controllers[0].l2.resident_lines()))
+    line0 = victim
+    line0.state = LineState.M
+    other = system.controllers[1].l2.allocate(line0.base)[0] \
+        if system.controllers[1].lookup(line0.base) is None \
+        else system.controllers[1].lookup(line0.base)
+    other.state = LineState.M
+    with pytest.raises(ProtocolError):
+        checker.check_line(line0.base)
+
+
+def test_checker_detects_value_divergence(tiny4_config):
+    system = System(
+        tiny4_config, get_benchmark("radiosity", scale=0.02), seed=1
+    )
+    checker = CoherenceChecker(system)
+    system.run(max_cycles=30_000_000)
+    shared = None
+    for ctrl in system.controllers:
+        for line in ctrl.l2.resident_lines():
+            if line.state is LineState.S:
+                peers = [
+                    c.lookup(line.base)
+                    for c in system.controllers
+                    if c.lookup(line.base) is not None
+                    and c.lookup(line.base).state.valid
+                ]
+                if len(peers) > 1:
+                    shared = line
+                    break
+        if shared:
+            break
+    if shared is None:
+        pytest.skip("no multiply-shared line in this tiny run")
+    shared.data[0] ^= 0xDEAD
+    with pytest.raises(ProtocolError):
+        checker.check_line(shared.base)

@@ -1,0 +1,68 @@
+"""Address arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.addressing import (
+    DEFAULT_LINE_SIZE,
+    WORD_SIZE,
+    is_power_of_two,
+    line_address,
+    line_offset,
+    word_index,
+    words_per_line,
+)
+
+
+def test_line_address_aligns_down():
+    assert line_address(0) == 0
+    assert line_address(63) == 0
+    assert line_address(64) == 64
+    assert line_address(130) == 128
+
+
+def test_line_offset():
+    assert line_offset(0) == 0
+    assert line_offset(63) == 63
+    assert line_offset(64) == 0
+    assert line_offset(70) == 6
+
+
+def test_word_index():
+    assert word_index(0) == 0
+    assert word_index(8) == 1
+    assert word_index(63) == 7
+    assert word_index(64) == 0
+
+
+def test_words_per_line():
+    assert words_per_line(64) == 8
+    assert words_per_line(128) == 16
+
+
+def test_custom_line_size():
+    assert line_address(130, 32) == 128
+    assert word_index(24, 32) == 3
+
+
+@pytest.mark.parametrize(
+    "value,expected",
+    [(1, True), (2, True), (64, True), (0, False), (-4, False), (3, False), (96, False)],
+)
+def test_is_power_of_two(value, expected):
+    assert is_power_of_two(value) is expected
+
+
+@given(st.integers(min_value=0, max_value=2**48))
+def test_line_decomposition_roundtrip(addr):
+    base = line_address(addr)
+    off = line_offset(addr)
+    assert base + off == addr
+    assert base % DEFAULT_LINE_SIZE == 0
+    assert 0 <= off < DEFAULT_LINE_SIZE
+
+
+@given(st.integers(min_value=0, max_value=2**48))
+def test_word_index_in_range(addr):
+    assert 0 <= word_index(addr) < DEFAULT_LINE_SIZE // WORD_SIZE

@@ -1,0 +1,139 @@
+"""Machine configuration validation and Table 1 fidelity."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import (
+    BusConfig,
+    CacheConfig,
+    MachineConfig,
+    PredictorConfig,
+    ProtocolConfig,
+    ProtocolKind,
+    SLEConfig,
+    ValidatePolicy,
+    scaled_config,
+    table1_config,
+)
+from repro.common.errors import ConfigError
+
+
+def test_table1_matches_paper_parameters():
+    cfg = table1_config()
+    assert cfg.n_procs == 4
+    assert cfg.core.width == 8
+    assert cfg.core.rob_size == 256
+    assert cfg.l2.size_bytes == 16 * 1024 * 1024
+    assert cfg.l2.ways == 8
+    assert cfg.l2.line_size == 64
+    assert cfg.bus.addr_latency == 200
+    assert cfg.bus.addr_occupancy == 20
+    assert cfg.bus.data_latency == 400
+    assert cfg.bus.data_occupancy == 50
+    assert cfg.protocol.kind is ProtocolKind.MOESI
+    cfg.validate()
+
+
+def test_scaled_config_preserves_latency_ordering():
+    cfg = scaled_config()
+    assert cfg.l1.latency < cfg.l2.latency < cfg.bus.data_latency
+    # Remote misses must dwarf local hits (the paper's regime).
+    assert cfg.bus.data_latency > 10 * cfg.l2.latency
+    cfg.validate()
+
+
+def test_predictor_default_tuning_is_3_4_1_1_7():
+    p = PredictorConfig()
+    assert (p.initial_confidence, p.threshold, p.increment, p.decrement,
+            p.saturation) == (3, 4, 1, 1, 7)
+
+
+def test_cache_geometry_derivations():
+    c = CacheConfig(16 * 1024, 4, line_size=64)
+    assert c.num_lines == 256
+    assert c.num_sets == 64
+
+
+@pytest.mark.parametrize(
+    "kw",
+    [
+        dict(size_bytes=1000, ways=4),  # not multiple of line size
+        dict(size_bytes=16 * 1024, ways=3),  # lines not divisible
+        dict(size_bytes=16 * 1024, ways=4, line_size=48),  # non-pow2 line
+        dict(size_bytes=16 * 1024, ways=4, latency=0),  # bad latency
+    ],
+)
+def test_invalid_cache_geometry_rejected(kw):
+    with pytest.raises(ConfigError):
+        CacheConfig(**kw).validate("test")
+
+
+def test_enhanced_requires_temporal_state():
+    cfg = ProtocolConfig(kind=ProtocolKind.MOESI, enhanced=True)
+    with pytest.raises(ConfigError, match="T-state"):
+        cfg.validate()
+
+
+def test_predictor_policy_requires_enhanced():
+    cfg = ProtocolConfig(
+        kind=ProtocolKind.MOESTI, enhanced=False,
+        validate_policy=ValidatePolicy.PREDICTOR,
+    )
+    with pytest.raises(ConfigError, match="useful snoop response"):
+        cfg.validate()
+
+
+def test_l1_larger_than_l2_rejected():
+    cfg = MachineConfig(
+        l1=CacheConfig(32 * 1024, 4), l2=CacheConfig(16 * 1024, 4)
+    )
+    with pytest.raises(ConfigError, match="inclusive"):
+        cfg.validate()
+
+
+def test_line_size_mismatch_rejected():
+    cfg = MachineConfig(
+        l1=CacheConfig(16 * 1024, 4, line_size=32),
+        l2=CacheConfig(256 * 1024, 8, line_size=64),
+    )
+    with pytest.raises(ConfigError, match="line size"):
+        cfg.validate()
+
+
+def test_sle_rob_threshold_bounds():
+    with pytest.raises(ConfigError):
+        SLEConfig(rob_threshold=0.0).validate()
+    with pytest.raises(ConfigError):
+        SLEConfig(rob_threshold=1.5).validate()
+    SLEConfig(rob_threshold=0.5).validate()
+
+
+def test_with_helpers_return_modified_copies():
+    cfg = scaled_config()
+    lvp = cfg.with_lvp(enabled=True)
+    assert lvp.lvp.enabled and not cfg.lvp.enabled
+    sle = cfg.with_sle(enabled=True)
+    assert sle.sle.enabled and not cfg.sle.enabled
+    proto = cfg.with_protocol(kind=ProtocolKind.MOESTI)
+    assert proto.protocol.kind is ProtocolKind.MOESTI
+    assert cfg.protocol.kind is ProtocolKind.MOESI
+
+
+def test_protocol_kind_capabilities():
+    assert ProtocolKind.MOESI.has_owned_state
+    assert not ProtocolKind.MESI.has_owned_state
+    assert ProtocolKind.MESTI.has_temporal_state
+    assert ProtocolKind.MOESTI.has_temporal_state
+    assert not ProtocolKind.MOESI.has_temporal_state
+
+
+def test_n_procs_validation():
+    cfg = dataclasses.replace(scaled_config(), n_procs=0)
+    with pytest.raises(ConfigError):
+        cfg.validate()
+
+
+def test_bus_config_defaults_sane():
+    b = BusConfig()
+    assert b.addr_latency > 0 and b.data_latency > b.addr_latency

@@ -1,0 +1,92 @@
+"""Discrete-event scheduler."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.events import Scheduler
+
+
+def test_events_fire_in_time_order():
+    sched = Scheduler()
+    order = []
+    sched.at(10, lambda: order.append("b"))
+    sched.at(5, lambda: order.append("a"))
+    sched.at(20, lambda: order.append("c"))
+    sched.run()
+    assert order == ["a", "b", "c"]
+    assert sched.now == 20
+
+
+def test_same_time_events_fire_in_insertion_order():
+    sched = Scheduler()
+    order = []
+    for i in range(5):
+        sched.at(7, lambda i=i: order.append(i))
+    sched.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_after_is_relative_to_now():
+    sched = Scheduler()
+    times = []
+    sched.at(10, lambda: sched.after(5, lambda: times.append(sched.now)))
+    sched.run()
+    assert times == [15]
+
+
+def test_cannot_schedule_in_the_past():
+    sched = Scheduler()
+    sched.at(10, lambda: None)
+    sched.run()
+    with pytest.raises(SimulationError):
+        sched.at(5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sched = Scheduler()
+    with pytest.raises(SimulationError):
+        sched.after(-1, lambda: None)
+
+
+def test_until_condition_stops_run():
+    sched = Scheduler()
+    fired = []
+    for t in (1, 2, 3, 4):
+        sched.at(t, lambda t=t: fired.append(t))
+    sched.run(until=lambda: len(fired) >= 2)
+    assert fired == [1, 2]
+    assert sched.pending() == 2
+
+
+def test_max_cycles_guard():
+    sched = Scheduler()
+
+    def reschedule():
+        sched.after(10, reschedule)
+
+    sched.after(0, reschedule)
+    with pytest.raises(SimulationError, match="max_cycles"):
+        sched.run(max_cycles=100)
+
+
+def test_max_events_guard():
+    sched = Scheduler()
+
+    def reschedule():
+        sched.after(0, reschedule)
+
+    sched.after(0, reschedule)
+    with pytest.raises(SimulationError, match="max_events"):
+        sched.run(max_events=50)
+
+
+def test_events_fired_counts():
+    sched = Scheduler()
+    for t in range(5):
+        sched.at(t, lambda: None)
+    sched.run()
+    assert sched.events_fired == 5
+
+
+def test_step_returns_false_when_empty():
+    assert Scheduler().step() is False

@@ -1,0 +1,50 @@
+"""Splittable RNG."""
+
+from repro.common.rng import SplitRng
+
+
+def test_same_seed_same_stream():
+    a = SplitRng(42)
+    b = SplitRng(42)
+    assert [a.randrange(1000) for _ in range(10)] == [
+        b.randrange(1000) for _ in range(10)
+    ]
+
+
+def test_different_seeds_differ():
+    a = SplitRng(1)
+    b = SplitRng(2)
+    assert [a.randrange(10**9) for _ in range(5)] != [
+        b.randrange(10**9) for _ in range(5)
+    ]
+
+
+def test_split_streams_are_independent():
+    parent = SplitRng("root")
+    child_a = parent.split("a")
+    # Drawing from the parent must not perturb an already-split child.
+    reference = SplitRng("root").split("a")
+    parent.random()
+    assert [child_a.randrange(10**9) for _ in range(5)] == [
+        reference.randrange(10**9) for _ in range(5)
+    ]
+
+
+def test_split_is_deterministic_by_name():
+    assert SplitRng(7).split("x").randrange(10**9) == SplitRng(7).split("x").randrange(10**9)
+    assert SplitRng(7).split("x").randrange(10**9) != SplitRng(7).split("y").randrange(10**9)
+
+
+def test_nested_split():
+    a = SplitRng(0).split("w").split(3)
+    b = SplitRng(0).split("w").split(3)
+    assert a.random() == b.random()
+
+
+def test_delegates_random_api():
+    rng = SplitRng(5)
+    assert 0 <= rng.random() < 1
+    assert rng.choice([1, 2, 3]) in (1, 2, 3)
+    items = [1, 2, 3, 4]
+    rng.shuffle(items)
+    assert sorted(items) == [1, 2, 3, 4]

@@ -1,0 +1,78 @@
+"""Statistics registry."""
+
+from repro.common.stats import StatsRegistry
+
+
+def test_add_and_get():
+    s = StatsRegistry()
+    s.add("a.b")
+    s.add("a.b", 2)
+    assert s.get("a.b") == 3
+    assert s["a.b"] == 3
+    assert s.get("missing") == 0
+
+
+def test_set_overrides():
+    s = StatsRegistry()
+    s.add("x", 5)
+    s.set("x", 1)
+    assert s["x"] == 1
+
+
+def test_prefix_queries():
+    s = StatsRegistry()
+    s.add("bus.txn.read", 3)
+    s.add("bus.txn.readx", 2)
+    s.add("core.commits", 7)
+    assert s.sum_prefix("bus.txn.") == 5
+    assert set(s.with_prefix("bus.")) == {"bus.txn.read", "bus.txn.readx"}
+
+
+def test_scoped_view_prepends_prefix():
+    s = StatsRegistry()
+    scope = s.scoped("node3")
+    scope.add("l1.hits", 4)
+    assert s["node3.l1.hits"] == 4
+    assert scope.get("l1.hits") == 4
+
+
+def test_nested_scopes():
+    s = StatsRegistry()
+    inner = s.scoped("a").scoped("b")
+    inner.add("c")
+    assert s["a.b.c"] == 1
+
+
+def test_merge_adds_counters():
+    a, b = StatsRegistry(), StatsRegistry()
+    a.add("x", 1)
+    b.add("x", 2)
+    b.add("y", 3)
+    a.merge(b)
+    assert a["x"] == 3
+    assert a["y"] == 3
+
+
+def test_snapshot_and_diff():
+    s = StatsRegistry()
+    s.add("x", 5)
+    snap = s.snapshot()
+    s.add("x", 2)
+    s.add("y", 1)
+    delta = s.diff(snap)
+    assert delta == {"x": 2, "y": 1}
+
+
+def test_items_sorted():
+    s = StatsRegistry()
+    s.add("b")
+    s.add("a")
+    assert [k for k, _ in s.items()] == ["a", "b"]
+
+
+def test_contains_and_iter():
+    s = StatsRegistry()
+    s.add("k")
+    assert "k" in s
+    assert "other" not in s
+    assert list(iter(s)) == ["k"]

@@ -1,0 +1,77 @@
+"""Commit accounting: op-kind counters and IPC bookkeeping."""
+
+import dataclasses
+
+import pytest
+
+from repro.cpu.program import BlockBuilder
+from repro.system.system import System
+from tests.harness import ScriptWorkload
+
+
+def run_single(config, fn, seed=0):
+    cfg = dataclasses.replace(config, n_procs=1)
+    sys_ = System(cfg, ScriptWorkload(fn), seed=seed)
+    res = sys_.run(max_cycles=5_000_000, max_events=2_000_000)
+    return res, sys_
+
+
+def test_commit_counters_match_program(tiny_config):
+    def prog(tid, config, rng):
+        b = BlockBuilder()
+        for i in range(7):
+            b.alu()
+        for i in range(3):
+            b.load(0x1000 + i * 64, b.fresh())
+        for i in range(2):
+            b.store(0x2000 + i * 64, i)
+        b.larx(0x3000)
+        v = yield b.take()
+        b.stcx(0x3000, 1)
+        ok = yield b.take()
+        b.isync()
+        b.sync()
+        b.end()
+        yield b.take()
+
+    res, sys_ = run_single(tiny_config, prog)
+    stats = sys_.stats
+    assert stats["core0.commit.alu"] == 7
+    assert stats["core0.commit.load"] == 3
+    assert stats["core0.commit.store"] == 2
+    assert stats["core0.commit.larx"] == 1
+    assert stats["core0.commit.stcx"] == 1
+    assert stats["core0.commit.isync"] == 1
+    assert stats["core0.commit.sync"] == 1
+    assert stats["core0.commit.end"] == 1
+    total = sum(
+        stats[f"core0.commit.{k}"]
+        for k in ("alu", "load", "store", "larx", "stcx", "isync", "sync", "end")
+    )
+    assert total == res.committed == 17
+
+
+def test_every_committed_store_drains_or_buffers(tiny_config):
+    def prog(tid, config, rng):
+        b = BlockBuilder()
+        for i in range(9):
+            b.store(0x4000 + (i % 3) * 64, i)
+        b.end()
+        yield b.take()
+
+    res, sys_ = run_single(tiny_config, prog)
+    assert sys_.stats["core0.sb.drained"] == 9
+    assert sys_.stats["node0.stores.performed"] == 9
+
+
+def test_run_ipc_stat_recorded(tiny_config):
+    def prog(tid, config, rng):
+        b = BlockBuilder()
+        for _ in range(20):
+            b.alu()
+        b.end()
+        yield b.take()
+
+    res, sys_ = run_single(tiny_config, prog)
+    assert sys_.stats["run.ipc"] == pytest.approx(res.ipc)
+    assert sys_.stats["run.events"] > 0

@@ -1,0 +1,112 @@
+"""Matrix runner: summaries, caching, and the experiment harnesses."""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import MatrixRunner, summarize
+from repro.system.system import System
+from repro.system.techniques import configure_technique
+from repro.workloads.registry import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def small_result(tmp_path_factory):
+    from repro.common.config import scaled_config
+
+    cfg = configure_technique(scaled_config(), "emesti+lvp")
+    wl = get_benchmark("radiosity", scale=0.03)
+    return System(cfg, wl, seed=1).run()
+
+
+class TestSummarize:
+    def test_core_fields(self, small_result):
+        s = summarize(small_result, wall_seconds=1.234)
+        assert s["cycles"] == small_result.cycles
+        assert s["committed"] == small_result.committed
+        assert s["wall_seconds"] == 1.234
+        assert s["ipc"] > 0
+
+    def test_txn_fields_consistent(self, small_result):
+        s = summarize(small_result)
+        parts = (
+            s["txn_read"] + s["txn_readx"] + s["txn_upgrade"]
+            + s["txn_validate"] + s["txn_writeback"]
+        )
+        assert parts == pytest.approx(s["txn_total"])
+
+    def test_op_mix_sums(self, small_result):
+        s = summarize(small_result)
+        total = s["loads"] + s["stores"] + s["larx"] + s["stcx"] + s["alu"]
+        # END/SYNC/ISYNC ops make the committed count slightly larger.
+        assert total <= s["committed"]
+        assert total > 0.8 * s["committed"]
+
+    def test_json_serializable(self, small_result):
+        json.dumps(summarize(small_result))
+
+
+class TestMatrixRunner:
+    def test_cache_round_trip(self, tmp_path):
+        runner = MatrixRunner(scale=0.02, results_dir=tmp_path, verbose=False)
+        first = runner.run_one("radiosity", "base", 1)
+        # A second runner instance reads the persisted cache.
+        runner2 = MatrixRunner(scale=0.02, results_dir=tmp_path, verbose=False)
+        again = runner2.run_one("radiosity", "base", 1)
+        assert first == again
+
+    def test_force_rerun(self, tmp_path):
+        runner = MatrixRunner(scale=0.02, results_dir=tmp_path, verbose=False)
+        a = runner.run_one("radiosity", "base", 1)
+        b = runner.run_one("radiosity", "base", 1, force=True)
+        assert a["cycles"] == b["cycles"]  # deterministic per seed
+
+    def test_key_format(self):
+        assert MatrixRunner.key("tpc-b", "emesti+lvp", 3) == "tpc-b|emesti+lvp|3"
+
+    def test_cells_runs_all_seeds(self, tmp_path):
+        runner = MatrixRunner(scale=0.02, results_dir=tmp_path, verbose=False)
+        cells = runner.cells("radiosity", "base", (1, 2))
+        assert len(cells) == 2
+
+
+class TestExperimentHarnesses:
+    def test_table2_renders(self, tmp_path):
+        from repro.experiments import table2
+
+        out = table2.run(scale=0.02, seeds=(1,), results_dir=tmp_path, verbose=False)
+        assert "Table 2" in out
+        for name in ("ocean", "tpc-b", "specjbb"):
+            assert name in out
+
+    def test_figure7_renders(self, tmp_path):
+        from repro.experiments import figure7
+
+        out = figure7.run(
+            scale=0.02, seeds=(1,), results_dir=tmp_path,
+            benchmarks=["radiosity"], techniques=("mesti",), verbose=False,
+        )
+        assert "Figure 7" in out and "radiosity" in out
+
+    def test_figure8_renders(self, tmp_path):
+        from repro.experiments import figure8
+
+        out = figure8.run(
+            scale=0.02, seeds=(1,), results_dir=tmp_path,
+            benchmarks=["radiosity"], verbose=False,
+        )
+        assert "Figure 8" in out and "Validate" in out
+
+    def test_figure6_renders(self):
+        from repro.experiments import figure6
+
+        out = figure6.run(scale=0.02, seed=1, benchmarks=["radiosity"], verbose=False)
+        assert "Figure 6" in out and "ideal" in out
+
+    def test_sle_idioms_renders(self, tmp_path):
+        from repro.experiments import sle_idioms
+
+        out = sle_idioms.run(
+            scale=0.02, seeds=(1,), results_dir=tmp_path, verbose=False
+        )
+        assert "Candidates" in out

@@ -1,0 +1,139 @@
+"""Set-associative cache array."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import CacheConfig
+from repro.common.errors import SimulationError
+from repro.coherence.states import LineState
+from repro.memory.cache import SetAssocCache
+
+
+def make_cache(size=1024, ways=2, line=64):
+    return SetAssocCache(CacheConfig(size, ways, line_size=line), "test")
+
+
+def test_lookup_miss_returns_none():
+    c = make_cache()
+    assert c.lookup(0x1000) is None
+
+
+def test_allocate_then_lookup():
+    c = make_cache()
+    line, evicted = c.allocate(0x1000)
+    assert evicted is None
+    assert c.lookup(0x1000) is line
+    assert line.state is LineState.I
+    assert line.data == [0] * 8
+
+
+def test_allocate_resident_line_rejected():
+    c = make_cache()
+    c.allocate(0x1000)
+    with pytest.raises(SimulationError):
+        c.allocate(0x1000)
+
+
+def test_set_conflict_evicts_lru():
+    c = make_cache(size=256, ways=2)  # 2 sets of 2 ways
+    step = 2 * 64  # same set every step
+    a, _ = c.allocate(0x0000)
+    b, _ = c.allocate(0x0000 + step)
+    a.state = LineState.S
+    b.state = LineState.S
+    c.touch(a)  # a more recently used than b
+    _, evicted = c.allocate(0x0000 + 2 * step)
+    assert evicted is not None
+    assert evicted.base == 0x0000 + step  # LRU victim
+
+
+def test_invalid_lines_preferred_as_victims():
+    c = make_cache(size=256, ways=2)
+    step = 2 * 64
+    a, _ = c.allocate(0x0000)
+    b, _ = c.allocate(step)
+    a.state = LineState.I  # stale residue (LVP food)
+    b.state = LineState.M
+    c.touch(a)  # even though a is more recently used...
+    _, evicted = c.allocate(2 * step)
+    assert evicted.base == 0x0000  # ...the invalid line goes first
+
+
+def test_eviction_snapshot_preserves_data():
+    c = make_cache(size=128, ways=1)
+    line, _ = c.allocate(0x0000)
+    line.state = LineState.M
+    line.data[3] = 99
+    line.dirty_mask = 1 << 3
+    _, evicted = c.allocate(0x0000 + 2 * 64)  # only 2 sets; same set = +128
+    if evicted is None:
+        _, evicted = c.allocate(0x0000 + 4 * 64)
+    assert evicted.base == 0x0000
+    assert evicted.state is LineState.M
+    assert evicted.data[3] == 99
+    assert evicted.dirty
+
+
+def test_evict_explicit():
+    c = make_cache()
+    line, _ = c.allocate(0x40)
+    line.state = LineState.S
+    view = c.evict(0x40)
+    assert view.base == 0x40
+    assert c.lookup(0x40) is None
+    assert c.evict(0x40) is None
+
+
+def test_victim_filter_vetoes():
+    c = make_cache(size=128, ways=1)
+    line, _ = c.allocate(0)
+    line.state = LineState.M
+    with pytest.raises(SimulationError, match="pinned"):
+        c.allocate(128, victim_filter=lambda w: False)
+
+
+def test_valid_line_count():
+    c = make_cache()
+    a, _ = c.allocate(0)
+    b, _ = c.allocate(64)
+    a.state = LineState.M
+    b.state = LineState.T  # stale: not valid
+    assert c.valid_line_count() == 1
+    assert len(c) == 2
+
+
+def test_resident_lines_iterates_all_tagged():
+    c = make_cache()
+    c.allocate(0)
+    c.allocate(64)
+    assert {line.base for line in c.resident_lines()} == {0, 64}
+
+
+def test_predictor_fields_reset_on_eviction_reuse():
+    c = make_cache(size=128, ways=1)
+    line, _ = c.allocate(0)
+    line.pred_conf = 7
+    line.pred_state = 2
+    line.state = LineState.S
+    c.allocate(128)  # evicts base 0
+    new_line, _ = c.allocate(256)  # reuses a way
+    assert new_line.pred_conf == 0
+    assert new_line.pred_state == 0
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=200))
+def test_cache_never_exceeds_capacity_and_keeps_unique_tags(addrs):
+    c = make_cache(size=512, ways=2)
+    for i in addrs:
+        base = i * 64
+        if c.lookup(base) is None:
+            line, _ = c.allocate(base)
+            line.state = LineState.S
+    assert len(c) <= c.config.num_lines
+    bases = [line.base for line in c.resident_lines()]
+    assert len(bases) == len(set(bases))
+    # Every resident line is found by lookup at its own base.
+    for base in bases:
+        assert c.lookup(base).base == base

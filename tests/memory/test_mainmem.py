@@ -1,0 +1,51 @@
+"""Main memory."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.memory.mainmem import MainMemory
+
+
+def test_unwritten_lines_read_zero():
+    mem = MainMemory(64)
+    assert mem.read_line(0x1000) == [0] * 8
+    assert mem.read_word(0x1000, 3) == 0
+
+
+def test_write_then_read():
+    mem = MainMemory(64)
+    words = list(range(8))
+    mem.write_line(0x40, words)
+    assert mem.read_line(0x40) == words
+    assert mem.read_word(0x40, 5) == 5
+
+
+def test_read_returns_copy():
+    mem = MainMemory(64)
+    mem.write_line(0, [1] * 8)
+    line = mem.read_line(0)
+    line[0] = 99
+    assert mem.read_line(0)[0] == 1
+
+
+def test_unaligned_address_rejected():
+    mem = MainMemory(64)
+    with pytest.raises(SimulationError):
+        mem.read_line(0x41)
+    with pytest.raises(SimulationError):
+        mem.write_line(0x8, [0] * 8)
+
+
+def test_wrong_word_count_rejected():
+    mem = MainMemory(64)
+    with pytest.raises(SimulationError):
+        mem.write_line(0, [0] * 7)
+
+
+def test_touched_lines():
+    mem = MainMemory(64)
+    assert mem.touched_lines() == 0
+    mem.write_line(0, [0] * 8)
+    mem.write_line(64, [0] * 8)
+    mem.write_line(0, [1] * 8)
+    assert mem.touched_lines() == 2

@@ -1,0 +1,65 @@
+"""MSHR file and speculative-delivery tracking."""
+
+import pytest
+
+from repro.memory.mshr import MSHRFile
+
+
+class _Consumer:
+    def __init__(self, seq):
+        self.seq = seq
+
+
+def test_allocate_and_release():
+    f = MSHRFile(2)
+    e = f.allocate(0x40, now=5)
+    assert f.get(0x40) is e
+    assert e.issued_at == 5
+    assert f.outstanding() == 1
+    assert f.release(0x40) is e
+    assert f.get(0x40) is None
+
+
+def test_full_detection():
+    f = MSHRFile(2)
+    f.allocate(0, 0)
+    assert not f.full
+    f.allocate(64, 0)
+    assert f.full
+    with pytest.raises(ValueError):
+        f.allocate(128, 0)
+
+
+def test_duplicate_allocation_rejected():
+    f = MSHRFile(2)
+    f.allocate(0, 0)
+    with pytest.raises(ValueError):
+        f.allocate(0, 0)
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        MSHRFile(0)
+
+
+def test_waiters_accumulate():
+    f = MSHRFile(1)
+    e = f.allocate(0, 0)
+    calls = []
+    e.add_waiter(lambda data: calls.append(1))
+    e.add_waiter(lambda data: calls.append(2))
+    for w in e.waiters:
+        w([0] * 8)
+    assert calls == [1, 2]
+
+
+def test_mismatched_deliveries_compares_only_accessed_words():
+    f = MSHRFile(1)
+    e = f.allocate(0, 0)
+    e.record_speculation(0, 10, _Consumer(1))
+    e.record_speculation(3, 30, _Consumer(2))
+    arrived = [10, 99, 99, 30, 0, 0, 0, 0]  # untouched words differ
+    assert e.mismatched_deliveries(arrived) == []
+    arrived[3] = 31
+    bad = e.mismatched_deliveries(arrived)
+    assert len(bad) == 1 and bad[0].word_index == 3

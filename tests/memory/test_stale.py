@@ -1,0 +1,113 @@
+"""Stale storage and the L1-Mirror detector (Figure 5)."""
+
+from repro.common.config import CacheConfig
+from repro.common.stats import StatsRegistry
+from repro.memory.stale import ExplicitStaleDetector, StaleStorage
+
+
+def make_detector(stale_bytes=2 * 64, l1_lines=4):
+    stats = StatsRegistry()
+    l1 = CacheConfig(l1_lines * 64, 1, line_size=64)
+    return ExplicitStaleDetector(l1, stale_bytes, stats.scoped("stale")), stats
+
+
+def words(x):
+    return [x] * 8
+
+
+class TestStaleStorage:
+    def test_put_get(self):
+        s = StaleStorage(2)
+        s.put(0, words(1))
+        assert s.get(0) == words(1)
+        assert s.get(64) is None
+
+    def test_lru_eviction(self):
+        s = StaleStorage(2)
+        s.put(0, words(1))
+        s.put(64, words(2))
+        s.get(0)  # refresh 0
+        s.put(128, words(3))  # evicts 64
+        assert s.get(64) is None
+        assert s.get(0) == words(1)
+
+    def test_zero_capacity_stores_nothing(self):
+        s = StaleStorage(0)
+        s.put(0, words(1))
+        assert s.get(0) is None
+
+    def test_drop(self):
+        s = StaleStorage(2)
+        s.put(0, words(1))
+        s.drop(0)
+        assert s.get(0) is None
+
+    def test_get_returns_copy(self):
+        s = StaleStorage(1)
+        s.put(0, words(1))
+        got = s.get(0)
+        got[0] = 99
+        assert s.get(0) == words(1)
+
+
+class TestExplicitDetector:
+    def test_clean_fill_captures_candidate(self):
+        det, _ = make_detector()
+        det.on_l1_fill(0, words(5), l2_was_dirty=False)
+        assert det.candidate(0) == words(5)
+
+    def test_dirty_fill_without_banked_candidate_has_none(self):
+        det, _ = make_detector()
+        det.on_l1_fill(0, words(5), l2_was_dirty=True)
+        assert det.candidate(0) is None
+
+    def test_candidate_survives_dirty_eviction_via_stale_storage(self):
+        det, _ = make_detector()
+        det.on_l1_fill(0, words(5), l2_was_dirty=False)
+        det.on_l1_evict(0, was_dirty=True)
+        assert det.candidate(0) is None  # not mirrored anymore
+        det.on_l1_fill(0, words(9), l2_was_dirty=True)  # refill of dirty line
+        assert det.candidate(0) == words(5)  # recovered from stale storage
+
+    def test_clean_eviction_does_not_bank(self):
+        det, _ = make_detector()
+        det.on_l1_fill(0, words(5), l2_was_dirty=False)
+        det.on_l1_evict(0, was_dirty=False)
+        det.on_l1_fill(0, words(7), l2_was_dirty=True)
+        assert det.candidate(0) is None
+
+    def test_zero_capacity_models_inclusive_only_detection(self):
+        det, _ = make_detector(stale_bytes=0)
+        det.on_l1_fill(0, words(5), l2_was_dirty=False)
+        assert det.candidate(0) == words(5)  # detectable while resident
+        det.on_l1_evict(0, was_dirty=True)
+        det.on_l1_fill(0, words(9), l2_was_dirty=True)
+        assert det.candidate(0) is None  # lost across the writeback
+
+    def test_invalidation_drops_everything(self):
+        det, _ = make_detector()
+        det.on_l1_fill(0, words(5), l2_was_dirty=False)
+        det.on_l1_evict(0, was_dirty=True)
+        det.on_invalidate(0)
+        det.on_l1_fill(0, words(9), l2_was_dirty=True)
+        assert det.candidate(0) is None
+
+    def test_visibility_rebases_candidate(self):
+        det, _ = make_detector()
+        det.on_l1_fill(0, words(5), l2_was_dirty=False)
+        det.on_visibility(0, words(8))
+        assert det.candidate(0) == words(8)
+
+    def test_mirror_capacity_is_bounded(self):
+        det, _ = make_detector(l1_lines=2)
+        for i in range(4):
+            det.on_l1_fill(i * 64, words(i), l2_was_dirty=False)
+        assert det.candidate(0) is None  # evicted from the mirror
+        assert det.candidate(3 * 64) == words(3)
+
+    def test_mirror_stats(self):
+        det, stats = make_detector()
+        det.on_l1_fill(0, words(1), l2_was_dirty=False)
+        det.on_l1_fill(64, words(2), l2_was_dirty=True)
+        assert stats["stale.mirror.captured"] == 1
+        assert stats["stale.mirror.lost"] == 1

@@ -1,0 +1,49 @@
+"""Store buffer."""
+
+import pytest
+
+from repro.memory.storebuffer import StoreBuffer, StoreEntry
+
+
+def entry(addr, value, seq=0):
+    return StoreEntry(addr=addr, value=value, seq=seq)
+
+
+def test_fifo_order():
+    sb = StoreBuffer(4)
+    sb.push(entry(0, 1, 0))
+    sb.push(entry(8, 2, 1))
+    assert sb.head().addr == 0
+    assert sb.pop().value == 1
+    assert sb.pop().value == 2
+    assert sb.empty
+
+
+def test_capacity_enforced():
+    sb = StoreBuffer(2)
+    sb.push(entry(0, 1))
+    sb.push(entry(8, 2))
+    assert sb.full
+    with pytest.raises(ValueError):
+        sb.push(entry(16, 3))
+
+
+def test_forward_returns_youngest_match():
+    sb = StoreBuffer(4)
+    sb.push(entry(0x100, 1, 0))
+    sb.push(entry(0x200, 2, 1))
+    sb.push(entry(0x100, 3, 2))
+    assert sb.forward(0x100) == 3
+    assert sb.forward(0x200) == 2
+    assert sb.forward(0x300) is None
+
+
+def test_len_and_head_empty():
+    sb = StoreBuffer(2)
+    assert len(sb) == 0
+    assert sb.head() is None
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        StoreBuffer(0)

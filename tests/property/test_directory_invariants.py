@@ -1,0 +1,77 @@
+"""Property-based invariants over the directory interconnect."""
+
+import dataclasses
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import InterconnectKind, ProtocolKind, ValidatePolicy
+from repro.coherence.states import LineState
+from tests.coherence.test_directory import DirectoryHarness
+
+LINES = [0x10000, 0x10040]
+WORDS = [0, 5]
+
+accesses = st.lists(
+    st.tuples(
+        st.sampled_from(["load", "store"]),
+        st.integers(0, 2),
+        st.integers(0, len(LINES) - 1),
+        st.integers(0, len(WORDS) - 1),
+        st.integers(0, 3),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def run_directory_sequence(h, seq):
+    shadow: dict = {}
+    for kind, proc, line_idx, word_idx, value in seq:
+        base = LINES[line_idx]
+        widx = WORDS[word_idx]
+        addr = base + widx * 8
+        if kind == "load":
+            _, observed, _ = h.load(proc, addr, spec=False)
+            assert observed == shadow.get((base, widx), 0)
+        else:
+            h.store(proc, addr, value)
+            shadow[(base, widx)] = value
+        h.drain()
+        # Single-writer + value agreement across valid copies.
+        for b in LINES:
+            writers = []
+            valid_values = set()
+            for ctrl in h.controllers:
+                line = ctrl.lookup(b)
+                if line is None:
+                    continue
+                if line.state in (LineState.M, LineState.E):
+                    writers.append(ctrl.node_id)
+                if line.state.valid:
+                    valid_values.add(tuple(line.data))
+            assert len(writers) <= 1
+            assert len(valid_values) <= 1
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(seq=accesses)
+def test_directory_moesi_invariants(tiny_config, seq):
+    cfg = dataclasses.replace(
+        tiny_config, n_procs=3, interconnect=InterconnectKind.DIRECTORY
+    )
+    run_directory_sequence(DirectoryHarness(cfg), seq)
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(seq=accesses)
+def test_directory_emesti_invariants(tiny_config, seq):
+    cfg = dataclasses.replace(
+        tiny_config, n_procs=3, interconnect=InterconnectKind.DIRECTORY
+    ).with_protocol(
+        kind=ProtocolKind.MOESTI, enhanced=True,
+        validate_policy=ValidatePolicy.PREDICTOR,
+    )
+    run_directory_sequence(DirectoryHarness(cfg), seq)

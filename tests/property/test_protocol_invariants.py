@@ -1,0 +1,162 @@
+"""Property-based coherence invariants.
+
+Random multiprocessor access sequences must preserve, at every step:
+
+* **Single-writer**: at most one cache holds a line in M/E.
+* **Writer exclusivity**: an M/E copy excludes any other valid copy.
+* **Value coherence**: a load returns the value of the last
+  architecturally-performed store to that word.
+* **Dirty-data conservation**: if no cache holds the line dirty, memory
+  holds the last stored value (after all events drain).
+* **T-copy safety** (MESTI): a T copy's saved data always equals the
+  last globally visible value at the time it was saved — so a validate
+  can never re-install wrong data (checked via load values).
+"""
+
+import dataclasses
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import ProtocolKind, ValidatePolicy
+from repro.coherence.states import LineState
+from tests.harness import MemHarness
+
+LINES = [0x10000, 0x10040, 0x10080]
+WORDS = [0, 3]
+
+# One access: (kind, proc, line_idx, word_idx, value)
+accesses = st.lists(
+    st.tuples(
+        st.sampled_from(["load", "store"]),
+        st.integers(0, 2),
+        st.integers(0, len(LINES) - 1),
+        st.integers(0, len(WORDS) - 1),
+        st.integers(0, 3),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def make_harness(tiny_config, kind: ProtocolKind, enhanced=False):
+    cfg = dataclasses.replace(tiny_config, n_procs=3)
+    policy = ValidatePolicy.PREDICTOR if enhanced else ValidatePolicy.ALWAYS
+    if kind.has_temporal_state:
+        cfg = cfg.with_protocol(kind=kind, enhanced=enhanced, validate_policy=policy)
+    else:
+        cfg = cfg.with_protocol(kind=kind)
+    return MemHarness(cfg)
+
+
+def check_invariants(h: MemHarness, shadow: dict) -> None:
+    for base in LINES:
+        writers = []
+        valid = []
+        for ctrl in h.controllers:
+            line = ctrl.lookup(base)
+            if line is None:
+                continue
+            if line.state in (LineState.M, LineState.E):
+                writers.append(ctrl.node_id)
+            if line.state.valid:
+                valid.append((ctrl.node_id, line.state))
+        assert len(writers) <= 1, f"two writers for {base:#x}: {writers}"
+        if writers:
+            assert len(valid) == 1, (
+                f"M/E copy of {base:#x} coexists with {valid}"
+            )
+        # Value coherence from any valid copy + memory fallback.
+        for widx in WORDS:
+            expected = shadow.get((base, widx), 0)
+            for ctrl in h.controllers:
+                line = ctrl.lookup(base)
+                if line is not None and line.state.valid:
+                    assert line.data[widx] == expected, (
+                        f"P{ctrl.node_id} {line.state} {base:#x}[{widx}] = "
+                        f"{line.data[widx]}, expected {expected}"
+                    )
+            if not any(
+                ctrl.lookup(base) is not None and ctrl.lookup(base).state.dirty
+                for ctrl in h.controllers
+            ):
+                assert h.memory.read_word(base, widx) == expected
+
+
+def run_sequence(h: MemHarness, seq) -> None:
+    shadow: dict = {}
+    for kind, proc, line_idx, word_idx, value in seq:
+        base = LINES[line_idx]
+        widx = WORDS[word_idx]
+        addr = base + widx * 8
+        if kind == "load":
+            _, observed, _ = h.load(proc, addr, spec=False)
+            assert observed == shadow.get((base, widx), 0)
+        else:
+            h.store(proc, addr, value)
+            shadow[(base, widx)] = value
+        h.drain()
+        check_invariants(h, shadow)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(seq=accesses)
+def test_mesi_invariants(tiny_config, seq):
+    run_sequence(make_harness(tiny_config, ProtocolKind.MESI), seq)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(seq=accesses)
+def test_moesi_invariants(tiny_config, seq):
+    run_sequence(make_harness(tiny_config, ProtocolKind.MOESI), seq)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(seq=accesses)
+def test_moesti_invariants(tiny_config, seq):
+    run_sequence(make_harness(tiny_config, ProtocolKind.MOESTI), seq)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(seq=accesses)
+def test_emesti_invariants(tiny_config, seq):
+    run_sequence(make_harness(tiny_config, ProtocolKind.MOESTI, enhanced=True), seq)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(seq=accesses)
+def test_mesti_with_explicit_stale_storage(tiny_config, seq):
+    from repro.common.config import StaleDetectionMode
+
+    cfg = dataclasses.replace(tiny_config, n_procs=3).with_protocol(
+        kind=ProtocolKind.MOESTI,
+        validate_policy=ValidatePolicy.ALWAYS,
+        stale_detection=StaleDetectionMode.EXPLICIT,
+        stale_storage_bytes=2 * 64,
+    )
+    run_sequence(MemHarness(cfg), seq)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(seq=accesses)
+def test_lvp_never_corrupts_values(tiny_config, seq):
+    cfg = dataclasses.replace(tiny_config, n_procs=3).with_lvp(enabled=True)
+    h = MemHarness(cfg)
+    shadow: dict = {}
+    for kind, proc, line_idx, word_idx, value in seq:
+        base = LINES[line_idx]
+        widx = WORDS[word_idx]
+        addr = base + widx * 8
+        if kind == "load":
+            status, observed, op = h.load(proc, addr)
+            h.drain()
+            # Speculative deliveries may be stale, but then the op must
+            # have been squashed, never silently retired.
+            if status == "spec" and observed != shadow.get((base, widx), 0):
+                assert op.squashed
+            else:
+                assert op.verified or status in ("hit", "miss")
+        else:
+            h.store(proc, addr, value)
+            shadow[(base, widx)] = value
+        h.drain()

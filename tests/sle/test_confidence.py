@@ -1,0 +1,83 @@
+"""Elision confidence predictor (§4.2.3)."""
+
+from repro.common.config import SLEConfig
+from repro.common.stats import StatsRegistry
+from repro.sle.confidence import ElisionConfidence
+
+
+def make(**kw):
+    stats = StatsRegistry()
+    return ElisionConfidence(SLEConfig(enabled=True, **kw), stats.scoped("sle"))
+
+
+def test_initial_confidence_attempts():
+    c = make()
+    assert c.should_attempt(pc=100)  # 8 >= 6
+
+
+def test_no_release_failure_decays_fast():
+    c = make()
+    c.on_failure(100, "no_release")  # 8 - 4 = 4 < 6
+    assert not c.should_attempt(100)
+
+
+def test_conflict_decays_slower_than_no_release():
+    c = make()
+    cfg = c.config
+    assert cfg.conflict_decrement < cfg.no_release_decrement
+    c.on_failure(100, "conflict")  # 8 - 2 = 6
+    assert c.should_attempt(100)
+    c.on_failure(100, "conflict")  # 4: below threshold
+    assert not c.should_attempt(100)
+
+
+def test_success_reinforces():
+    c = make()
+    for _ in range(2):
+        c.on_failure(100, "conflict")  # 4: below
+    assert not c.should_attempt(100)
+    c.on_success(100)
+    c.on_success(100)  # 6: attempts again
+    assert c.should_attempt(100)
+
+
+def test_saturation_bounds():
+    c = make()
+    for _ in range(20):
+        c.on_success(100)
+    assert c.confidence(100) == 15  # 4-bit counter
+    for _ in range(20):
+        c.on_failure(100, "no_release")
+    assert c.confidence(100) == 0
+
+
+def test_pcs_are_independent():
+    c = make()
+    c.on_failure(100, "no_release")
+    assert c.should_attempt(200)
+    assert not c.should_attempt(100)
+
+
+def test_shared_pc_interference():
+    """The §4.2.3 effect: kernel locks and atomics share a PC, so a
+    non-lock idiom's failures disable elision for real locks too."""
+    c = make()
+    shared_pc = 0x1000
+    c.on_failure(shared_pc, "no_release")  # an atomic-inc candidate failed
+    assert not c.should_attempt(shared_pc)  # the lock now skips elision
+
+
+def test_disabled_prediction_always_attempts():
+    c = make(confidence_enabled=False)
+    for _ in range(10):
+        c.on_failure(100, "no_release")
+    assert c.should_attempt(100)
+
+
+def test_serialize_and_nested_decrements():
+    c = make()
+    dec = c.config.serialize_decrement
+    c.on_failure(100, "serialize")
+    assert c.confidence(100) == 8 - dec
+    c.on_failure(100, "nested")
+    assert c.confidence(100) == 8 - 2 * dec

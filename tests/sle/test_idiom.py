@@ -1,0 +1,54 @@
+"""Idiom tracker unit tests."""
+
+from repro.cpu.core import Phase, WinOp
+from repro.cpu.isa import MicroOp, OpKind
+from repro.sle.idiom import IdiomTracker
+
+
+def winop(kind, addr, seq=0, value=None, done=True):
+    w = WinOp(MicroOp(kind, addr=addr), seq)
+    if done:
+        w.phase = Phase.DONE
+        w.value = value
+    return w
+
+
+def test_match_requires_same_address():
+    t = IdiomTracker()
+    t.note_larx(winop(OpKind.LARX, 0x100, value=0))
+    assert t.match(winop(OpKind.STCX, 0x100)) is not None
+    assert t.match(winop(OpKind.STCX, 0x200)) is None
+
+
+def test_match_requires_completed_larx():
+    t = IdiomTracker()
+    pending = winop(OpKind.LARX, 0x100, done=False)
+    t.note_larx(pending)
+    assert t.match(winop(OpKind.STCX, 0x100)) is None
+
+
+def test_dead_larx_not_matched():
+    t = IdiomTracker()
+    larx = winop(OpKind.LARX, 0x100, value=0)
+    t.note_larx(larx)
+    larx.dead = True
+    assert t.match(winop(OpKind.STCX, 0x100)) is None
+
+
+def test_latest_larx_wins():
+    t = IdiomTracker()
+    t.note_larx(winop(OpKind.LARX, 0x100, value=0))
+    newer = winop(OpKind.LARX, 0x200, value=3, seq=5)
+    t.note_larx(newer)
+    assert t.match(winop(OpKind.STCX, 0x200)) is newer
+    assert t.match(winop(OpKind.STCX, 0x100)) is None
+
+
+def test_non_larx_ignored():
+    t = IdiomTracker()
+    t.note_larx(winop(OpKind.LOAD, 0x100, value=0))
+    assert t.match(winop(OpKind.STCX, 0x100)) is None
+
+
+def test_no_larx_no_match():
+    assert IdiomTracker().match(winop(OpKind.STCX, 0x100)) is None

@@ -1,0 +1,53 @@
+"""RunResult accessors."""
+
+import pytest
+
+from repro.system.system import System
+from repro.system.techniques import configure_technique
+from repro.workloads.registry import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def result(tmp_path_factory):
+    from repro.common.config import scaled_config
+
+    cfg = configure_technique(scaled_config(), "mesti")
+    return System(cfg, get_benchmark("radiosity", scale=0.03), seed=2).run()
+
+
+def test_ipc(result):
+    assert result.ipc == pytest.approx(result.committed / result.cycles)
+
+
+def test_txn_accessors(result):
+    total = (
+        result.txn("read") + result.txn("readx") + result.txn("upgrade")
+        + result.txn("validate") + result.txn("writeback")
+    )
+    assert total == result.address_transactions
+
+
+def test_miss_classes_consistent(result):
+    parts = (
+        result.miss_class("cold")
+        + result.miss_class("capacity")
+        + result.miss_class("comm")
+    )
+    assert parts == result.miss_class("total")
+    subs = (
+        result.miss_class("comm.tss")
+        + result.miss_class("comm.false")
+        + result.miss_class("comm.true")
+    )
+    assert subs <= result.miss_class("comm")
+
+
+def test_node_and_ctrl_sums(result):
+    assert result.node_sum("stores.performed") > 0
+    assert result.ctrl_sum("ts_stores") >= 0
+    # Per-node sums never exceed... sanity: l1 hits happen.
+    assert result.node_sum("l1.hits") > 0
+
+
+def test_core_stat(result):
+    assert result.core_stat(0, "commit.load") > 0

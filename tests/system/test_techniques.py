@@ -1,0 +1,72 @@
+"""Technique matrix configuration."""
+
+import pytest
+
+from repro.common.config import ProtocolKind, ValidatePolicy, scaled_config
+from repro.common.errors import ConfigError
+from repro.system.techniques import ALL_TECHNIQUES, configure_technique
+
+
+@pytest.fixture
+def base():
+    return scaled_config()
+
+
+def test_base_is_moesi(base):
+    cfg = configure_technique(base, "base")
+    assert cfg.protocol.kind is ProtocolKind.MOESI
+    assert not cfg.lvp.enabled and not cfg.sle.enabled
+
+
+def test_mesti_uses_always_validates(base):
+    cfg = configure_technique(base, "mesti")
+    assert cfg.protocol.kind is ProtocolKind.MOESTI
+    assert not cfg.protocol.enhanced
+    assert cfg.protocol.validate_policy is ValidatePolicy.ALWAYS
+
+
+def test_emesti_uses_predictor(base):
+    cfg = configure_technique(base, "emesti")
+    assert cfg.protocol.enhanced
+    assert cfg.protocol.validate_policy is ValidatePolicy.PREDICTOR
+
+
+def test_lvp_and_sle_flags(base):
+    assert configure_technique(base, "lvp").lvp.enabled
+    assert configure_technique(base, "sle").sle.enabled
+
+
+def test_combinations_compose(base):
+    cfg = configure_technique(base, "emesti+lvp+sle")
+    assert cfg.protocol.enhanced and cfg.lvp.enabled and cfg.sle.enabled
+
+
+def test_order_insensitive(base):
+    a = configure_technique(base, "lvp+emesti")
+    b = configure_technique(base, "emesti+lvp")
+    assert a == b
+
+
+def test_mesti_emesti_exclusive(base):
+    with pytest.raises(ConfigError):
+        configure_technique(base, "mesti+emesti")
+
+
+def test_unknown_component_rejected(base):
+    with pytest.raises(ConfigError):
+        configure_technique(base, "warp-drive")
+
+
+def test_empty_rejected(base):
+    with pytest.raises(ConfigError):
+        configure_technique(base, "")
+
+
+def test_all_techniques_are_valid(base):
+    for technique in ALL_TECHNIQUES:
+        configure_technique(base, technique).validate()
+
+
+def test_case_insensitive(base):
+    cfg = configure_technique(base, "EMESTI+LVP")
+    assert cfg.protocol.enhanced and cfg.lvp.enabled

@@ -1,0 +1,33 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "tpc-b" in out and "emesti" in out and "figure7" in out
+
+
+def test_run_cell(capsys):
+    assert main(["run", "radiosity", "--technique", "emesti",
+                 "--scale", "0.02", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "cycles" in out and "ipc" in out
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "linpack"])
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["experiment", "figure99"])
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,100 @@
+"""Behavioral signatures: each benchmark exercises the miss classes and
+silence sources its paper counterpart is known for."""
+
+import pytest
+
+from repro.system.system import System
+from repro.system.techniques import configure_technique
+from repro.workloads.registry import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def profiles(tmp_path_factory):
+    """Baseline-run summaries for all seven benchmarks (small scale)."""
+    from repro.common.config import scaled_config
+    from repro.experiments.runner import summarize
+
+    out = {}
+    for name in (
+        "ocean", "radiosity", "raytrace", "specjbb", "specweb", "tpc-b", "tpc-h",
+    ):
+        cfg = configure_technique(scaled_config(), "base")
+        result = System(cfg, get_benchmark(name, scale=0.25), seed=1).run(
+            max_cycles=200_000_000, max_events=100_000_000
+        )
+        out[name] = summarize(result)
+    return out
+
+
+def comm_fraction(p):
+    return p["miss_comm"] / max(1, p["miss_total"])
+
+
+def capacityish_fraction(p):
+    return (p["miss_capacity"] + p["miss_cold"]) / max(1, p["miss_total"])
+
+
+def test_specjbb_is_capacity_dominated(profiles):
+    p = profiles["specjbb"]
+    assert capacityish_fraction(p) > 0.9
+    assert comm_fraction(p) < 0.1
+
+
+def test_tpcb_is_communication_heavy(profiles):
+    p = profiles["tpc-b"]
+    assert comm_fraction(p) > 0.5
+
+
+def test_tpcb_has_highest_comm_intensity(profiles):
+    """Misses per committed op: tpc-b leads the pack (§5.3)."""
+    intensity = {
+        name: p["miss_comm"] / p["committed"] for name, p in profiles.items()
+    }
+    assert intensity["tpc-b"] == max(intensity.values())
+
+
+def test_commercial_false_sharing_fraction_in_band(profiles):
+    """The paper: false sharing is 20-30% of comm misses in commercial
+    workloads, 10-20% in scientific (with the parameters of Table 1)."""
+    for name in ("tpc-b", "specweb"):
+        p = profiles[name]
+        frac = p["miss_comm_false"] / max(1, p["miss_comm"])
+        assert 0.1 < frac < 0.6, (name, frac)
+
+
+def test_tss_present_in_comm_misses(profiles):
+    for name in ("tpc-b", "radiosity", "specweb"):
+        p = profiles[name]
+        assert p["miss_comm_tss"] > 0, name
+
+
+def test_scientific_low_miss_rates(profiles):
+    """Scientific codes miss far less per op than OLTP (§5.3: 'many
+    times an order of magnitude')."""
+    sci = profiles["ocean"]["miss_total"] / profiles["ocean"]["committed"]
+    oltp = profiles["tpc-b"]["miss_total"] / profiles["tpc-b"]["committed"]
+    assert oltp > 3 * sci
+
+
+def test_everyone_commits_synchronization(profiles):
+    for name, p in profiles.items():
+        assert p["larx"] > 0 and p["stcx"] > 0, name
+
+
+def test_stream_benchmarks_have_largest_miss_volume(profiles):
+    """Streaming footprints dominate absolute miss counts."""
+    misses = {n: p["miss_total"] for n, p in profiles.items()}
+    top_two = sorted(misses, key=misses.get, reverse=True)[:3]
+    assert "specjbb" in top_two or "tpc-h" in top_two
+
+
+def test_us_store_rates_in_band(profiles):
+    for name, p in profiles.items():
+        stores = p["stores"] + p["stcx"]
+        rate = p["us_stores"] / max(1, stores)
+        assert 0.005 < rate < 0.5, (name, rate)
+
+
+def test_ts_stores_everywhere(profiles):
+    for name, p in profiles.items():
+        assert p["ts_stores"] > 0, name

@@ -1,0 +1,151 @@
+"""Lock/barrier/atomic fragments: protocol-level behavior."""
+
+import pytest
+
+from repro.common.rng import SplitRng
+from repro.cpu.isa import OpKind
+from repro.cpu.program import BlockBuilder
+from repro.workloads.locks import (
+    FREE,
+    BarrierSpace,
+    acquire_lock,
+    atomic_add,
+    barrier_wait,
+    release_lock,
+)
+
+
+@pytest.fixture
+def b():
+    return BlockBuilder()
+
+
+@pytest.fixture
+def rng():
+    return SplitRng("locks")
+
+
+LOCK = 0x7000
+
+
+class TestAcquire:
+    def test_acquires_when_free(self, b, rng):
+        gen = acquire_lock(b, rng, LOCK, pc=0x10, held=3)
+        block = gen.send(None)
+        assert block[-1].kind is OpKind.LARX
+        block = gen.send(FREE)  # lock observed free
+        assert block[-1].kind is OpKind.STCX
+        assert block[-1].op if False else block[-1].value == 3
+        assert block[-1].meta["sle_fallback"] == ("cas",)
+        with pytest.raises(StopIteration):
+            gen.send(1)  # stcx succeeded: fragment done
+
+    def test_spins_while_held(self, b, rng):
+        gen = acquire_lock(b, rng, LOCK, pc=0x10)
+        gen.send(None)
+        block = gen.send(7)  # held by someone
+        assert block[-1].kind is OpKind.LARX  # retry, no stcx
+        # Backoff filler precedes the retry.
+        assert any(op.kind is OpKind.ALU for op in block)
+
+    def test_retries_on_stcx_failure(self, b, rng):
+        gen = acquire_lock(b, rng, LOCK, pc=0x10)
+        gen.send(None)
+        gen.send(FREE)
+        block = gen.send(0)  # stcx failed
+        assert block[-1].kind is OpKind.LARX
+
+    def test_kernel_acquire_appends_isync(self, b, rng):
+        gen = acquire_lock(b, rng, LOCK, pc=0x10, kernel=True)
+        gen.send(None)
+        gen.send(FREE)
+        with pytest.raises(StopIteration):
+            gen.send(1)
+        # The isync is left pending for the caller's CS block.
+        assert b.pending == 1
+        release_lock(b, LOCK)
+        block = b.take()
+        assert block[0].kind is OpKind.ISYNC
+        assert block[-1].kind is OpKind.STORE and block[-1].value == FREE
+
+    def test_release_is_sync_then_store(self, b):
+        release_lock(b, LOCK, pc=5)
+        block = b.take()
+        assert [op.kind for op in block] == [OpKind.SYNC, OpKind.STORE]
+        assert block[1].addr == LOCK and block[1].value == FREE
+
+
+class TestAtomicAdd:
+    def test_returns_observed_value(self, b, rng):
+        gen = atomic_add(b, LOCK, pc=0x20, delta=4)
+        block = gen.send(None)
+        assert block[-1].kind is OpKind.LARX
+        block = gen.send(10)
+        stcx = block[-1]
+        assert stcx.kind is OpKind.STCX and stcx.value == 14
+        assert stcx.meta["sle_fallback"] == ("add", 4)
+        with pytest.raises(StopIteration) as exc:
+            gen.send(1)
+        assert exc.value.value == 10  # the observed value
+
+    def test_retries_until_success(self, b, rng):
+        gen = atomic_add(b, LOCK, pc=0x20)
+        gen.send(None)
+        gen.send(5)
+        block = gen.send(0)  # stcx failed: re-larx
+        assert block[-1].kind is OpKind.LARX
+
+
+class TestBarrier:
+    def make(self, n):
+        return BarrierSpace(
+            lock_addr=0x8000, count_addr=0x8100, flag_addr=0x8180, n_threads=n
+        )
+
+    def test_last_arriver_flips(self, b, rng):
+        bar = self.make(2)
+        sense = {"sense": 0}
+        gen = barrier_wait(b, rng, bar, sense, pc=0x30)
+        gen.send(None)  # larx
+        gen.send(FREE)  # stcx
+        block = gen.send(1)  # stcx ok -> count load
+        assert block[-1].addr == bar.count_addr and block[-1].control
+        flip = gen.send(1)  # count+1 == 2: we are last -> flip block
+        stores = [op for op in flip if op.kind is OpKind.STORE]
+        assert any(op.addr == bar.flag_addr for op in stores)
+        assert any(op.addr == bar.count_addr and op.value == 0 for op in stores)
+        with pytest.raises(StopIteration):
+            gen.send(None)  # flipper does not spin
+        assert sense["sense"] == 1
+
+    def test_early_arriver_spins_until_flag(self, b, rng):
+        bar = self.make(4)
+        sense = {"sense": 0}
+        gen = barrier_wait(b, rng, bar, sense, pc=0x30)
+        gen.send(None)
+        gen.send(FREE)
+        gen.send(1)
+        block = gen.send(0)  # count 0: not last -> increment + release
+        assert any(
+            op.kind is OpKind.STORE and op.addr == bar.count_addr and op.value == 1
+            for op in block
+        )
+        block = gen.send(None)  # spin iteration
+        assert block[-1].addr == bar.flag_addr and block[-1].control
+        block = gen.send(0)  # flag not flipped yet: keep spinning
+        assert block[-1].addr == bar.flag_addr
+        with pytest.raises(StopIteration):
+            gen.send(1)  # flag == our sense target
+
+    def test_sense_reverses_each_round(self, b, rng):
+        bar = self.make(1)
+        sense = {"sense": 0}
+        for expected in (1, 0, 1):
+            gen = barrier_wait(b, rng, bar, sense, pc=0x30)
+            gen.send(None)
+            gen.send(FREE)
+            gen.send(1)
+            gen.send(0)  # count+1 == 1: sole thread always flips
+            with pytest.raises(StopIteration):
+                gen.send(None)
+            assert sense["sense"] == expected

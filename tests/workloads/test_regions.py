@@ -1,0 +1,52 @@
+"""Region allocator."""
+
+import pytest
+
+from repro.workloads.regions import Region, RegionAllocator
+
+
+def test_alloc_line_aligned_and_disjoint():
+    alloc = RegionAllocator()
+    a = alloc.alloc("a", 4)
+    b = alloc.alloc("b", 2)
+    assert a.base % 64 == 0 and b.base % 64 == 0
+    assert a.end <= b.base  # guard gap keeps them apart
+    assert b.base - a.end >= 64
+
+
+def test_duplicate_name_rejected():
+    alloc = RegionAllocator()
+    alloc.alloc("x", 1)
+    with pytest.raises(ValueError):
+        alloc.alloc("x", 1)
+
+
+def test_zero_lines_rejected():
+    with pytest.raises(ValueError):
+        RegionAllocator().alloc("x", 0)
+
+
+def test_region_addressing():
+    r = Region("r", 0x1000, 4)
+    assert r.line(0) == 0x1000
+    assert r.line(1) == 0x1040
+    assert r.line(4) == 0x1000  # wraps
+    assert r.word(0, 0) == 0x1000
+    assert r.word(0, 7) == 0x1038
+    assert r.word(0, 8) == 0x1000  # word wraps
+    assert r.size_bytes == 256
+
+
+def test_lock_line_is_one_padded_line():
+    alloc = RegionAllocator()
+    lock = alloc.lock_line("l")
+    other = alloc.alloc("d", 1)
+    assert lock % 64 == 0
+    assert other.base - lock >= 128  # own line + guard
+
+
+def test_registry_tracks_regions():
+    alloc = RegionAllocator()
+    alloc.alloc("a", 1)
+    alloc.alloc("b", 2)
+    assert set(alloc.regions) == {"a", "b"}
