@@ -14,6 +14,9 @@ Public API tour:
   — build and run a simulation, returning a
   :class:`~repro.system.system.RunResult`.
 * :mod:`repro.experiments` — regenerate every table and figure.
+* :class:`repro.obs.Tracer` — structured event tracing (pass to
+  :class:`System`); histograms/profiling in :mod:`repro.obs` and
+  :mod:`repro.common.stats` (docs/observability.md).
 """
 
 from repro.common.config import (
@@ -23,6 +26,7 @@ from repro.common.config import (
     scaled_config,
     table1_config,
 )
+from repro.obs import TraceFilter, Tracer
 from repro.system.system import RunResult, System, run_workload
 from repro.system.techniques import ALL_TECHNIQUES, configure_technique
 from repro.workloads.registry import BENCHMARKS, get_benchmark
@@ -38,6 +42,8 @@ __all__ = [
     "RunResult",
     "System",
     "run_workload",
+    "Tracer",
+    "TraceFilter",
     "ALL_TECHNIQUES",
     "configure_technique",
     "BENCHMARKS",

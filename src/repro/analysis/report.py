@@ -64,6 +64,9 @@ def render_grouped_bars(
             bar = ascii_bar(value, peak, width)
             lines.append(f"  {name.ljust(label_w)} |{bar} {value:.3f}{unit}")
         if baseline is not None:
-            lines.append(f"  {'(baseline)'.ljust(label_w)} |{ascii_bar(baseline, peak, width, '.')} {baseline:.3f}{unit}")
+            base_bar = ascii_bar(baseline, peak, width, ".")
+            lines.append(
+                f"  {'(baseline)'.ljust(label_w)} |{base_bar} {baseline:.3f}{unit}"
+            )
         lines.append("")
     return "\n".join(lines)

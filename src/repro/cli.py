@@ -3,6 +3,8 @@
 Usage (installed as ``repro-sim``, or ``python -m repro.cli``):
 
     repro-sim run tpc-b --technique emesti+lvp --scale 0.5 --seed 1
+    repro-sim run locks --technique emesti --trace /tmp/t.json --trace-format chrome
+    repro-sim report /tmp/t.json
     repro-sim experiment figure7 --scale 0.6
     repro-sim list
 """
@@ -10,13 +12,19 @@ Usage (installed as ``repro-sim``, or ``python -m repro.cli``):
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 
 from repro.common.config import scaled_config
+from repro.common.errors import ConfigError
 from repro.experiments.runner import summarize
+from repro.obs.profiler import SimProfiler
+from repro.obs.report import read_trace, render_report, summarize_trace
+from repro.obs.tracer import TraceFilter, Tracer
 from repro.system.system import System
 from repro.system.techniques import ALL_TECHNIQUES, configure_technique
-from repro.workloads.registry import BENCHMARKS, get_benchmark
+from repro.workloads.registry import BENCHMARKS, EXTRA_BENCHMARKS, get_benchmark
 
 EXPERIMENTS = (
     "table2", "figure6", "figure7", "figure8", "sle_idioms", "ablations",
@@ -26,21 +34,50 @@ EXPERIMENTS = (
 
 def cmd_list(_args) -> int:
     """Handle ``repro-sim list``."""
-    print("benchmarks: ", ", ".join(BENCHMARKS))
+    print("benchmarks: ", ", ".join(list(BENCHMARKS) + sorted(EXTRA_BENCHMARKS)))
     print("techniques: ", ", ".join(ALL_TECHNIQUES))
     print("experiments:", ", ".join(EXPERIMENTS))
     return 0
+
+
+def _make_tracer(args) -> Tracer | None:
+    """Build the Tracer requested by ``run`` flags, or None."""
+    if not args.trace:
+        return None
+    filt = TraceFilter.parse(args.trace_filter) if args.trace_filter else None
+    # Fail on an unwritable path now, not after a long simulation.
+    with open(args.trace, "w"):
+        pass
+    return Tracer(filter=filt, ring=args.trace_ring)
 
 
 def cmd_run(args) -> int:
     """Handle ``repro-sim run``."""
     config = configure_technique(scaled_config(n_procs=args.procs), args.technique)
     workload = get_benchmark(args.benchmark, scale=args.scale)
-    result = System(config, workload, seed=args.seed).run()
+    tracer = _make_tracer(args)
+    system = System(config, workload, seed=args.seed, tracer=tracer)
+    profiler = SimProfiler() if args.profile else None
+    if profiler is not None:
+        system.scheduler.enable_profiling(profiler)
+    result = system.run(heartbeat=args.heartbeat)
     summary = summarize(result)
     width = max(len(k) for k in summary)
     for key, value in summary.items():
         print(f"{key.ljust(width)} : {value}")
+    if tracer is not None:
+        tracer.save(args.trace, format=args.trace_format)
+        print(f"trace: {len(tracer.events)} events -> {args.trace} "
+              f"({args.trace_format}, {tracer.dropped} filtered)")
+    if profiler is not None:
+        print(profiler.report())
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Handle ``repro-sim report``."""
+    events = read_trace(args.trace)
+    print(render_report(summarize_trace(events, top=args.top)))
     return 0
 
 
@@ -60,16 +97,58 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-sim",
         description="Temporal-silence reproduction simulator (ISPASS 2005)",
     )
+    verbosity = parser.add_mutually_exclusive_group()
+    verbosity.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="debug-level progress logging",
+    )
+    verbosity.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="warnings and errors only",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list benchmarks, techniques, experiments")
 
     run_p = sub.add_parser("run", help="run one benchmark/technique cell")
-    run_p.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    run_p.add_argument(
+        "benchmark", choices=sorted(BENCHMARKS) + sorted(EXTRA_BENCHMARKS)
+    )
     run_p.add_argument("--technique", default="base")
     run_p.add_argument("--scale", type=float, default=0.5)
     run_p.add_argument("--seed", type=int, default=1)
     run_p.add_argument("--procs", type=int, default=4)
+    run_p.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a structured event trace to PATH",
+    )
+    run_p.add_argument(
+        "--trace-format", choices=("jsonl", "chrome"), default="jsonl",
+        help="trace output format (chrome loads in Perfetto/about:tracing)",
+    )
+    run_p.add_argument(
+        "--trace-filter", metavar="SPEC", default=None,
+        help="only record matching events, e.g. 'kind=validate|bus.grant,node=0-3'",
+    )
+    run_p.add_argument(
+        "--trace-ring", metavar="N", type=int, default=None,
+        help="keep only the last N events (bounded-memory ring buffer)",
+    )
+    run_p.add_argument(
+        "--heartbeat", metavar="CYCLES", type=int, default=0,
+        help="log a progress heartbeat every CYCLES simulated cycles",
+    )
+    run_p.add_argument(
+        "--profile", action="store_true",
+        help="attribute wall time to simulator components",
+    )
+
+    report_p = sub.add_parser("report", help="summarize a saved trace")
+    report_p.add_argument("trace", help="trace file (jsonl or chrome)")
+    report_p.add_argument(
+        "--top", type=int, default=10,
+        help="rows per ranking (hot lines, nodes)",
+    )
 
     exp_p = sub.add_parser("experiment", help="regenerate a table/figure")
     exp_p.add_argument("name", choices=EXPERIMENTS)
@@ -78,11 +157,33 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _configure_logging(args) -> None:
+    """Map -q/-v to a root logging level (idempotent across calls)."""
+    if args.quiet:
+        level = logging.WARNING
+    elif args.verbose:
+        level = logging.DEBUG
+    else:
+        level = logging.INFO
+    logging.basicConfig(level=level, format="%(levelname)s %(name)s: %(message)s")
+    logging.getLogger().setLevel(level)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    handlers = {"list": cmd_list, "run": cmd_run, "experiment": cmd_experiment}
-    return handlers[args.command](args)
+    _configure_logging(args)
+    handlers = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "report": cmd_report,
+        "experiment": cmd_experiment,
+    }
+    try:
+        return handlers[args.command](args)
+    except (ConfigError, OSError, json.JSONDecodeError) as exc:
+        print(f"repro-sim: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -25,6 +25,7 @@ from repro.common.rng import SplitRng
 from repro.common.stats import ScopedStats
 from repro.coherence.messages import BusTransaction, TxnKind
 from repro.memory.mainmem import MainMemory
+from repro.obs.tracer import NULL_TRACER
 
 
 class SnoopClient(Protocol):
@@ -62,16 +63,19 @@ class SnoopBus:
         stats: ScopedStats,
         jitter: int = 0,
         rng: SplitRng | None = None,
+        tracer=NULL_TRACER,
     ):
         self.scheduler = scheduler
         self.config = config
         self.memory = memory
         self.stats = stats
+        self.tracer = tracer
         self._jitter = jitter
         self._rng = rng or SplitRng("bus")
         self._clients: list[SnoopClient] = []
         self._addr_free_at = 0
         self._data_free_at = 0
+        self._queue_hist = stats.histogram("queue_depth")
 
     def attach(self, client: SnoopClient) -> None:
         """Register a coherence controller on the bus."""
@@ -87,6 +91,11 @@ class SnoopBus:
     ) -> None:
         """Queue an address transaction; ``on_complete`` fires at completion."""
         grant = max(self.scheduler.now, self._addr_free_at)
+        # Queue depth in transactions ahead of this one (the wait for
+        # the address bus, in occupancy slots).
+        self._queue_hist.record(
+            (grant - self.scheduler.now) // self.config.addr_occupancy
+        )
         self._addr_free_at = grant + self.config.addr_occupancy
         self.scheduler.at(grant, lambda: self._execute(txn, on_complete))
 
@@ -102,6 +111,10 @@ class SnoopBus:
         requester = self._clients[txn.requester]
         if not requester.pre_grant(txn):
             self.stats.add("txn.cancelled")
+            self.tracer.emit(
+                "bus.cancel", node=txn.requester, base=txn.base,
+                txn=txn.kind.value,
+            )
             return
         self.stats.add(f"txn.{txn.kind.value.lower()}")
         self.stats.add("txn.total")
@@ -130,6 +143,12 @@ class SnoopBus:
         elif txn.kind is TxnKind.WRITEBACK:
             assert txn.data is not None
             self.memory.write_line(txn.base, txn.data)
+
+        self.tracer.emit(
+            "bus.grant", node=txn.requester, base=txn.base,
+            txn=txn.kind.value, shared=result.shared,
+            owner=result.dirty_owner,
+        )
 
         for client in remotes:
             client.snoop_apply(txn)

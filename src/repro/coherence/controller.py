@@ -38,6 +38,7 @@ from repro.coherence.states import LineState
 from repro.memory.cache import CacheLine, SetAssocCache
 from repro.memory.mainmem import MainMemory
 from repro.memory.stale import ExplicitStaleDetector
+from repro.obs.tracer import NULL_TRACER
 
 
 class CoherenceController:
@@ -50,19 +51,27 @@ class CoherenceController:
         bus: SnoopBus,
         memory: MainMemory,
         stats: ScopedStats,
+        tracer=NULL_TRACER,
     ):
         self.node_id = node_id
         self.config = config
         self.bus = bus
         self.memory = memory
         self.stats = stats
+        self.tracer = tracer
         self.l2 = SetAssocCache(config.l2, f"P{node_id}.L2")
         self.protocol = make_protocol(config.protocol)
         self.policy = make_validate_policy(
             config.protocol.validate_policy,
             config.protocol.predictor,
             stats.scoped("predictor"),
+            tracer=tracer,
+            node_id=node_id,
         )
+        # Validate-to-reuse distance: cycle of the last revalidation of
+        # each line, consumed at the node's next local touch of it.
+        self._revalidated_at: dict[int, int] = {}
+        self._reuse_hist = stats.histogram("validate_reuse_distance")
         self.stale_detector: ExplicitStaleDetector | None = None
         if config.protocol.stale_detection is StaleDetectionMode.EXPLICIT:
             self.stale_detector = ExplicitStaleDetector(
@@ -89,6 +98,10 @@ class CoherenceController:
     def local_access(self, line: CacheLine) -> None:
         """Bookkeeping for a local hit (LRU touch, VS demotion)."""
         self.l2.touch(line)
+        if self._revalidated_at:
+            revalidated = self._revalidated_at.pop(line.base, None)
+            if revalidated is not None:
+                self._reuse_hist.record(self.bus.scheduler.now - revalidated)
         demote = getattr(self.protocol, "on_local_access", None)
         if demote is not None:
             demote(line)
@@ -139,9 +152,15 @@ class CoherenceController:
         assert data is not None
         line = self.l2.lookup(txn.base)
         fresh = line is None
+        pre_state = None if fresh else line.state
         if fresh:
             line = self._allocate(txn.base)
         line.state = self.protocol.fill_state(txn.kind, txn.result)
+        self.tracer.emit(
+            "cache.transition", node=self.node_id, base=txn.base,
+            frm=pre_state.value if pre_state is not None else None,
+            to=line.state.value, via=txn.kind.value,
+        )
         line.data = list(data)
         line.dirty_mask = 0
         line.visible = list(data)
@@ -188,6 +207,10 @@ class CoherenceController:
                 f"P{self.node_id} completed an Upgrade for {txn.base:#x} "
                 f"without a shared copy (pre_grant should have converted it)"
             )
+        self.tracer.emit(
+            "cache.transition", node=self.node_id, base=txn.base,
+            frm=line.state.value, to=LineState.M.value, via=txn.kind.value,
+        )
         line.state = LineState.M
         line.dirty_mask = 0
         self.l2.touch(line)
@@ -202,6 +225,8 @@ class CoherenceController:
 
     def _handle_eviction(self, evicted) -> None:
         self.stats.add("l2.evictions")
+        if self._revalidated_at:
+            self._revalidated_at.pop(evicted.base, None)
         if self.on_line_evicted is not None:
             self.on_line_evicted(evicted.base)
         if self.stale_detector is not None:
@@ -257,6 +282,9 @@ class CoherenceController:
             self._broadcast_validate(line)
         else:
             self.stats.add("validates_suppressed")
+            self.tracer.emit(
+                "validate.suppressed", node=self.node_id, base=line.base
+            )
 
     def _ts_candidate(self, line: CacheLine) -> list[int] | None:
         if self.stale_detector is not None:
@@ -275,6 +303,10 @@ class CoherenceController:
         )
         self.bus.request(txn)
         self.stats.add("validates_broadcast")
+        self.tracer.emit(
+            "validate.broadcast", node=self.node_id, base=line.base,
+            to=line.state.value,
+        )
 
     # ------------------------------------------------------------------
     # Reservations (larx/stcx)
@@ -325,6 +357,12 @@ class CoherenceController:
             self.policy.on_external_request(line, txn.kind)
         supplied = txn.result.dirty_owner == self.node_id
         self.protocol.snoop_apply(line, txn.kind, txn.result)
+        if line.state is not pre_state:
+            self.tracer.emit(
+                "cache.transition", node=self.node_id, base=txn.base,
+                frm=pre_state.value, to=line.state.value,
+                via=f"snoop:{txn.kind.value}",
+            )
         self._post_snoop_effects(txn, line, pre_state, supplied)
 
     def _post_snoop_effects(
@@ -350,6 +388,8 @@ class CoherenceController:
             # We lost the line: drop L1 copy and the explicit stale
             # candidate; notify the node (SLE conflicts, miss
             # classification snapshots).
+            if self._revalidated_at:
+                self._revalidated_at.pop(base, None)
             if self.stale_detector is not None:
                 self.stale_detector.on_invalidate(base)
             if self.on_line_invalidated is not None:
@@ -358,3 +398,8 @@ class CoherenceController:
             # Re-installed: the saved value is the globally visible one.
             line.visible = list(line.data)
             self.stats.add("revalidations")
+            self._revalidated_at[base] = self.bus.scheduler.now
+            self.tracer.emit(
+                "validate.revalidate", node=self.node_id, base=base,
+                by=txn.requester, to=line.state.value,
+            )

@@ -44,6 +44,7 @@ from repro.common.stats import ScopedStats
 from repro.coherence.bus import CompletionCallback, SnoopClient
 from repro.coherence.messages import BusTransaction, TxnKind
 from repro.memory.mainmem import MainMemory
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass
@@ -67,11 +68,13 @@ class DirectoryNetwork:
         jitter: int = 0,
         rng: SplitRng | None = None,
         hop_latency: int | None = None,
+        tracer=NULL_TRACER,
     ):
         self.scheduler = scheduler
         self.config = config
         self.memory = memory
         self.stats = stats
+        self.tracer = tracer
         self._jitter = jitter
         self._rng = rng or SplitRng("directory")
         # One extra hop through the home; default half the address
@@ -82,6 +85,7 @@ class DirectoryNetwork:
         self._home_free_at = 0
         self._data_free_at = 0
         self._entries: dict[int, DirectoryEntry] = {}
+        self._queue_hist = stats.histogram("queue_depth")
 
     # -- SnoopBus-compatible surface -------------------------------------
 
@@ -102,6 +106,9 @@ class DirectoryNetwork:
         # occupancy (the directory is the ordering point).
         arrive = self.scheduler.now + self.hop_latency
         grant = max(arrive, self._home_free_at)
+        self._queue_hist.record(
+            (grant - arrive) // self.config.addr_occupancy
+        )
         self._home_free_at = grant + self.config.addr_occupancy
         self.scheduler.at(grant, lambda: self._execute(txn, on_complete))
 
@@ -121,6 +128,10 @@ class DirectoryNetwork:
         requester = self._clients[txn.requester]
         if not requester.pre_grant(txn):
             self.stats.add("txn.cancelled")
+            self.tracer.emit(
+                "bus.cancel", node=txn.requester, base=txn.base,
+                txn=txn.kind.value,
+            )
             return
         self.stats.add(f"txn.{txn.kind.value.lower()}")
         self.stats.add("txn.total")
@@ -162,6 +173,11 @@ class DirectoryNetwork:
             assert txn.data is not None
             self.memory.write_line(txn.base, txn.data)
 
+        self.tracer.emit(
+            "bus.grant", node=txn.requester, base=txn.base,
+            txn=txn.kind.value, shared=result.shared,
+            owner=result.dirty_owner, targets=len(targets),
+        )
         for node in targets:
             self._clients[node].snoop_apply(txn)
         requester.on_grant(txn, data)
@@ -221,7 +237,11 @@ class DirectoryNetwork:
                 else:
                     entry.sharers.add(req)
         elif kind in (TxnKind.READX, TxnKind.UPGRADE):
-            moved = (entry.sharers | {entry.owner} if entry.owner is not None else set(entry.sharers))
+            moved = (
+                entry.sharers | {entry.owner}
+                if entry.owner is not None
+                else set(entry.sharers)
+            )
             moved.discard(req)
             moved.discard(None)
             # Invalidated copies become T-copies under a T-protocol;

@@ -15,6 +15,7 @@ from repro.common.stats import ScopedStats
 from repro.coherence.messages import SnoopResult, TxnKind
 from repro.coherence.predictor import UsefulValidatePredictor
 from repro.memory.cache import CacheLine
+from repro.obs.tracer import NULL_TRACER
 
 
 class ValidatePolicyBase:
@@ -71,8 +72,16 @@ class SnoopAwareValidate(ValidatePolicyBase):
 class PredictorValidate(ValidatePolicyBase):
     """Confidence-predicted validates (§2.4), requires Enhanced MESTI."""
 
-    def __init__(self, config: PredictorConfig, stats: ScopedStats):
-        self.predictor = UsefulValidatePredictor(config, stats)
+    def __init__(
+        self,
+        config: PredictorConfig,
+        stats: ScopedStats,
+        tracer=NULL_TRACER,
+        node_id: int = 0,
+    ):
+        self.predictor = UsefulValidatePredictor(
+            config, stats, tracer=tracer, node_id=node_id
+        )
 
     def should_validate(self, line: CacheLine) -> bool:
         """Decide whether this temporal silence broadcasts a validate."""
@@ -99,7 +108,11 @@ class PredictorValidate(ValidatePolicyBase):
 
 
 def make_validate_policy(
-    policy: ValidatePolicy, predictor_config: PredictorConfig, stats: ScopedStats
+    policy: ValidatePolicy,
+    predictor_config: PredictorConfig,
+    stats: ScopedStats,
+    tracer=NULL_TRACER,
+    node_id: int = 0,
 ) -> ValidatePolicyBase:
     """Build the policy object selected by the configuration."""
     if policy is ValidatePolicy.ALWAYS:
@@ -107,5 +120,5 @@ def make_validate_policy(
     if policy is ValidatePolicy.SNOOP_AWARE:
         return SnoopAwareValidate()
     if policy is ValidatePolicy.PREDICTOR:
-        return PredictorValidate(predictor_config, stats)
+        return PredictorValidate(predictor_config, stats, tracer, node_id)
     raise ConfigError(f"unknown validate policy {policy}")

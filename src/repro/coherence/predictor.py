@@ -31,15 +31,24 @@ from repro.memory.cache import (
     PRED_UPGRADE_WAIT,
     CacheLine,
 )
+from repro.obs.tracer import NULL_TRACER
 
 
 class UsefulValidatePredictor:
     """Drives the per-line confidence state stored in the L2 tags."""
 
-    def __init__(self, config: PredictorConfig, stats: ScopedStats):
+    def __init__(
+        self,
+        config: PredictorConfig,
+        stats: ScopedStats,
+        tracer=NULL_TRACER,
+        node_id: int = 0,
+    ):
         config.validate()
         self.config = config
         self._stats = stats
+        self._tracer = tracer
+        self._node_id = node_id
 
     def init_line(self, line: CacheLine) -> None:
         """Cold-allocate predictor storage for a newly filled line."""
@@ -56,6 +65,10 @@ class UsefulValidatePredictor:
         send = line.pred_conf >= self.config.threshold
         self._stats.add("ts_detects")
         self._stats.add("validates_sent" if send else "validates_suppressed")
+        self._tracer.emit(
+            "predictor.decide", node=self._node_id, base=line.base,
+            conf=line.pred_conf, send=send,
+        )
         return send
 
     def on_external_request(self, line: CacheLine) -> None:
@@ -64,6 +77,10 @@ class UsefulValidatePredictor:
             self._bump(line, self.config.increment)
             line.pred_state = PRED_START
             self._stats.add("useful_by_external_req")
+            self._tracer.emit(
+                "predictor.train", node=self._node_id, base=line.base,
+                conf=line.pred_conf, cause="external_request",
+            )
 
     def on_intermediate_store_upgrade(self, line: CacheLine) -> None:
         """A non-update-silent store hit a validated (shared) line."""
@@ -81,6 +98,11 @@ class UsefulValidatePredictor:
             self._bump(line, -self.config.decrement)
             self._stats.add("useless_by_snoop_response")
         line.pred_state = PRED_START
+        self._tracer.emit(
+            "predictor.train", node=self._node_id, base=line.base,
+            conf=line.pred_conf,
+            cause="useful_snoop" if useful else "useless_snoop",
+        )
 
     def on_intermediate_store_exclusive(self, line: CacheLine) -> None:
         """A non-update-silent store hit while we retained exclusivity.

@@ -169,8 +169,10 @@ class SLEConfig:
     enabled: bool = False
     rob_threshold: float = 0.5  # max critical-section fraction of the ROB
     restart_limit: int = 2  # restarts before falling back to real acquire
-    confidence_enabled: bool = True  # enhanced predictor (§4.2.3); False = Rajwar's simple restart threshold
-    isync_safety_check: bool = True  # §4.2.2 mechanism; False = naive (all kernel CS fail)
+    # Enhanced predictor (§4.2.3); False = Rajwar's simple restart threshold.
+    confidence_enabled: bool = True
+    # §4.2.2 mechanism; False = naive (all kernel CS fail).
+    isync_safety_check: bool = True
     # Rajwar's checkpointing variant (§4.2.1): speculation is bounded
     # by store-buffer capacity (speculative stores) rather than the
     # ROB, so region ops retire while speculation continues and much

@@ -62,6 +62,35 @@ class Scheduler:
         callback()
         return True
 
+    def enable_profiling(self, profiler) -> None:
+        """Attribute every fired event's wall time to ``profiler``.
+
+        ``profiler`` is a :class:`repro.obs.profiler.SimProfiler` (any
+        object with ``record(label, seconds)``).  The profiled step is
+        swapped in as an instance attribute, so the default ``step``
+        keeps zero profiling overhead when this is never called.
+        """
+        from time import perf_counter
+
+        from repro.obs.profiler import component_of
+
+        self._profiler = profiler
+        self._perf_counter = perf_counter
+        self._component_of = component_of
+        self.step = self._profiled_step  # type: ignore[method-assign]
+
+    def _profiled_step(self) -> bool:
+        perf_counter = self._perf_counter
+        if not self._queue:
+            return False
+        time, _, callback = heapq.heappop(self._queue)
+        self._now = time
+        self._events_fired += 1
+        start = perf_counter()
+        callback()
+        self._profiler.record(self._component_of(callback), perf_counter() - start)
+        return True
+
     def run(
         self,
         until: Callable[[], bool] | None = None,

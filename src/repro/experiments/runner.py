@@ -10,7 +10,11 @@ Figure 8 (address transactions) use the same matrix, Table 2 uses its
 from __future__ import annotations
 
 import json
+import logging
+import os
+import tempfile
 import time
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterable
 
@@ -26,6 +30,8 @@ import dataclasses
 DEFAULT_JITTER = 8
 
 RunSummary = dict
+
+log = logging.getLogger("repro.runner")
 
 
 def summarize(result: RunResult, wall_seconds: float = 0.0) -> RunSummary:
@@ -88,6 +94,19 @@ def summarize(result: RunResult, wall_seconds: float = 0.0) -> RunSummary:
     ):
         key = "sle_" + name.replace("failure.", "fail_")
         summary[key] = sum(stats.get(f"sle{i}.{name}") for i in range(n))
+    # Histogram-derived distribution fields (additive: every key above
+    # is untouched, so cached result files stay comparable).
+    miss_lat = stats.merged_histogram("miss_latency")
+    summary["miss_latency_p50"] = miss_lat.p50
+    summary["miss_latency_p95"] = miss_lat.p95
+    summary["miss_latency_p99"] = miss_lat.p99
+    summary["miss_latency_mean"] = miss_lat.mean
+    queue = stats.merged_histogram("queue_depth")
+    summary["bus_queue_depth_p50"] = queue.p50
+    summary["bus_queue_depth_p95"] = queue.p95
+    reuse = stats.merged_histogram("validate_reuse_distance")
+    summary["validate_reuse_p50"] = reuse.p50
+    summary["validate_reuse_count"] = reuse.count
     return summary
 
 
@@ -109,8 +128,23 @@ class MatrixRunner:
         self.verbose = verbose
         self._cache: dict[str, RunSummary] = {}
         self._cache_path = self.results_dir / f"{label}_scale{scale}.json"
+        self._dirty = False
+        self._batch_depth = 0
         if self._cache_path.exists():
             self._cache = json.loads(self._cache_path.read_text())
+
+    def __enter__(self) -> "MatrixRunner":
+        """Context-manager entry (flushes the cache on exit)."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Flush any unsaved results on context exit."""
+        self.close()
+
+    def close(self) -> None:
+        """Persist any unsaved results."""
+        if self._dirty:
+            self.flush()
 
     @staticmethod
     def key(benchmark: str, technique: str, seed: int) -> str:
@@ -134,13 +168,12 @@ class MatrixRunner:
         summary = summarize(result, time.time() - start)
         self._cache[key] = summary
         self._save()
-        if self.verbose:
-            print(
-                f"  ran {benchmark:>9s} / {technique:<15s} seed={seed} "
-                f"cycles={summary['cycles']:>9.0f} ipc={summary['ipc']:.2f} "
-                f"({summary['wall_seconds']:.1f}s)",
-                flush=True,
-            )
+        log.log(
+            logging.INFO if self.verbose else logging.DEBUG,
+            "ran %9s / %-15s seed=%d cycles=%9.0f ipc=%.2f (%.1fs)",
+            benchmark, technique, seed,
+            summary["cycles"], summary["ipc"], summary["wall_seconds"],
+        )
         return summary
 
     def run_matrix(
@@ -151,18 +184,63 @@ class MatrixRunner:
     ) -> dict[str, RunSummary]:
         """Run every requested cell; returns the key->summary mapping."""
         out = {}
-        for benchmark in benchmarks or BENCHMARKS:
-            for technique in techniques:
-                for seed in seeds:
-                    out[self.key(benchmark, technique, seed)] = self.run_one(
-                        benchmark, technique, seed
-                    )
+        with self._batch():
+            for benchmark in benchmarks or BENCHMARKS:
+                for technique in techniques:
+                    for seed in seeds:
+                        out[self.key(benchmark, technique, seed)] = self.run_one(
+                            benchmark, technique, seed
+                        )
         return out
 
     def cells(self, benchmark: str, technique: str, seeds: Iterable[int]) -> list[RunSummary]:
         """Fetch (running if needed) all seeds of one cell."""
-        return [self.run_one(benchmark, technique, s) for s in seeds]
+        with self._batch():
+            return [self.run_one(benchmark, technique, s) for s in seeds]
+
+    @contextmanager
+    def _batch(self):
+        """Defer cache writes until the enclosing sweep finishes.
+
+        ``_save()`` calls inside the ``with`` block only mark the cache
+        dirty; one atomic write happens on exit.  Re-entrant, and the
+        exit flush runs even when a run raises, so a partial sweep still
+        persists its completed cells.
+        """
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0 and self._dirty:
+                self.flush()
 
     def _save(self) -> None:
+        self._dirty = True
+        if self._batch_depth == 0:
+            self.flush()
+
+    def flush(self) -> None:
+        """Atomically write the result cache to disk.
+
+        The JSON is staged in a temp file in the same directory and
+        moved into place with :func:`os.replace`, so an interrupted
+        sweep can never leave a truncated cache behind.
+        """
         self.results_dir.mkdir(parents=True, exist_ok=True)
-        self._cache_path.write_text(json.dumps(self._cache, indent=1, sort_keys=True))
+        payload = json.dumps(self._cache, indent=1, sort_keys=True)
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=self._cache_path.name + ".", suffix=".tmp",
+            dir=self.results_dir,
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_path, self._cache_path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self._dirty = False

@@ -19,14 +19,23 @@ from repro.common.stats import ScopedStats
 from repro.coherence.states import LineState
 from repro.memory.cache import CacheLine
 from repro.memory.mshr import MSHREntry
+from repro.obs.tracer import NULL_TRACER
 
 
 class LVPUnit:
     """Per-node value prediction from tag-match invalid lines."""
 
-    def __init__(self, config: LVPConfig, stats: ScopedStats):
+    def __init__(
+        self,
+        config: LVPConfig,
+        stats: ScopedStats,
+        tracer=NULL_TRACER,
+        node_id: int = 0,
+    ):
         self.config = config
         self._stats = stats
+        self._tracer = tracer
+        self._node_id = node_id
 
     def candidate(self, line: CacheLine | None, word_index: int) -> int | None:
         """A usable stale value for a missing load, or None."""
@@ -57,8 +66,16 @@ class LVPUnit:
         if mismatched:
             self._stats.add("lvp.mispredictions", len(live))
             oldest = min(live, key=lambda d: d.consumer.seq)
+            self._tracer.emit(
+                "lvp.squash", node=self._node_id, base=entry.base,
+                deliveries=len(live), mismatched=len(mismatched),
+            )
             core.lvp_mispredict(oldest.consumer)
         else:
             self._stats.add("lvp.correct", len(live))
+            self._tracer.emit(
+                "lvp.verify", node=self._node_id, base=entry.base,
+                deliveries=len(live),
+            )
             for delivery in live:
                 core.lvp_verified(delivery.consumer)

@@ -25,6 +25,7 @@ from repro.coherence.states import LineState
 from repro.lvp.unit import LVPUnit
 from repro.memory.cache import CacheLine, SetAssocCache
 from repro.memory.mshr import MSHRFile
+from repro.obs.tracer import NULL_TRACER
 
 StoreCallback = Callable[[], None]
 BoolCallback = Callable[[bool], None]
@@ -41,6 +42,7 @@ class NodeMemory:
         controller: CoherenceController,
         stats: ScopedStats,
         classifier=None,
+        tracer=NULL_TRACER,
     ):
         self.node_id = node_id
         self.config = config
@@ -48,9 +50,11 @@ class NodeMemory:
         self.ctrl = controller
         self.stats = stats
         self.classifier = classifier
+        self.tracer = tracer
         self.l1 = SetAssocCache(config.l1, f"P{node_id}.L1")
         self.mshrs = MSHRFile(config.core.mshrs)
-        self.lvp = LVPUnit(config.lvp, stats)
+        self.lvp = LVPUnit(config.lvp, stats, tracer=tracer, node_id=node_id)
+        self._miss_hist = stats.histogram("miss_latency")
         self._deferred: list[Callable[[], None]] = []
         self.core = None  # set by the system builder; narrow interface
         self.sle_engine = None  # optional, set by the system builder
@@ -104,6 +108,10 @@ class NodeMemory:
             if spec_value is not None:
                 entry.record_speculation(widx, spec_value, winop)
                 self.stats.add("lvp.predictions")
+                self.tracer.emit(
+                    "lvp.predict", node=self.node_id, base=base,
+                    word=widx, value=spec_value,
+                )
                 return ("spec", self.config.l1.latency + self.config.l2.latency,
                         spec_value)
             return ("pending", 0, None)
@@ -131,6 +139,10 @@ class NodeMemory:
         )
         if spec_value is not None:
             self.stats.add("lvp.predictions")
+            self.tracer.emit(
+                "lvp.predict", node=self.node_id, base=base,
+                word=widx, value=spec_value,
+            )
             latency = self.config.l1.latency + self.config.l2.latency
             return ("spec", latency, spec_value)
         return ("pending", 0, None)
@@ -478,6 +490,12 @@ class NodeMemory:
     def _fill(self, base: int, data: list[int] | None) -> None:
         assert data is not None
         entry = self.mshrs.release(base)
+        latency = self.scheduler.now - entry.issued_at
+        self._miss_hist.record(latency)
+        self.tracer.emit(
+            "mem.miss", node=self.node_id, base=base,
+            ts=entry.issued_at, dur=latency, store=entry.is_store,
+        )
         if self.classifier is not None:
             self.classifier.on_fill(self.node_id, base, data)
         line = self.ctrl.lookup(base)

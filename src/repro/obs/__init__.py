@@ -1,0 +1,36 @@
+"""Simulation observability: tracing, profiling, and trace reports.
+
+* :class:`~repro.obs.tracer.Tracer` — typed structured event tracing
+  (JSONL / Chrome trace-event output, per-kind/node/address filtering,
+  bounded ring-buffer mode).  :data:`~repro.obs.tracer.NULL_TRACER` is
+  the zero-overhead default every component holds when tracing is off.
+* :class:`~repro.obs.profiler.SimProfiler` — per-component event counts
+  and wall-time attribution from the scheduler;
+  :class:`~repro.obs.profiler.Heartbeat` — periodic progress logging.
+* :func:`~repro.obs.report.read_trace` /
+  :func:`~repro.obs.report.summarize_trace` — load and summarize a
+  trace file (the ``repro-sim report`` command).
+"""
+
+from repro.obs.profiler import Heartbeat, SimProfiler
+from repro.obs.report import read_trace, render_report, summarize_trace
+from repro.obs.tracer import (
+    EVENT_KINDS,
+    NULL_TRACER,
+    TraceEvent,
+    TraceFilter,
+    Tracer,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "NULL_TRACER",
+    "TraceEvent",
+    "TraceFilter",
+    "Tracer",
+    "SimProfiler",
+    "Heartbeat",
+    "read_trace",
+    "render_report",
+    "summarize_trace",
+]

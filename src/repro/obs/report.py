@@ -1,0 +1,119 @@
+"""Trace file reading and summarization (``repro-sim report``).
+
+Reads a trace written by :class:`repro.obs.tracer.Tracer` in either
+format (JSONL or Chrome trace-event JSON), reduces it to counts per
+event kind / per node / per hot line address plus the covered cycle
+span, and renders a terminal report.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Any
+
+from repro.common.errors import ConfigError
+from repro.obs.tracer import TraceEvent
+
+
+def read_trace(path) -> list[TraceEvent]:
+    """Load a JSONL or Chrome-format trace back into events.
+
+    Format auto-detection: a Chrome trace is one JSON document with a
+    ``traceEvents`` key; anything else that parses line-by-line is
+    JSONL (whose every line also starts with ``{``, so the whole-file
+    parse — not the first character — is what disambiguates).
+    """
+    text = Path(path).read_text()
+    if not text.strip():
+        return []
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None  # multi-line JSONL
+    if isinstance(doc, dict):
+        if "traceEvents" in doc:
+            return _from_chrome(doc)
+        if "kind" not in doc:  # neither Chrome nor a single JSONL event
+            raise ConfigError("not a Chrome trace: missing 'traceEvents'")
+    events = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        raw = json.loads(line)
+        events.append(
+            TraceEvent(
+                ts=raw.pop("ts"),
+                kind=raw.pop("kind"),
+                node=raw.pop("node", None),
+                base=raw.pop("base", None),
+                fields=raw,
+            )
+        )
+    return events
+
+
+def _from_chrome(doc: dict[str, Any]) -> list[TraceEvent]:
+    if "traceEvents" not in doc:
+        raise ConfigError("not a Chrome trace: missing 'traceEvents'")
+    events = []
+    for raw in doc["traceEvents"]:
+        args = dict(raw.get("args", {}))
+        base = args.pop("base", None)
+        if isinstance(base, str):
+            base = int(base, 0)
+        if "dur" in raw:
+            args["dur"] = raw["dur"]
+        tid = raw.get("tid", -1)
+        events.append(
+            TraceEvent(
+                ts=raw["ts"],
+                kind=raw["name"],
+                node=None if tid == -1 else tid,
+                base=base,
+                fields=args,
+            )
+        )
+    return events
+
+
+def summarize_trace(events: list[TraceEvent], top: int = 10) -> dict[str, Any]:
+    """Reduce a trace to its headline numbers."""
+    kinds = Counter(e.kind for e in events)
+    nodes = Counter(e.node for e in events if e.node is not None)
+    bases = Counter(e.base for e in events if e.base is not None)
+    ts = [e.ts for e in events]
+    return {
+        "events": len(events),
+        "first_ts": min(ts) if ts else 0,
+        "last_ts": max(ts) if ts else 0,
+        "kinds": dict(kinds.most_common()),
+        "nodes": {f"P{n}": c for n, c in sorted(nodes.items())},
+        "hot_lines": {f"{b:#x}": c for b, c in bases.most_common(top)},
+    }
+
+
+def render_report(summary: dict[str, Any]) -> str:
+    """Render :func:`summarize_trace` output for the terminal."""
+    lines = [
+        f"events     : {summary['events']}",
+        f"cycle span : {summary['first_ts']} .. {summary['last_ts']}"
+        f" ({summary['last_ts'] - summary['first_ts']} cycles)",
+        "",
+        "by kind:",
+    ]
+    for kind, count in summary["kinds"].items():
+        lines.append(f"  {kind:<22s} {count:>8d}")
+    if summary["nodes"]:
+        lines.append("")
+        lines.append("by node:")
+        for node, count in summary["nodes"].items():
+            lines.append(f"  {node:<22s} {count:>8d}")
+    if summary["hot_lines"]:
+        lines.append("")
+        lines.append("hottest lines:")
+        for base, count in summary["hot_lines"].items():
+            lines.append(f"  {base:<22s} {count:>8d}")
+    return "\n".join(lines)

@@ -1,0 +1,281 @@
+"""Structured, typed simulation tracing.
+
+Every interesting protocol moment — a bus grant, a cache state
+transition (including T and Validate_Shared), a validate broadcast or
+suppression, an LVP prediction/verification/squash, an SLE
+attempt/abort — is emitted as a :class:`TraceEvent` with the simulated
+cycle, the node, the line address, and event-specific fields.  Traces
+serialize to JSON-lines (one event per line, grep/jq-friendly) or to
+the Chrome trace-event format (open in Perfetto / ``chrome://tracing``
+with one track per node).
+
+The taxonomy is the closed set in :data:`EVENT_KINDS`; dotted names
+group related events (``bus.*``, ``cache.*``, ``validate.*``,
+``lvp.*``, ``sle.*``, ``mem.*``, ``predictor.*``) so filters can match
+whole families by prefix.
+
+Disabled-by-default with zero cost: components hold a tracer reference
+that defaults to :data:`NULL_TRACER`, a dedicated no-op object that
+shares no code with :class:`Tracer` — there is no ``if enabled`` branch
+or filtering logic on the default path, only an empty method.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.common.errors import ConfigError
+
+#: The closed event taxonomy.  Dotted prefixes group families.
+EVENT_KINDS = frozenset(
+    {
+        # Address network / interconnect.
+        "bus.grant",          # transaction granted; aggregate snoop result
+        "bus.cancel",         # transaction cancelled at pre-grant fixup
+        # L2 line state machine (any protocol, incl. T and VS states).
+        "cache.transition",   # frm/to states, via = transaction kind
+        # Temporal-silence validate lifecycle.
+        "validate.broadcast",  # TS detected and validate sent
+        "validate.suppressed", # TS detected, policy suppressed the validate
+        "validate.revalidate", # remote T copy re-installed by a validate
+        # Useful-validate predictor (Figure 4).
+        "predictor.decide",   # confidence read at TS-detect: send yes/no
+        "predictor.train",    # confidence bumped (+/-) with the cause
+        # Load value prediction from stale lines.
+        "lvp.predict",        # stale word delivered speculatively
+        "lvp.verify",         # coherent data confirmed the prediction(s)
+        "lvp.squash",         # mismatch: machine squash at oldest consumer
+        # Speculative lock elision.
+        "sle.attempt",        # elision begun for a candidate region
+        "sle.commit",         # region committed atomically
+        "sle.abort",          # region aborted (reason field)
+        "sle.fallback",       # non-retried abort: fallback acquisition
+        # Memory hierarchy timing.
+        "mem.miss",           # one line miss, emitted at fill with dur
+    }
+)
+
+
+@dataclass
+class TraceEvent:
+    """One structured trace event."""
+
+    ts: int
+    kind: str
+    node: int | None = None
+    base: int | None = None
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flatten to the JSONL wire form."""
+        out: dict[str, Any] = {"ts": self.ts, "kind": self.kind}
+        if self.node is not None:
+            out["node"] = self.node
+        if self.base is not None:
+            out["base"] = self.base
+        out.update(self.fields)
+        return out
+
+
+class TraceFilter:
+    """Per-kind / per-node / per-address event filter.
+
+    ``kinds`` entries match exactly or by dotted prefix (``bus`` and
+    ``bus.`` both match every ``bus.*`` event); ``nodes`` and ``bases``
+    match exactly (events without a node/base always pass that clause).
+    """
+
+    def __init__(
+        self,
+        kinds: Iterable[str] | None = None,
+        nodes: Iterable[int] | None = None,
+        bases: Iterable[int] | None = None,
+    ):
+        self.kinds = tuple(k.rstrip(".") for k in kinds) if kinds else None
+        self.nodes = frozenset(nodes) if nodes is not None else None
+        self.bases = frozenset(bases) if bases is not None else None
+
+    def matches(self, kind: str, node: int | None, base: int | None) -> bool:
+        """True if an event with these coordinates should be kept."""
+        if self.kinds is not None and not any(
+            kind == k or kind.startswith(k + ".") for k in self.kinds
+        ):
+            return False
+        if self.nodes is not None and node is not None and node not in self.nodes:
+            return False
+        if self.bases is not None and base is not None and base not in self.bases:
+            return False
+        return True
+
+    @classmethod
+    def parse(cls, expr: str) -> "TraceFilter":
+        """Parse a CLI filter expression.
+
+        Grammar: comma-separated ``key=value[|value...]`` clauses with
+        keys ``kind``, ``node``, ``addr``.  Node values may be ranges
+        (``0-3``); addresses accept ``0x`` hex.  Example::
+
+            kind=validate|bus.grant,node=0-3,addr=0x1440
+        """
+        kinds: list[str] = []
+        nodes: list[int] = []
+        bases: list[int] = []
+        for clause in filter(None, (c.strip() for c in expr.split(","))):
+            key, sep, values = clause.partition("=")
+            if not sep:
+                raise ConfigError(f"bad trace filter clause {clause!r}")
+            for value in values.split("|"):
+                value = value.strip()
+                if key == "kind":
+                    kinds.append(value)
+                elif key == "node":
+                    lo, dash, hi = value.partition("-")
+                    if dash:
+                        nodes.extend(range(int(lo), int(hi) + 1))
+                    else:
+                        nodes.append(int(value))
+                elif key == "addr":
+                    bases.append(int(value, 0))
+                else:
+                    raise ConfigError(f"unknown trace filter key {key!r}")
+        return cls(
+            kinds=kinds or None,
+            nodes=nodes or None,
+            bases=bases or None,
+        )
+
+
+class _NullTracer:
+    """The do-nothing tracer installed by default.
+
+    Deliberately *not* a :class:`Tracer` subclass: the default
+    (untraced) simulation path reaches only this empty method and
+    shares none of the real tracer's filtering or buffering code.
+    """
+
+    __slots__ = ()
+
+    def emit(self, kind, node=None, base=None, ts=None, **fields):
+        """Discard the event."""
+
+
+#: Shared process-wide no-op tracer; components default to this.
+NULL_TRACER = _NullTracer()
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records during a simulation.
+
+    ``clock`` supplies the current cycle (bound to the scheduler by
+    :meth:`bind_clock` — :class:`repro.system.system.System` does this
+    automatically).  ``ring`` bounds the buffer to the most recent N
+    events (long-run flight-recorder mode); unbounded otherwise.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], int] | None = None,
+        filter: TraceFilter | None = None,
+        ring: int | None = None,
+    ):
+        if ring is not None and ring <= 0:
+            raise ConfigError(f"trace ring size must be positive, got {ring}")
+        self._clock = clock or (lambda: 0)
+        self.filter = filter
+        self.ring = ring
+        self._events: deque[TraceEvent] | list[TraceEvent]
+        self._events = deque(maxlen=ring) if ring else []
+        self.dropped = 0  # events rejected by the filter
+
+    def bind_clock(self, scheduler) -> None:
+        """Read timestamps from ``scheduler.now`` from now on."""
+        self._clock = lambda: scheduler.now
+
+    def emit(
+        self,
+        kind: str,
+        node: int | None = None,
+        base: int | None = None,
+        ts: int | None = None,
+        **fields: Any,
+    ) -> None:
+        """Record one event (``ts`` overrides the clock, e.g. for
+        duration events stamped at their start time)."""
+        if self.filter is not None and not self.filter.matches(kind, node, base):
+            self.dropped += 1
+            return
+        self._events.append(
+            TraceEvent(
+                ts=ts if ts is not None else self._clock(),
+                kind=kind,
+                node=node,
+                base=base,
+                fields=fields,
+            )
+        )
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """The buffered events, oldest first."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    # -- serialization ---------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line, in emission order."""
+        return "\n".join(json.dumps(e.to_dict()) for e in self._events)
+
+    def to_chrome(self) -> dict[str, Any]:
+        """The Chrome trace-event format (Perfetto-compatible).
+
+        One ``tid`` track per node; events carrying a ``dur`` field
+        become complete (``X``) duration events, the rest instants.
+        Events are sorted by timestamp so viewers see a monotone
+        timeline even when duration events were stamped retroactively.
+        """
+        trace_events = []
+        for e in sorted(self._events, key=lambda e: e.ts):
+            args = dict(e.fields)
+            if e.base is not None:
+                args["base"] = f"{e.base:#x}"
+            record: dict[str, Any] = {
+                "name": e.kind,
+                "cat": e.kind.split(".", 1)[0],
+                "ts": e.ts,
+                "pid": 0,
+                "tid": e.node if e.node is not None else -1,
+                "args": args,
+            }
+            dur = args.pop("dur", None)
+            if dur is not None:
+                record["ph"] = "X"
+                record["dur"] = dur
+            else:
+                record["ph"] = "i"
+                record["s"] = "t"
+            trace_events.append(record)
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ns",
+            "metadata": {"clock": "cycles"},
+        }
+
+    def save(self, path, format: str = "jsonl") -> None:
+        """Write the trace to ``path`` as ``jsonl`` or ``chrome``."""
+        if format == "jsonl":
+            text = self.to_jsonl() + "\n"
+        elif format == "chrome":
+            text = json.dumps(self.to_chrome(), indent=1)
+        else:
+            raise ConfigError(f"unknown trace format {format!r}")
+        with open(path, "w") as fh:
+            fh.write(text)

@@ -42,6 +42,7 @@ from repro.coherence.messages import BusTransaction, TxnKind
 from repro.cpu.core import Core, Phase, WinOp
 from repro.cpu.isa import OpKind
 from repro.memory.hierarchy import NodeMemory
+from repro.obs.tracer import NULL_TRACER
 from repro.sle.confidence import ElisionConfidence
 from repro.sle.idiom import IdiomTracker
 
@@ -66,12 +67,14 @@ class SLEEngine:
         node: NodeMemory,
         scheduler: Scheduler,
         stats: ScopedStats,
+        tracer=NULL_TRACER,
     ):
         self.config = config
         self.core = core
         self.node = node
         self.scheduler = scheduler
         self.stats = stats
+        self.tracer = tracer
         self.confidence = ElisionConfidence(config.sle, stats)
         self.idiom = IdiomTracker()
         self.max_region = max(4, int(config.sle.rob_threshold * config.core.rob_size))
@@ -209,6 +212,10 @@ class SLEEngine:
         self.restarts = 0
         self._reset_region()
         self.stats.add("attempts")
+        self.tracer.emit(
+            "sle.attempt", node=self.core.core_id, base=self.lock_base,
+            pc=self.stcx_pc,
+        )
 
     def _reset_region(self) -> None:
         self.region_ops = []
@@ -269,6 +276,10 @@ class SLEEngine:
         self.confidence.on_success(self.stcx_pc)
         self.stats.add("successes")
         self.stats.add("elided_region_ops", len(self.region_ops))
+        self.tracer.emit(
+            "sle.commit", node=self.core.core_id, base=self.lock_base,
+            ops=len(self.region_ops),
+        )
         ops = self.region_ops
         self._leave()
         self.core.release_region_ops(ops)
@@ -325,6 +336,10 @@ class SLEEngine:
 
     def _abort(self, reason: str, trigger: WinOp | None) -> None:
         self.stats.add(f"failure.{reason}")
+        self.tracer.emit(
+            "sle.abort", node=self.core.core_id, base=self.lock_base,
+            reason=reason, restarts=self.restarts,
+        )
         self.confidence.on_failure(self.stcx_pc, reason)
         checkpoint = self.config.sle.checkpoint_mode
         # Retired region stores cannot be squashed; they are re-applied
@@ -372,6 +387,9 @@ class SLEEngine:
         self._reset_region()
         self.core.stall_fetch(True)
         self.stats.add("fallback_acquisitions")
+        self.tracer.emit(
+            "sle.fallback", node=self.core.core_id, base=self.lock_base
+        )
         self._acquire(fallback, attempt=0)
 
     def _acquire(self, fallback: tuple, attempt: int) -> None:

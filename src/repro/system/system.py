@@ -23,6 +23,8 @@ from repro.coherence.controller import CoherenceController
 from repro.cpu.core import Core
 from repro.memory.hierarchy import NodeMemory
 from repro.memory.mainmem import MainMemory
+from repro.obs.profiler import Heartbeat
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sle.engine import SLEEngine
 
 
@@ -71,13 +73,26 @@ class RunResult:
 class System:
     """An N-processor snoop-based shared-memory multiprocessor."""
 
-    def __init__(self, config: MachineConfig, workload, seed: int | str = 0):
+    def __init__(
+        self,
+        config: MachineConfig,
+        workload,
+        seed: int | str = 0,
+        tracer: Tracer | None = None,
+    ):
         config.validate()
         self.config = config
         self.workload = workload
         self.rng = SplitRng(seed)
         self.scheduler = Scheduler()
         self.stats = StatsRegistry()
+        # Tracing defaults to the process-wide no-op object; a real
+        # Tracer is bound to this system's cycle clock.
+        if tracer is None:
+            self.tracer = NULL_TRACER
+        else:
+            tracer.bind_clock(self.scheduler)
+            self.tracer = tracer
         self.memory = MainMemory(config.line_size)
         if config.interconnect is InterconnectKind.DIRECTORY:
             self.bus = DirectoryNetwork(
@@ -87,6 +102,7 @@ class System:
                 self.stats.scoped("bus"),
                 jitter=config.latency_jitter,
                 rng=self.rng.split("bus"),
+                tracer=self.tracer,
             )
         else:
             self.bus = SnoopBus(
@@ -96,6 +112,7 @@ class System:
                 self.stats.scoped("bus"),
                 jitter=config.latency_jitter,
                 rng=self.rng.split("bus"),
+                tracer=self.tracer,
             )
         self.classifier = MissClassifier(self.stats.scoped("misses"), config.n_procs)
         programs = workload.build_programs(config, self.rng.split("workload"))
@@ -111,11 +128,13 @@ class System:
         self._finished = 0
         for i in range(config.n_procs):
             ctrl = CoherenceController(
-                i, config, self.bus, self.memory, self.stats.scoped(f"ctrl{i}")
+                i, config, self.bus, self.memory,
+                self.stats.scoped(f"ctrl{i}"), tracer=self.tracer,
             )
             node = NodeMemory(
                 i, config, self.scheduler, ctrl,
                 self.stats.scoped(f"node{i}"), classifier=self.classifier,
+                tracer=self.tracer,
             )
             core = Core(
                 i, config, self.scheduler, node, programs[i],
@@ -123,7 +142,8 @@ class System:
             )
             if config.sle.enabled:
                 engine = SLEEngine(
-                    config, core, node, self.scheduler, self.stats.scoped(f"sle{i}")
+                    config, core, node, self.scheduler,
+                    self.stats.scoped(f"sle{i}"), tracer=self.tracer,
                 )
                 self.engines.append(engine)
             self.controllers.append(ctrl)
@@ -138,10 +158,27 @@ class System:
         """True once every core's program completed."""
         return self._finished >= len(self.cores)
 
-    def run(self, max_cycles: int = 500_000_000, max_events: int = 200_000_000) -> RunResult:
-        """Run all programs to completion and return the result."""
+    def run(
+        self,
+        max_cycles: int = 500_000_000,
+        max_events: int = 200_000_000,
+        heartbeat: int = 0,
+    ) -> RunResult:
+        """Run all programs to completion and return the result.
+
+        ``heartbeat`` > 0 logs a progress line (cycles, committed ops,
+        IPC-so-far, events/sec) every that-many cycles through the
+        ``repro.heartbeat`` logger — observability for long runs.
+        """
         for core in self.cores:
             core.start()
+        if heartbeat:
+            Heartbeat(
+                self.scheduler,
+                heartbeat,
+                progress=self._progress,
+                stop=lambda: self.all_finished,
+            )
         self.scheduler.run(
             until=lambda: self.all_finished,
             max_cycles=max_cycles,
@@ -170,6 +207,15 @@ class System:
         return RunResult(
             cycles=cycles, committed=committed, stats=self.stats, config=self.config
         )
+
+    def _progress(self) -> dict:
+        committed = sum(core.committed for core in self.cores)
+        now = self.scheduler.now
+        return {
+            "committed": committed,
+            "ipc": committed / now if now else 0.0,
+            "finished": f"{self._finished}/{len(self.cores)}",
+        }
 
     def _record_summary(self, cycles: int, committed: int) -> None:
         self.stats.set("run.cycles", cycles)

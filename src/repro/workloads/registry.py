@@ -9,6 +9,7 @@ from repro.workloads.radiosity import RadiosityWorkload
 from repro.workloads.raytrace import RaytraceWorkload
 from repro.workloads.specjbb import SpecjbbWorkload
 from repro.workloads.specweb import SpecwebWorkload
+from repro.workloads.synthetic import LocksWorkload
 from repro.workloads.tpcb import TpcbWorkload
 from repro.workloads.tpch import TpchWorkload
 
@@ -26,12 +27,21 @@ BENCHMARKS: dict[str, type[BenchmarkWorkload]] = {
 SCIENTIFIC = ("ocean", "radiosity", "raytrace")
 COMMERCIAL = ("specjbb", "specweb", "tpc-b", "tpc-h")
 
+#: Microbenchmarks runnable by name but outside the Table 2 matrix
+#: (experiment sweeps iterate BENCHMARKS only).
+EXTRA_BENCHMARKS: dict[str, type[BenchmarkWorkload]] = {
+    "locks": LocksWorkload,
+}
 
-def get_benchmark(name: str, scale: float = 1.0, iterations: int | None = None) -> BenchmarkWorkload:
-    """Instantiate a benchmark by Table 2 name."""
-    cls = BENCHMARKS.get(name)
+
+def get_benchmark(
+    name: str, scale: float = 1.0, iterations: int | None = None
+) -> BenchmarkWorkload:
+    """Instantiate a benchmark by Table 2 name (or an extra by name)."""
+    cls = BENCHMARKS.get(name) or EXTRA_BENCHMARKS.get(name)
     if cls is None:
         raise ConfigError(
-            f"unknown benchmark {name!r}; choose from {sorted(BENCHMARKS)}"
+            f"unknown benchmark {name!r}; choose from "
+            f"{sorted(BENCHMARKS) + sorted(EXTRA_BENCHMARKS)}"
         )
     return cls(WorkloadParams(iterations=iterations, scale=scale))

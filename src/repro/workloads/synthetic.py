@@ -166,3 +166,32 @@ class SyntheticWorkload(BenchmarkWorkload):
                     us_prob=mix.us_prob,
                 )
         yield from self.finish(b)
+
+
+class LocksWorkload(SyntheticWorkload):
+    """Contended-locks microbenchmark (``locks``).
+
+    A pure lock-handoff stressor: every thread loops acquiring one of
+    a few shared locks, mutating the protected record, and releasing —
+    the canonical temporally-silent store pair — plus a sprinkle of
+    atomic increments.  The densest source of validates, T-state
+    transitions, and SLE candidates per simulated cycle, which makes it
+    the default workload for exercising the tracing/observability
+    stack.  Registered under ``EXTRA_BENCHMARKS`` (runnable by name,
+    excluded from the Table 2 experiment matrix).
+    """
+
+    name = "locks"
+    description = "contended lock handoff microbenchmark"
+    default_iterations = 120
+    cracking_ratio = 0.72
+
+    def __init__(self, params: WorkloadParams | None = None):
+        super().__init__(
+            SyntheticMix(
+                n_locks=2,
+                private_ops=6,
+                behaviors={"migratory": 1.0, "atomic": 0.25},
+            ),
+            params,
+        )

@@ -90,3 +90,74 @@ def test_events_fired_counts():
 
 def test_step_returns_false_when_empty():
     assert Scheduler().step() is False
+
+
+# -- stop-condition boundary semantics ------------------------------------
+
+
+def test_until_true_before_first_event():
+    sched = Scheduler()
+    fired = []
+    sched.at(1, lambda: fired.append(1))
+    sched.run(until=lambda: True)
+    assert fired == []
+    assert sched.pending() == 1
+
+
+def test_max_cycles_event_exactly_at_limit_fires():
+    sched = Scheduler()
+    fired = []
+    sched.at(100, lambda: fired.append(sched.now))
+    sched.run(max_cycles=100)  # at the limit is not past it
+    assert fired == [100]
+
+
+def test_max_cycles_final_event_past_limit_drains():
+    # The guard is checked before each step, so a last event past the
+    # limit still fires and the run ends when the queue drains.
+    sched = Scheduler()
+    fired = []
+    sched.at(150, lambda: fired.append(sched.now))
+    sched.run(max_cycles=100)
+    assert fired == [150]
+
+
+def test_max_cycles_raises_only_with_work_remaining():
+    sched = Scheduler()
+    fired = []
+    sched.at(150, lambda: fired.append(sched.now))
+    sched.at(160, lambda: fired.append(sched.now))
+    with pytest.raises(SimulationError, match="max_cycles=100"):
+        sched.run(max_cycles=100)
+    assert fired == [150]  # the crossing event fired; the next did not
+
+
+def test_max_events_exact_budget_plus_one_drains():
+    # The guard trips on *exceeding* the budget with work remaining, so
+    # limit+1 queued events still drain without an error...
+    sched = Scheduler()
+    for t in range(4):
+        sched.at(t, lambda: None)
+    sched.run(max_events=3)
+    assert sched.events_fired == 4
+
+
+def test_max_events_raise_count():
+    # ...and a longer backlog raises right after the limit+1-th event.
+    sched = Scheduler()
+    for t in range(10):
+        sched.at(t, lambda: None)
+    with pytest.raises(SimulationError, match="max_events=3"):
+        sched.run(max_events=3)
+    assert sched.events_fired == 4
+
+
+def test_max_events_budget_is_per_run():
+    sched = Scheduler()
+    for t in range(3):
+        sched.at(t, lambda: None)
+    sched.run(max_events=5)
+    for t in range(3, 6):
+        sched.at(t, lambda: None)
+    sched.run(max_events=5)  # fresh budget despite 6 total fired
+    assert sched.events_fired == 6

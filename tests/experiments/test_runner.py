@@ -110,3 +110,81 @@ class TestExperimentHarnesses:
             scale=0.02, seeds=(1,), results_dir=tmp_path, verbose=False
         )
         assert "Candidates" in out
+
+
+class TestHistogramSummaryFields:
+    def test_distribution_fields_present(self, small_result):
+        s = summarize(small_result)
+        assert s["miss_latency_p95"] >= s["miss_latency_p50"] > 0
+        assert s["miss_latency_p99"] >= s["miss_latency_p95"]
+        assert s["miss_latency_mean"] > 0
+        assert s["bus_queue_depth_p95"] >= s["bus_queue_depth_p50"] >= 0
+
+    def test_existing_keys_unchanged(self, small_result):
+        # The histogram fields are additive: every pre-existing summary
+        # key keeps its exact name.
+        s = summarize(small_result)
+        for key in (
+            "cycles", "committed", "ipc", "wall_seconds", "txn_total",
+            "miss_total", "loads", "stores", "us_stores", "ts_stores",
+            "validates_broadcast", "sle_attempts",
+        ):
+            assert key in s
+
+
+class TestBatchedAtomicSave:
+    def test_run_matrix_writes_once(self, tmp_path, monkeypatch):
+        runner = MatrixRunner(scale=0.02, results_dir=tmp_path, verbose=False)
+        flushes = []
+        real_flush = runner.flush
+        monkeypatch.setattr(
+            runner, "flush", lambda: (flushes.append(1), real_flush())
+        )
+        runner.run_matrix(
+            benchmarks=["radiosity"], techniques=("base",), seeds=(1, 2, 3)
+        )
+        assert len(flushes) == 1  # one write for three cells
+        cache = json.loads(runner._cache_path.read_text())
+        assert len(cache) == 3
+
+    def test_run_one_outside_batch_saves_immediately(self, tmp_path):
+        runner = MatrixRunner(scale=0.02, results_dir=tmp_path, verbose=False)
+        runner.run_one("radiosity", "base", 1)
+        assert runner._cache_path.exists()
+        assert not runner._dirty
+
+    def test_interrupted_batch_still_persists_completed_cells(self, tmp_path):
+        runner = MatrixRunner(scale=0.02, results_dir=tmp_path, verbose=False)
+        with pytest.raises(RuntimeError):
+            with runner._batch():
+                runner.run_one("radiosity", "base", 1)
+                raise RuntimeError("simulated crash mid-sweep")
+        assert json.loads(runner._cache_path.read_text())
+
+    def test_flush_leaves_no_temp_files(self, tmp_path):
+        runner = MatrixRunner(scale=0.02, results_dir=tmp_path, verbose=False)
+        runner.run_matrix(
+            benchmarks=["radiosity"], techniques=("base",), seeds=(1,)
+        )
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_context_manager_flushes(self, tmp_path):
+        with MatrixRunner(
+            scale=0.02, results_dir=tmp_path, verbose=False
+        ) as runner:
+            with runner._batch():
+                runner.run_one("radiosity", "base", 1)
+                # inner batch exits -> flush; dirty again after:
+                runner._cache["fake|cell|0"] = {"cycles": 1}
+                runner._dirty = True
+        cache = json.loads(runner._cache_path.read_text())
+        assert "fake|cell|0" in cache
+
+    def test_logging_progress(self, tmp_path, caplog):
+        import logging
+
+        runner = MatrixRunner(scale=0.02, results_dir=tmp_path, verbose=True)
+        with caplog.at_level(logging.INFO, logger="repro.runner"):
+            runner.run_one("radiosity", "base", 1)
+        assert "radiosity" in caplog.text and "ipc=" in caplog.text

@@ -1,0 +1,106 @@
+"""Profiling hooks: wall-time attribution and heartbeats."""
+
+import logging
+
+import pytest
+
+from repro.common.events import Scheduler
+from repro.obs.profiler import Heartbeat, SimProfiler, component_of
+
+
+class FakeBus:
+    """Module-level stand-in so qualnames look like real components."""
+
+    def pump(self):
+        """A bound-method callback."""
+
+    def request(self):
+        """Return a closure scheduled by this site."""
+        return lambda: None
+
+
+def tick():
+    """A plain-function callback."""
+
+
+class TestComponentOf:
+    def test_bound_method(self):
+        assert component_of(FakeBus().pump) == "FakeBus.pump"
+
+    def test_closure_attributes_to_creating_site(self):
+        assert component_of(FakeBus().request()) == "FakeBus.request"
+
+    def test_plain_function(self):
+        assert component_of(tick) == "tick"
+
+
+class TestSimProfiler:
+    def test_record_and_rows(self):
+        prof = SimProfiler()
+        prof.record("Bus.pump", 0.5)
+        prof.record("Bus.pump", 0.25)
+        prof.record("Core.step", 2.0)
+        assert prof.total_events == 3
+        assert prof.total_seconds == pytest.approx(2.75)
+        rows = prof.rows()
+        assert rows[0][0] == "Core.step"  # most expensive first
+        assert rows[1] == ("Bus.pump", 2, 0.75)
+
+    def test_report_renders(self):
+        prof = SimProfiler()
+        prof.record("Bus.pump", 0.5)
+        text = prof.report()
+        assert "Bus.pump" in text and "TOTAL" in text
+
+    def test_scheduler_integration(self):
+        sched = Scheduler()
+        prof = SimProfiler()
+        sched.enable_profiling(prof)
+        for t in range(5):
+            sched.at(t, tick)
+        sched.run()
+        assert prof.total_events == 5
+        assert prof.counts == {"tick": 5}
+
+    def test_default_step_is_unwrapped(self):
+        # Profiling swaps step per instance; untouched schedulers keep
+        # the plain class method (the zero-overhead default).
+        sched = Scheduler()
+        assert "step" not in vars(sched)
+        sched.enable_profiling(SimProfiler())
+        assert "step" in vars(sched)
+
+
+class TestHeartbeat:
+    def test_requires_positive_interval(self):
+        with pytest.raises(ValueError):
+            Heartbeat(Scheduler(), 0)
+
+    def test_beats_and_stops(self, caplog):
+        sched = Scheduler()
+        done = []
+        sched.at(95, lambda: done.append(True))
+        hb = Heartbeat(
+            sched, 10,
+            progress=lambda: {"committed": 7},
+            stop=lambda: bool(done),
+        )
+        with caplog.at_level(logging.INFO, logger="repro.heartbeat"):
+            sched.run()
+        # Ticks at 10..100; the tick at 100 sees stop() True and does
+        # not reschedule, so the queue drains.
+        assert hb.beats == 10
+        assert sched.pending() == 0
+        assert "committed=7" in caplog.text
+        assert "events/s=" in caplog.text
+
+    def test_system_run_heartbeat(self, caplog):
+        from repro.common.config import scaled_config
+        from repro.system.system import System
+        from repro.workloads.registry import get_benchmark
+
+        system = System(scaled_config(), get_benchmark("locks", scale=0.05))
+        with caplog.at_level(logging.INFO, logger="repro.heartbeat"):
+            system.run(heartbeat=500)
+        assert "ipc=" in caplog.text
+        assert "finished=" in caplog.text

@@ -1,0 +1,75 @@
+"""Trace reading and summarization (``repro-sim report``)."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.obs.report import read_trace, render_report, summarize_trace
+from repro.obs.tracer import Tracer
+
+
+def make_tracer():
+    tracer = Tracer(clock=lambda: 0)
+    tracer.emit("bus.grant", node=0, base=0x40, ts=3, txn="read")
+    tracer.emit("bus.grant", node=1, base=0x40, ts=9, txn="upgrade")
+    tracer.emit("mem.miss", node=0, base=0x80, ts=1, dur=50, store=False)
+    return tracer
+
+
+class TestReadTrace:
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = make_tracer()
+        path = tmp_path / "t.jsonl"
+        tracer.save(path, format="jsonl")
+        events = read_trace(path)
+        assert [e.kind for e in events] == [e.kind for e in tracer.events]
+        assert events[0].base == 0x40
+        assert events[2].fields["dur"] == 50
+
+    def test_chrome_round_trip(self, tmp_path):
+        tracer = make_tracer()
+        path = tmp_path / "t.json"
+        tracer.save(path, format="chrome")
+        events = read_trace(path)
+        # Chrome output is ts-sorted; compare as sets of coordinates.
+        assert {(e.ts, e.kind, e.node, e.base) for e in events} == {
+            (e.ts, e.kind, e.node, e.base) for e in tracer.events
+        }
+        miss = next(e for e in events if e.kind == "mem.miss")
+        assert miss.fields["dur"] == 50
+        assert miss.base == 0x80  # hex string parsed back to int
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert read_trace(path) == []
+
+    def test_rejects_non_trace_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"foo": 1}))
+        with pytest.raises(ConfigError):
+            read_trace(path)
+
+
+class TestSummarize:
+    def test_counts_and_span(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        make_tracer().save(path, format="jsonl")
+        summary = summarize_trace(read_trace(path))
+        assert summary["events"] == 3
+        assert summary["first_ts"] == 1 and summary["last_ts"] == 9
+        assert summary["kinds"]["bus.grant"] == 2
+        assert summary["nodes"] == {"P0": 2, "P1": 1}
+        assert summary["hot_lines"]["0x40"] == 2
+
+    def test_empty_trace(self):
+        summary = summarize_trace([])
+        assert summary["events"] == 0
+        assert summary["first_ts"] == 0 and summary["last_ts"] == 0
+
+    def test_render(self):
+        text = render_report(summarize_trace(make_tracer().events))
+        assert "bus.grant" in text
+        assert "P1" in text
+        assert "0x40" in text

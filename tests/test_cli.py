@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -31,3 +33,57 @@ def test_unknown_experiment_rejected():
 def test_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_run_with_chrome_trace(tmp_path, capsys):
+    # The acceptance path: a traced run produces a valid Chrome trace.
+    trace = tmp_path / "t.json"
+    assert main(["run", "locks", "--technique", "emesti",
+                 "--scale", "0.05", "--trace", str(trace),
+                 "--trace-format", "chrome"]) == 0
+    doc = json.loads(trace.read_text())
+    events = doc["traceEvents"]
+    assert events, "trace must not be empty"
+    ts = [e["ts"] for e in events]
+    assert ts == sorted(ts), "Chrome trace timestamps must be monotonic"
+    for event in events:
+        assert event["ph"] in ("i", "X")
+        assert isinstance(event["ts"], int)
+    out = capsys.readouterr().out
+    assert "trace:" in out
+
+
+def test_run_with_trace_filter_and_ring(tmp_path, capsys):
+    trace = tmp_path / "t.jsonl"
+    assert main(["run", "locks", "--technique", "emesti", "--scale", "0.05",
+                 "--trace", str(trace), "--trace-filter", "kind=bus.grant",
+                 "--trace-ring", "5"]) == 0
+    lines = [json.loads(l) for l in trace.read_text().splitlines() if l]
+    assert 0 < len(lines) <= 5
+    assert all(e["kind"] == "bus.grant" for e in lines)
+
+
+def test_run_with_profile(capsys):
+    assert main(["run", "radiosity", "--scale", "0.02", "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "component" in out and "TOTAL" in out
+
+
+def test_report_command(tmp_path, capsys):
+    trace = tmp_path / "t.jsonl"
+    assert main(["run", "locks", "--technique", "emesti", "--scale", "0.05",
+                 "--trace", str(trace)]) == 0
+    capsys.readouterr()
+    assert main(["report", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "by kind:" in out and "bus.grant" in out
+
+
+def test_list_includes_extra_benchmarks(capsys):
+    assert main(["list"]) == 0
+    assert "locks" in capsys.readouterr().out
+
+
+def test_quiet_and_verbose_exclusive():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["-q", "-v", "list"])
