@@ -6,6 +6,7 @@ Usage (installed as ``repro-sim``, or ``python -m repro.cli``):
     repro-sim run locks --technique emesti --trace /tmp/t.json --trace-format chrome
     repro-sim report /tmp/t.json
     repro-sim experiment figure7 --scale 0.6
+    repro-sim check --protocol emesti --interconnect both
     repro-sim list
 """
 
@@ -16,7 +17,7 @@ import json
 import logging
 import sys
 
-from repro.common.config import scaled_config
+from repro.common.config import InterconnectKind, scaled_config
 from repro.common.errors import ConfigError
 from repro.experiments.runner import summarize
 from repro.obs.profiler import SimProfiler
@@ -56,7 +57,10 @@ def cmd_run(args) -> int:
     config = configure_technique(scaled_config(n_procs=args.procs), args.technique)
     workload = get_benchmark(args.benchmark, scale=args.scale)
     tracer = _make_tracer(args)
-    system = System(config, workload, seed=args.seed, tracer=tracer)
+    system = System(
+        config, workload, seed=args.seed, tracer=tracer,
+        check_invariants=args.check_invariants,
+    )
     profiler = SimProfiler() if args.profile else None
     if profiler is not None:
         system.scheduler.enable_profiling(profiler)
@@ -79,6 +83,80 @@ def cmd_report(args) -> int:
     events = read_trace(args.trace)
     print(render_report(summarize_trace(events, top=args.top)))
     return 0
+
+
+def cmd_check(args) -> int:
+    """Handle ``repro-sim check`` (protocol verification)."""
+    from repro.verify.checker import ModelChecker
+    from repro.verify.litmus import LitmusRunner
+    from repro.verify.model import AbstractMachine, ProtocolSpec
+    from repro.verify.replay import ConcreteReplayer
+    from repro.verify.report import render_check, render_litmus, render_replay
+
+    protocols = (
+        list(ProtocolSpec.NAMES) if args.protocol == "all" else [args.protocol]
+    )
+    interconnects = {
+        "bus": (InterconnectKind.BUS,),
+        "directory": (InterconnectKind.DIRECTORY,),
+        "both": (InterconnectKind.BUS, InterconnectKind.DIRECTORY),
+    }[args.interconnect]
+    text = args.format == "text"
+    runs = []
+    failed = False
+    for name in protocols:
+        spec = ProtocolSpec(name)
+        for interconnect in interconnects:
+            logic = spec.make_logic()
+            if args.mutate:
+                from repro.verify.mutations import apply_mutation
+
+                try:
+                    apply_mutation(logic, args.mutate)
+                except ValueError as exc:
+                    print(f"repro-sim: error: {exc}", file=sys.stderr)
+                    return 2
+            machine = AbstractMachine(
+                logic, n_nodes=args.nodes, interconnect=interconnect
+            )
+            result = ModelChecker(
+                machine, max_depth=args.depth, max_states=args.max_states
+            ).run()
+            run = result.to_json()
+            if text:
+                print(render_check(result))
+            # Coverage gaps only count against a complete clean run;
+            # a violation (or a bounded search) stops exploration early.
+            gaps = result.ok and result.complete and (
+                result.coverage.get("missing")
+                or result.coverage.get("unexpected")
+            )
+            if result.violations or gaps:
+                failed = True
+            if result.violations and not args.no_replay:
+                replayer = ConcreteReplayer(
+                    spec, n_nodes=args.nodes, interconnect=interconnect,
+                    mutate=args.mutate,
+                )
+                trace = result.violations[0].trace
+                outcome = replayer.replay(trace)
+                run["replay"] = outcome.to_json()
+                if text:
+                    print(render_replay(outcome, len(trace)))
+            if not args.no_litmus and not args.mutate:
+                litmus = LitmusRunner(spec, interconnect).run_all()
+                run["litmus"] = [r.to_json() for r in litmus]
+                if any(not r.ok for r in litmus):
+                    failed = True
+                if text:
+                    print(render_litmus(litmus))
+            runs.append(run)
+    ok = not failed
+    if text:
+        print("result:", "ok" if ok else "FAIL")
+    else:
+        print(json.dumps({"ok": ok, "runs": runs}, indent=1))
+    return 0 if ok else 1
 
 
 def cmd_experiment(args) -> int:
@@ -142,6 +220,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="attribute wall time to simulator components",
     )
+    run_p.add_argument(
+        "--check-invariants", action="store_true",
+        help="run the coherence invariant checker on every bus grant "
+             "plus an end-of-run sweep (fails fast on protocol bugs)",
+    )
 
     report_p = sub.add_parser("report", help="summarize a saved trace")
     report_p.add_argument("trace", help="trace file (jsonl or chrome)")
@@ -153,6 +236,56 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p = sub.add_parser("experiment", help="regenerate a table/figure")
     exp_p.add_argument("name", choices=EXPERIMENTS)
     exp_p.add_argument("--scale", type=float, default=0.5)
+
+    check_p = sub.add_parser(
+        "check",
+        help="model-check the coherence protocols exhaustively",
+        description=(
+            "Explore every reachable state of a small abstract system "
+            "(N nodes, one line, two data values) driven by the real "
+            "protocol tables; check SWMR, the data-value invariant, and "
+            "the temporal-silence discipline; run the litmus suite; "
+            "replay any counterexample on the concrete simulator.  "
+            "Exit 0 when clean, 1 on a violation or coverage gap."
+        ),
+    )
+    check_p.add_argument(
+        "--protocol", default="all",
+        choices=("mesi", "moesi", "mesti", "moesti", "emesti", "all"),
+    )
+    check_p.add_argument(
+        "--interconnect", default="both",
+        choices=("bus", "directory", "both"),
+    )
+    check_p.add_argument(
+        "--nodes", type=int, default=3, choices=(2, 3, 4),
+        help="abstract system size (state space grows steeply)",
+    )
+    check_p.add_argument(
+        "--depth", type=int, default=None, metavar="N",
+        help="bound exploration depth (default: exhaustive)",
+    )
+    check_p.add_argument(
+        "--max-states", type=int, default=None, metavar="N",
+        help="bound explored state count (default: exhaustive)",
+    )
+    check_p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="json emits the full results for CI archiving",
+    )
+    check_p.add_argument(
+        "--mutate", default=None, metavar="NAME",
+        help="seed a known protocol bug (see repro.verify.mutations) "
+             "and demonstrate the checker catching it",
+    )
+    check_p.add_argument(
+        "--no-litmus", action="store_true",
+        help="skip the litmus-test suite",
+    )
+    check_p.add_argument(
+        "--no-replay", action="store_true",
+        help="do not replay counterexamples on the concrete system",
+    )
 
     return parser
 
@@ -178,6 +311,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": cmd_run,
         "report": cmd_report,
         "experiment": cmd_experiment,
+        "check": cmd_check,
     }
     try:
         return handlers[args.command](args)

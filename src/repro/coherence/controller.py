@@ -217,6 +217,19 @@ class CoherenceController:
         self.policy.on_invalidating_response(line, txn.result)
         self.policy.on_upgrade_response(line, useful=txn.result.shared)
 
+    def evict_line(self, base: int) -> bool:
+        """Forcibly evict ``base`` from the L2 (replay/verification hook).
+
+        Runs the full eviction path — dirty write-back transaction,
+        stale-detector and node notifications — exactly as a capacity
+        eviction would.  Returns False if the line was not resident.
+        """
+        view = self.l2.evict(base)
+        if view is None:
+            return False
+        self._handle_eviction(view)
+        return True
+
     def _allocate(self, base: int) -> CacheLine:
         line, evicted = self.l2.allocate(base)
         if evicted is not None:

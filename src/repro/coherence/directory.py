@@ -225,16 +225,28 @@ class DirectoryNetwork:
                 entry.t_sharers.clear()
                 entry.sharers.add(req)
             else:
-                if entry.owner is not None and entry.owner != req:
-                    # Clean (E) owner demoted to a plain sharer.
-                    entry.sharers.add(entry.owner)
-                    entry.owner = None
-                if entry.owner is None and not entry.sharers:
+                # Mirror the sharing indication sent to the requester:
+                # the home discarded the requester itself (a stale
+                # self-listing from a silent eviction must not force an
+                # S fill), so the update must discard it too, or a
+                # re-reading stale sharer fills E while the home thinks
+                # nobody owns the line — and the next read would not
+                # contact the E (or silently upgraded M) copy.
+                others = set(entry.sharers)
+                if entry.owner is not None:
+                    others.add(entry.owner)
+                others.discard(req)
+                if not others:
                     # Sole copy: the requester filled exclusive; track
                     # it as the owner so its silent E->M upgrade keeps
                     # the directory accurate.
+                    entry.sharers.discard(req)
                     entry.owner = req
                 else:
+                    if entry.owner is not None and entry.owner != req:
+                        # Clean (E) owner demoted to a plain sharer.
+                        entry.sharers.add(entry.owner)
+                        entry.owner = None
                     entry.sharers.add(req)
         elif kind in (TxnKind.READX, TxnKind.UPGRADE):
             moved = (

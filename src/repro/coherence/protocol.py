@@ -20,6 +20,7 @@ The concrete subclasses live in :mod:`repro.coherence.mesi`,
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 from repro.common.config import ProtocolConfig, ProtocolKind
 from repro.common.errors import ProtocolError
@@ -36,6 +37,31 @@ class SnoopQuery:
     can_supply: bool = False
 
 
+@dataclass(frozen=True)
+class TransitionRecord:
+    """One exercised row of a protocol's transition table.
+
+    ``side`` is ``"remote"`` for snooped transitions and ``"local"``
+    for requester-side ones (fills, upgrades, validates, evictions).
+    ``pre`` is the state letter before the event (``"-"`` for an
+    absent line), ``event`` a row label such as ``"ReadX+flush"`` or
+    ``"fill.Read.S"``, and ``post`` the state letter afterwards.
+    """
+
+    side: str
+    pre: str
+    event: str
+    post: str
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """The (side, pre, event) row identity, ignoring the outcome."""
+        return (self.side, self.pre, self.event)
+
+
+TransitionObserver = Callable[[TransitionRecord], None]
+
+
 class ProtocolLogic:
     """Base class for all protocol variants.
 
@@ -48,6 +74,12 @@ class ProtocolLogic:
 
     def __init__(self, config: ProtocolConfig):
         self.config = config
+        # Transition observer (verification hook): when set, every
+        # applied snoop transition — and any requester-side transition
+        # the caller reports via :meth:`note_transition` — is recorded.
+        # The model checker uses this for table-coverage reporting; it
+        # is ``None`` (a single attribute test) in simulation runs.
+        self.observer: Optional[TransitionObserver] = None
 
     # -- capabilities ---------------------------------------------------
 
@@ -65,6 +97,42 @@ class ProtocolLogic:
     def enhanced(self) -> bool:
         """Protocol includes Validate_Shared + the useful snoop response."""
         return False
+
+    # -- introspection (verification support) ---------------------------
+
+    def states(self) -> tuple[LineState, ...]:
+        """The stable states this protocol variant can install."""
+        out = [LineState.I, LineState.S, LineState.E, LineState.M]
+        if self.has_owned:
+            out.append(LineState.O)
+        if self.has_temporal:
+            out.append(LineState.T)
+        if self.enhanced:
+            out.append(LineState.VS)
+        return tuple(out)
+
+    @property
+    def name(self) -> str:
+        """Human-readable variant name (``E-MESTI`` for the enhanced one)."""
+        return f"E-{self.kind.value}" if self.enhanced else self.kind.value
+
+    def note_transition(self, side: str, pre: str, event: str, post: str) -> None:
+        """Report one exercised transition-table row to the observer."""
+        if self.observer is not None:
+            self.observer(TransitionRecord(side, pre, event, post))
+
+    @staticmethod
+    def snoop_event_label(kind: TxnKind, result: SnoopResult) -> str:
+        """Coverage row label for a snooped transaction.
+
+        Reads and ReadXs behave differently at a T copy depending on
+        whether a dirty owner flushed (a new value became globally
+        visible), so the flush variant is a distinct table row.
+        """
+        flush = result.dirty_owner is not None and kind in (
+            TxnKind.READ, TxnKind.READX
+        )
+        return f"{kind.value}+flush" if flush else kind.value
 
     # -- requester-side transitions -------------------------------------
 
@@ -137,6 +205,13 @@ class ProtocolLogic:
             self._apply_writeback(line, state)
         else:  # pragma: no cover - defensive
             raise ProtocolError(f"unknown transaction kind {kind}")
+        if self.observer is not None:
+            self.note_transition(
+                "remote",
+                state.value,
+                self.snoop_event_label(kind, result),
+                line.state.value,
+            )
 
     def _apply_read(
         self, line: CacheLine, state: LineState, result: SnoopResult

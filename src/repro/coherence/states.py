@@ -55,7 +55,23 @@ class LineState(enum.Enum):
         """Line data is present but stale (usable for LVP / validates)."""
         return self is LineState.T
 
+    @property
+    def index(self) -> int:
+        """Stable small integer for canonical state encodings.
+
+        The model checker (:mod:`repro.verify`) encodes global states as
+        tuples of ints so symmetric states compare and hash cheaply.
+        """
+        return _STATE_ORDER[self]
+
+    @classmethod
+    def parse(cls, text: str) -> "LineState":
+        """Parse a state letter (case-insensitive), raising ``KeyError``."""
+        return cls[text.upper()]
+
 
 _READABLE = frozenset(
     {LineState.S, LineState.E, LineState.M, LineState.O, LineState.VS}
 )
+
+_STATE_ORDER = {state: i for i, state in enumerate(LineState)}

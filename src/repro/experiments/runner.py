@@ -57,6 +57,7 @@ def summarize(result: RunResult, wall_seconds: float = 0.0) -> RunSummary:
         "miss_comm_tss": stats.get("misses.miss.comm.tss"),
         "miss_comm_false": stats.get("misses.miss.comm.false"),
         "miss_comm_true": stats.get("misses.miss.comm.true"),
+        "invariant_checks": stats.get("run.invariant_checks"),
     }
     for name, key in [
         ("commit.load", "loads"),

@@ -20,6 +20,7 @@ from repro.common.stats import StatsRegistry
 from repro.coherence.bus import SnoopBus
 from repro.coherence.directory import DirectoryNetwork
 from repro.coherence.controller import CoherenceController
+from repro.coherence.validation import CoherenceChecker
 from repro.cpu.core import Core
 from repro.memory.hierarchy import NodeMemory
 from repro.memory.mainmem import MainMemory
@@ -79,6 +80,7 @@ class System:
         workload,
         seed: int | str = 0,
         tracer: Tracer | None = None,
+        check_invariants: bool = False,
     ):
         config.validate()
         self.config = config
@@ -149,6 +151,10 @@ class System:
             self.controllers.append(ctrl)
             self.nodes.append(node)
             self.cores.append(core)
+        # The runtime invariant checker intercepts every interconnect
+        # grant; a coherence bug then fails fast at the violating event
+        # instead of corrupting results silently.
+        self.checker = CoherenceChecker(self) if check_invariants else None
 
     def _core_finished(self) -> None:
         self._finished += 1
@@ -198,6 +204,10 @@ class System:
             raise DeadlockError(
                 "simulation stalled with unfinished cores: " + "; ".join(detail)
             )
+        if self.checker is not None:
+            # End-of-run sweep: every line still resident anywhere must
+            # satisfy the invariants, not just lines touched by a grant.
+            self.checker.check_all()
         committed = sum(core.committed for core in self.cores)
         cycles = max(
             int(self.stats.get(f"core{i}.finish_time"))
@@ -223,6 +233,8 @@ class System:
         self.stats.set("run.events", self.scheduler.events_fired)
         if cycles:
             self.stats.set("run.ipc", committed / cycles)
+        if self.checker is not None:
+            self.stats.set("run.invariant_checks", self.checker.checks)
 
 
 def run_workload(

@@ -1,0 +1,98 @@
+"""State predicates checked on every reachable abstract state.
+
+These are the model-level counterparts of the runtime
+:class:`~repro.coherence.validation.CoherenceChecker` audits, plus the
+shadow-value checks only the model can make exact:
+
+* **swmr** — at most one M/E copy, and an M/E copy excludes every
+  other valid copy (single-writer / multiple-reader);
+* **single-dirty** — at most one M/O copy;
+* **data-value** — every readable copy holds the architectural
+  contents (what the last stores wrote), and when nothing is dirty,
+  memory does too;
+* **t-discipline** — every T copy saved exactly the last globally
+  visible value (on the directory, only *tracked* T-sharers: untracked
+  copies may rot but can never be re-installed);
+* **deadlock** — every state has at least one enabled event (checked
+  by the explorer; an event that raises ``ProtocolError`` is reported
+  as a ``protocol-error`` violation, i.e. a stuck/undefined row).
+
+The validate-specific invariant — a validate only ever re-installs the
+last globally visible value — is event-scoped and enforced inside
+:class:`~repro.verify.model.AbstractMachine` at broadcast and at each
+re-install.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.coherence.states import LineState
+
+
+@dataclass(frozen=True)
+class StateViolation:
+    """One broken state predicate."""
+
+    kind: str
+    detail: str
+
+
+def _fmt_copies(copies) -> str:
+    return ", ".join(f"P{i}:{nl[0].value}{list(nl[1])}" for i, nl in copies)
+
+
+def check_state(machine, state) -> StateViolation | None:
+    """Return the first broken invariant of ``state``, or None."""
+    nodes, mem, arch, gvis, dirs = state
+    for line in range(machine.n_lines):
+        copies = [
+            (i, nodes[i][line])
+            for i in range(machine.n_nodes)
+            if nodes[i][line] is not None
+        ]
+        writers = [(i, nl) for i, nl in copies
+                   if nl[0] in (LineState.M, LineState.E)]
+        valid = [(i, nl) for i, nl in copies if nl[0].valid]
+        dirty = [(i, nl) for i, nl in copies if nl[0].dirty]
+        t_copies = [(i, nl) for i, nl in copies if nl[0] is LineState.T]
+
+        if len(writers) > 1:
+            return StateViolation(
+                "swmr", f"line {line}: multiple M/E owners: {_fmt_copies(writers)}"
+            )
+        if writers and len(valid) > 1:
+            return StateViolation(
+                "swmr",
+                f"line {line}: M/E owner P{writers[0][0]} coexists with "
+                f"valid copies: {_fmt_copies(valid)}",
+            )
+        if len(dirty) > 1:
+            return StateViolation(
+                "single-dirty",
+                f"line {line}: multiple dirty copies: {_fmt_copies(dirty)}",
+            )
+        for i, nl in valid:
+            if nl[1] != arch[line]:
+                return StateViolation(
+                    "data-value",
+                    f"line {line}: P{i} ({nl[0].value}) holds {list(nl[1])} "
+                    f"but the architectural contents are {list(arch[line])}",
+                )
+        if not dirty and mem[line] != arch[line]:
+            return StateViolation(
+                "data-value",
+                f"line {line}: no dirty copy but memory holds "
+                f"{list(mem[line])}, architectural contents {list(arch[line])}",
+            )
+        tracked = None if dirs is None else dirs[line][2]
+        for i, nl in t_copies:
+            if tracked is not None and i not in tracked:
+                continue  # untracked directory T copy: may rot, never re-installed
+            if nl[1] != gvis[line]:
+                return StateViolation(
+                    "t-discipline",
+                    f"line {line}: P{i} saved {list(nl[1])} in T but the last "
+                    f"globally visible value is {list(gvis[line])}",
+                )
+    return None

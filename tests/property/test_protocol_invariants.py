@@ -113,6 +113,12 @@ def test_moesi_invariants(tiny_config, seq):
 
 @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
 @given(seq=accesses)
+def test_mesti_invariants(tiny_config, seq):
+    run_sequence(make_harness(tiny_config, ProtocolKind.MESTI), seq)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(seq=accesses)
 def test_moesti_invariants(tiny_config, seq):
     run_sequence(make_harness(tiny_config, ProtocolKind.MOESTI), seq)
 

@@ -1,0 +1,67 @@
+"""Litmus suite: exact allowed-outcome sets, abstract and concrete.
+
+Outcome sets are asserted by *equality* — an extra outcome is a broken
+protocol, a missing one is an over-restrictive model.  The key claim
+for the paper's protocols: the temporal-silence machinery changes no
+outcome set (architecturally invisible), including the lock-handoff
+test where a validate may only ever re-install the reverted value.
+"""
+
+import pytest
+
+from repro.common.config import InterconnectKind
+from repro.verify.litmus import LITMUS_TESTS, LitmusRunner
+from repro.verify.model import AbstractMachine, ProtocolSpec
+from repro.verify.replay import ConcreteReplayer
+
+PROTOCOLS = list(ProtocolSpec.NAMES)
+INTERCONNECTS = [InterconnectKind.BUS, InterconnectKind.DIRECTORY]
+
+
+@pytest.mark.parametrize("interconnect", INTERCONNECTS, ids=("bus", "directory"))
+@pytest.mark.parametrize("name", PROTOCOLS)
+def test_outcome_sets_exact(name, interconnect):
+    for result in LitmusRunner(ProtocolSpec(name), interconnect).run_all():
+        assert result.ok, (
+            f"{result.test.name} on {name}/{result.interconnect}: "
+            f"forbidden={sorted(result.forbidden)} "
+            f"unreached={sorted(result.unreached)}"
+        )
+
+
+def test_temporal_silence_is_architecturally_invisible():
+    # T-protocols must produce byte-identical outcome sets to MESI.
+    base = {
+        r.test.name: frozenset(r.outcomes)
+        for r in LitmusRunner(ProtocolSpec("mesi")).run_all()
+    }
+    for name in ("mesti", "emesti"):
+        for r in LitmusRunner(ProtocolSpec(name)).run_all():
+            assert frozenset(r.outcomes) == base[r.test.name]
+
+
+@pytest.mark.parametrize("test", LITMUS_TESTS, ids=lambda t: t.name)
+def test_witness_traces_replay_concretely(test):
+    """Every abstract witness interleaving reproduces on the real system."""
+    spec = ProtocolSpec("emesti")
+    machine = AbstractMachine(
+        spec.make_logic(),
+        n_nodes=test.n_nodes,
+        n_lines=test.n_lines,
+        n_words=test.n_words,
+    )
+    result = LitmusRunner(spec).run_test(test)
+    for outcome, trace in result.outcomes.items():
+        # Abstract load values along the witness trace, in trace order.
+        state = machine.initial()
+        abstract_loads = []
+        for event in trace:
+            state, value = machine.apply(state, event)
+            if event[0] == "load":
+                abstract_loads.append(value)
+        concrete = ConcreteReplayer(spec, n_nodes=test.n_nodes).replay(trace)
+        assert concrete.ok, f"{test.name} {outcome}: {concrete.error}"
+        assert concrete.loads == abstract_loads, (
+            f"{test.name} {outcome}: abstract {abstract_loads} "
+            f"!= concrete {concrete.loads}"
+        )

@@ -1,0 +1,73 @@
+"""Exhaustive model checking of the real protocol tables.
+
+These are the subsystem's headline guarantees: every shipped protocol,
+on both interconnects, explores its full 3-node state space with zero
+invariant violations, zero deadlocks, and every reachable transition-
+table row exercised.  A regression in any table, in the directory's
+bookkeeping, or in the validate discipline turns one of these green
+runs red with a concrete counterexample trace.
+"""
+
+import pytest
+
+from repro.common.config import InterconnectKind
+from repro.verify.checker import ModelChecker
+from repro.verify.model import AbstractMachine, ProtocolSpec
+
+PROTOCOLS = list(ProtocolSpec.NAMES)
+INTERCONNECTS = [InterconnectKind.BUS, InterconnectKind.DIRECTORY]
+
+
+def check(name, interconnect, n_nodes=3, **kw):
+    machine = AbstractMachine(
+        ProtocolSpec(name).make_logic(),
+        n_nodes=n_nodes,
+        interconnect=interconnect,
+    )
+    return ModelChecker(machine, **kw).run()
+
+
+@pytest.mark.parametrize("interconnect", INTERCONNECTS, ids=("bus", "directory"))
+@pytest.mark.parametrize("name", PROTOCOLS)
+def test_protocol_clean_and_fully_covered(name, interconnect):
+    result = check(name, interconnect)
+    assert result.ok, result.violations[0].describe()
+    assert result.complete
+    assert result.states > 0 and result.transitions > result.states
+    cov = result.coverage
+    assert cov["missing"] == [], cov["missing"]
+    assert cov["unexpected"] == [], cov["unexpected"]
+    assert cov["rows_exercised"] == cov["rows_reachable"]
+
+
+def test_temporal_protocols_reach_t_rows():
+    # The T machinery is actually exercised, not vacuously absent.
+    result = check("emesti", InterconnectKind.BUS)
+    exercised = {tuple(r["row"]) for r in result.coverage["exercised"]}
+    assert ("remote", "T", "Validate") in exercised
+    assert ("local", "M", "PrWr.Validate") in exercised
+
+
+def test_symmetry_reduction_preserves_reachability():
+    # Same transition-row coverage with and without the reduction; far
+    # fewer stored states with it.
+    with_sym = check("mesti", InterconnectKind.BUS, n_nodes=2)
+    without = check("mesti", InterconnectKind.BUS, n_nodes=2, symmetry=False)
+    assert with_sym.ok and without.ok
+    assert with_sym.states < without.states
+    rows = lambda r: {tuple(x["row"]) for x in r.coverage["exercised"]}
+    assert rows(with_sym) == rows(without)
+
+
+def test_bounded_run_reports_incomplete():
+    result = check("mesi", InterconnectKind.BUS, max_depth=2)
+    assert result.ok
+    assert not result.complete
+    assert result.depth <= 2
+
+
+def test_two_node_model_is_tiny_and_clean():
+    for name in PROTOCOLS:
+        result = check(name, InterconnectKind.BUS, n_nodes=2)
+        assert result.ok and result.complete
+        assert result.states < 200
