@@ -7,6 +7,7 @@ Usage (installed as ``repro-sim``, or ``python -m repro.cli``):
     repro-sim report /tmp/t.json
     repro-sim experiment figure7 --scale 0.6
     repro-sim check --protocol emesti --interconnect both
+    repro-sim lint --format json
     repro-sim list
 """
 
@@ -159,6 +160,48 @@ def cmd_check(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_lint(args) -> int:
+    """Handle ``repro-sim lint`` (static analysis + table audit)."""
+    from repro.lint import ALL_RULES, Baseline, run_lint
+    from repro.lint.report import render_json, render_text
+
+    if args.list_rules:
+        for rule_id, cls in sorted(ALL_RULES.items()):
+            print(f"{rule_id}  {cls.title}")
+        return 0
+    baseline = None
+    if args.baseline != "none" and not args.update_baseline:
+        path = Baseline.default_path() if args.baseline is None else args.baseline
+        try:
+            baseline = Baseline.load(path)
+        except ConfigError:
+            if args.baseline is not None:
+                raise  # an explicit path must exist
+    try:
+        result = run_lint(
+            paths=args.paths or None,
+            rules=args.rule or None,
+            baseline=baseline,
+            audit=not args.no_audit,
+        )
+    except ValueError as exc:  # unknown --rule id
+        print(f"repro-sim: error: {exc}", file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        from repro.lint.baseline import Baseline as _B
+
+        path = _B.default_path() if args.baseline is None else args.baseline
+        _B.from_findings(result.findings).save(path)
+        print(f"baseline: {len(result.findings)} entr(y/ies) -> {path} "
+              f"(fill in the justifications before committing)")
+        return 0
+    if args.format == "json":
+        print(render_json(result, audit=not args.no_audit))
+    else:
+        print(render_text(result, verbose=args.verbose))
+    return 0 if result.clean else 1
+
+
 def cmd_experiment(args) -> int:
     """Handle ``repro-sim experiment``."""
     import importlib
@@ -287,6 +330,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="do not replay counterexamples on the concrete system",
     )
 
+    lint_p = sub.add_parser(
+        "lint",
+        help="static determinism/protocol analysis (simlint)",
+        description=(
+            "Run the simlint AST rules (SL001-SL006) over the repro "
+            "sources and the static protocol-table audit (SL101-SL104) "
+            "over the MESI/MOESI/MESTI/E-MESTI tables.  Exit 0 when "
+            "clean (after baseline suppression), 1 on new findings, "
+            "2 on bad arguments."
+        ),
+    )
+    lint_p.add_argument(
+        "paths", nargs="*",
+        help="files/directories to scan (default: the repro package)",
+    )
+    lint_p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="json emits findings + the full table-audit accounting",
+    )
+    lint_p.add_argument(
+        "--rule", action="append", metavar="ID",
+        help="only run this rule id (repeatable)",
+    )
+    lint_p.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline suppression file ('none' disables; default: the "
+             "committed repro/lint/baseline.json)",
+    )
+    lint_p.add_argument(
+        "--update-baseline", action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    lint_p.add_argument(
+        "--no-audit", action="store_true",
+        help="skip the protocol-table audit layer (SL1xx rules)",
+    )
+    lint_p.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+
     return parser
 
 
@@ -312,6 +396,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": cmd_report,
         "experiment": cmd_experiment,
         "check": cmd_check,
+        "lint": cmd_lint,
     }
     try:
         return handlers[args.command](args)

@@ -121,6 +121,52 @@ class ProtocolLogic:
         if self.observer is not None:
             self.observer(TransitionRecord(side, pre, event, post))
 
+    def remote_event_labels(self) -> tuple[str, ...]:
+        """Every remote-side row label this protocol's table can see.
+
+        Reads/ReadXs split into plain and ``+flush`` variants (see
+        :meth:`snoop_event_label`); the rest appear once.  Static
+        tooling (``repro-sim lint``'s table audit, the verify coverage
+        probe) crosses these with :meth:`states` to enumerate the full
+        table.
+        """
+        labels: list[str] = []
+        for kind in TxnKind:
+            labels.append(kind.value)
+            if kind in (TxnKind.READ, TxnKind.READX):
+                labels.append(f"{kind.value}+flush")
+        return tuple(labels)
+
+    def probe_remote(self, pre: LineState, label: str) -> str:
+        """Statically probe one remote table row, without a simulation.
+
+        Runs the real ``snoop_query`` + ``snoop_apply`` code against a
+        synthetic one-word line in state ``pre`` for the event
+        ``label`` (a :meth:`remote_event_labels` entry).  Returns the
+        post-state letter, or ``"illegal"`` when the implementation
+        deliberately raises :class:`ProtocolError`.  Any *other*
+        exception propagates — to a static auditor that is a table
+        hole, not a legal outcome.  The observer is suppressed for the
+        duration: probes are not coverage.
+        """
+        flush = label.endswith("+flush")
+        kind = TxnKind(label.removesuffix("+flush"))
+        line = CacheLine(1)
+        line.base = 0
+        line.state = pre
+        line.data = [0]
+        line.visible = [0]
+        result = SnoopResult(dirty_owner=0 if flush else None)
+        saved, self.observer = self.observer, None
+        try:
+            self.snoop_query(line, kind)
+            self.snoop_apply(line, kind, result)
+        except ProtocolError:
+            return "illegal"
+        finally:
+            self.observer = saved
+        return line.state.value
+
     @staticmethod
     def snoop_event_label(kind: TxnKind, result: SnoopResult) -> str:
         """Coverage row label for a snooped transaction.

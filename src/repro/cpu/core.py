@@ -435,7 +435,7 @@ class Core:
         try:
             idx = self.window.index(w)
         except ValueError:
-            raise SimulationError(f"squash target {w!r} not in window")
+            raise SimulationError(f"squash target {w!r} not in window") from None
         removed = [self.window[i] for i in range(idx, len(self.window))]
         for _ in removed:
             self.window.pop()

@@ -70,10 +70,10 @@ def sle_predictor_ablation(scale=1.0, seed=1, benchmarks=("tpc-b", "raytrace"),
     for benchmark in benchmarks:
         base = _run(configure_technique(scaled_config(), "base"), benchmark, scale, seed)
         for label, kw in [
-            ("enhanced-confidence", dict(confidence_enabled=True)),
-            ("simple-threshold", dict(confidence_enabled=False)),
-            ("naive-isync", dict(isync_safety_check=False)),
-            ("checkpoint-mode", dict(checkpoint_mode=True)),
+            ("enhanced-confidence", {"confidence_enabled": True}),
+            ("simple-threshold", {"confidence_enabled": False}),
+            ("naive-isync", {"isync_safety_check": False}),
+            ("checkpoint-mode", {"checkpoint_mode": True}),
         ]:
             cfg = configure_technique(scaled_config(), "sle").with_sle(**kw)
             summary = _run(cfg, benchmark, scale, seed)

@@ -74,12 +74,12 @@ def sweep(scale: float = 1.0, seed: int = 1, benchmarks=None, verbose=True):
 def render(results: dict[str, dict[str, float]]) -> str:
     """Render collected results as a text table."""
     labels = [label for label, _, _ in CONFIGS]
-    headers = ["Benchmark"] + labels + ["4x/ideal"]
+    headers = ["Benchmark", *labels, "4x/ideal"]
     rows = []
     for benchmark, per_cfg in results.items():
         ideal = per_cfg["ideal"]
         ratio = per_cfg[labels[1]] / ideal if ideal else 1.0
-        rows.append([benchmark] + [per_cfg[label] for label in labels] + [round(ratio, 3)])
+        rows.append([benchmark, *(per_cfg[label] for label in labels), round(ratio, 3)])
     return render_table(
         headers, rows,
         title="Figure 6: Communication misses vs stale-storage capacity "

@@ -39,7 +39,7 @@ def speedups(
 def render(results: dict[str, dict[str, ConfidenceInterval]]) -> str:
     """Render the speedup matrix as a table of 'speedup ± ci'."""
     techniques = list(next(iter(results.values())).keys())
-    headers = ["Benchmark"] + techniques
+    headers = ["Benchmark", *techniques]
     rows = []
     for benchmark, per_tech in results.items():
         row = [benchmark]

@@ -162,11 +162,11 @@ class MatrixRunner:
         config = configure_technique(self.base_config, technique)
         config = dataclasses.replace(config, latency_jitter=DEFAULT_JITTER)
         workload = get_benchmark(benchmark, scale=self.scale)
-        start = time.time()
+        start = time.perf_counter()
         result = System(config, workload, seed=seed).run(
             max_cycles=500_000_000, max_events=300_000_000
         )
-        summary = summarize(result, time.time() - start)
+        summary = summarize(result, time.perf_counter() - start)
         self._cache[key] = summary
         self._save()
         log.log(

@@ -1,0 +1,112 @@
+"""Baseline suppression file for simlint.
+
+A baseline records *intentional* findings — each with a one-line human
+justification — so ``repro-sim lint`` can gate on **new** findings
+only.  Entries key on the finding's :attr:`~repro.lint.engine.Finding.
+fingerprint` (rule + path + source-line text, no line numbers), so
+suppressions survive edits elsewhere in the file but die with the code
+they covered — a stale entry surfaces as ``unused_baseline`` in the
+report.
+
+File format (JSON, committed at ``src/repro/lint/baseline.json``)::
+
+    {
+      "version": 1,
+      "entries": {
+        "<fingerprint>": {
+          "rule": "SL002",
+          "path": "analysis/foo.py",
+          "snippet": "for x in bases:",
+          "justification": "error-path formatting only; order is cosmetic"
+        }
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.common.errors import ConfigError
+from repro.lint.engine import Finding
+
+
+class Baseline:
+    """A set of justified suppressions, loaded from / saved to JSON."""
+
+    def __init__(self, entries: dict[str, dict] | None = None):
+        self.entries: dict[str, dict] = dict(entries or {})
+
+    @classmethod
+    def default_path(cls) -> Path:
+        """The committed baseline shipped inside the package."""
+        return Path(__file__).with_name("baseline.json")
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        """Read and validate a baseline file.
+
+        Raises :class:`~repro.common.errors.ConfigError` on a missing
+        file, bad JSON, an unknown version, or an entry without a
+        justification — a baseline that cannot explain itself is worse
+        than none.
+        """
+        path = Path(path)
+        try:
+            doc = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise ConfigError(f"baseline file not found: {path}") from None
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"baseline {path} is not valid JSON: {exc}") from None
+        if not isinstance(doc, dict) or doc.get("version") != 1:
+            raise ConfigError(f"baseline {path}: expected a version-1 document")
+        entries = doc.get("entries", {})
+        for fp, entry in entries.items():
+            if not str(entry.get("justification", "")).strip():
+                raise ConfigError(
+                    f"baseline {path}: entry {fp} ({entry.get('rule')}, "
+                    f"{entry.get('path')}) has no justification"
+                )
+        return cls(entries)
+
+    def save(self, path: Path | str) -> None:
+        """Write the baseline (sorted, one entry per fingerprint)."""
+        doc = {
+            "version": 1,
+            "entries": {fp: self.entries[fp] for fp in sorted(self.entries)},
+        }
+        Path(path).write_text(json.dumps(doc, indent=1) + "\n")
+
+    def partition(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[str]]:
+        """Split findings into (new, suppressed) plus unused fingerprints."""
+        new: list[Finding] = []
+        suppressed: list[Finding] = []
+        seen: set[str] = set()
+        for finding in findings:
+            fp = finding.fingerprint
+            if fp in self.entries:
+                suppressed.append(finding)
+                seen.add(fp)
+            else:
+                new.append(finding)
+        unused = [fp for fp in self.entries if fp not in seen]
+        return new, suppressed, unused
+
+    @classmethod
+    def from_findings(
+        cls, findings: list[Finding], justification: str = "TODO: justify"
+    ) -> "Baseline":
+        """Build a baseline covering ``findings`` (for --update-baseline)."""
+        entries = {
+            f.fingerprint: {
+                "rule": f.rule,
+                "path": f.path,
+                "snippet": f.snippet or f.message,
+                "justification": justification,
+            }
+            for f in findings
+        }
+        return cls(entries)

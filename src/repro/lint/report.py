@@ -1,0 +1,56 @@
+"""Rendering for simlint results (text for humans, JSON for CI).
+
+The JSON document is the :meth:`~repro.lint.engine.LintResult.to_json`
+form plus, when the audit layer ran, an ``audit`` section with the
+per-protocol row accounting and the MESTI↔E-MESTI diff — CI archives
+it, and ``tests/lint`` pins its schema.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """Human-readable findings listing with a one-line verdict."""
+    lines: list[str] = []
+    for finding in result.findings:
+        site = f"{finding.path}:{finding.line}" if finding.line else finding.path
+        lines.append(f"{site}: {finding.rule}: {finding.message}")
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    if verbose and result.suppressed:
+        lines.append(f"-- {len(result.suppressed)} baselined finding(s):")
+        for finding in result.suppressed:
+            site = f"{finding.path}:{finding.line}" if finding.line else finding.path
+            lines.append(f"   {site}: {finding.rule} (baselined)")
+    for fp in result.unused_baseline:
+        lines.append(
+            f"warning: baseline entry {fp} matched nothing "
+            f"(stale - remove it)"
+        )
+    verdict = "clean" if result.clean else f"{len(result.findings)} finding(s)"
+    lines.append(
+        f"simlint: {verdict} "
+        f"({result.files_scanned} files, {len(result.rules)} rules, "
+        f"{len(result.suppressed)} baselined)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult, audit: bool = True) -> str:
+    """The machine-readable document ``--format json`` prints."""
+    doc = result.to_json()
+    if audit and any(r.startswith("SL1") for r in result.rules):
+        from repro.lint.table_audit import audit_all, diff_mesti_emesti
+
+        doc["audit"] = {
+            "protocols": audit_all(),
+            "mesti_vs_emesti": {
+                "bus": diff_mesti_emesti(directory=False),
+                "directory": diff_mesti_emesti(directory=True),
+            },
+        }
+    return json.dumps(doc, indent=1)

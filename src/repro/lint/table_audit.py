@@ -1,0 +1,370 @@
+"""Static protocol-table audit (simlint rules SL101–SL104).
+
+Imports the real :class:`~repro.coherence.protocol.ProtocolLogic`
+tables for MESI / MOESI / MESTI / E-MESTI and, **without running a
+simulation**, accounts for every (state, event) row of each protocol
+on both interconnect disciplines:
+
+* **SL101** — a probe of a (state, event) pair crashed with something
+  other than the deliberate :class:`~repro.common.errors.ProtocolError`:
+  a hole in the table masquerading as a transition.
+* **SL102** — the deliberately-illegal row set drifted: a row raises
+  that the protocol's invariants say must be handled, or a row that
+  must be guarded (e.g. M/E snooping an Upgrade) silently passes.
+* **SL103** — row accounting: every pair in the cross product must be
+  exactly one of reachable, dead-with-reason (per the verify coverage
+  classifier from PR 2), or expected-illegal.  A leftover is an
+  unexplained missing/dead row.
+* **SL104** — MESTI ↔ E-MESTI table asymmetries that are not on the
+  :data:`ASYMMETRY_ALLOWLIST` (each entry carries its justification).
+
+The audit shares its row enumeration with the dynamic checker
+(:func:`repro.verify.table.expected_rows` and the
+``ProtocolLogic.probe_remote`` / ``remote_event_labels`` introspection
+hooks), so the static and dynamic views can never drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.engine import Finding, Rule
+
+#: The four audited protocol variants (ProtocolSpec names).
+AUDITED_PROTOCOLS = ("mesi", "moesi", "mesti", "emesti")
+
+#: Both interconnect disciplines (expected_rows' ``directory`` flag).
+INTERCONNECTS = (("bus", False), ("directory", True))
+
+
+def _audit_path(protocol: str, interconnect: str) -> str:
+    return f"protocol:{protocol}/{interconnect}"
+
+
+def _make_logic(name: str):
+    from repro.verify.model import ProtocolSpec
+
+    return ProtocolSpec(name).make_logic()
+
+
+def expected_illegal_rows(logic) -> set[tuple[str, str]]:
+    """The (pre, event) remote rows that must raise ProtocolError.
+
+    Derived from the invariants, not from the implementation:
+
+    * M/E snooping an Upgrade — the upgrader claims it holds a shared
+      copy, which an exclusive holder contradicts (SWMR);
+    * a valid non-T, non-S/VS copy snooping a Validate — the
+      validating owner must have held the only valid copy.
+    """
+    illegal: set[tuple[str, str]] = set()
+    for pre in ("M", "E"):
+        illegal.add((pre, "Upgrade"))
+        illegal.add((pre, "Validate"))
+    if logic.has_owned:
+        illegal.add(("O", "Validate"))
+    return illegal
+
+
+def audit_protocol(name: str, directory: bool) -> dict:
+    """Audit one protocol × interconnect; returns the accounting dict.
+
+    Keys: ``rows_reachable`` / ``dead_rows`` (with the classifier's
+    reasons) / ``illegal_rows``, plus the problem lists ``crashed``,
+    ``illegal_unexpected``, ``illegal_missing``, ``unaccounted``.
+    """
+    from repro.verify.table import expected_rows
+
+    logic = _make_logic(name)
+
+    crashed: list[dict] = []
+    illegal_rows: list[list[str]] = []
+    for pre in logic.states():
+        for label in logic.remote_event_labels():
+            try:
+                outcome = logic.probe_remote(pre, label)
+            except Exception as exc:  # any crash is the finding
+                crashed.append({
+                    "row": ["remote", pre.value, label],
+                    "error": f"{type(exc).__name__}: {exc}",
+                })
+                continue
+            if outcome == "illegal":
+                illegal_rows.append(["remote", pre.value, label])
+
+    # A crashing row would also crash the row enumeration below; the
+    # crash findings already tell the whole story, so stop here.
+    rows = {} if crashed else expected_rows(logic, directory=directory)
+
+    expected_illegal = expected_illegal_rows(logic)
+    actual_illegal = {(pre, label) for _, pre, label in illegal_rows}
+    illegal_unexpected = sorted(actual_illegal - expected_illegal)
+    illegal_missing = sorted(expected_illegal - actual_illegal)
+
+    reachable = [list(k) for k, v in sorted(rows.items()) if not v["unreachable"]]
+    dead = [
+        {"row": list(k), "why": v["unreachable"]}
+        for k, v in sorted(rows.items())
+        if v["unreachable"]
+    ]
+
+    # Accounting: every probed remote pair must be legal (reachable or
+    # dead-with-reason via expected_rows) or expected-illegal.
+    legal_remote = {k for k in rows if k[0] == "remote"}
+    unaccounted = []
+    if not crashed:
+        for pre in logic.states():
+            for label in logic.remote_event_labels():
+                key = ("remote", pre.value, label)
+                if key in legal_remote:
+                    continue
+                if (pre.value, label) in expected_illegal:
+                    continue
+                if (pre.value, label) in actual_illegal:
+                    continue  # already reported as illegal_unexpected
+                unaccounted.append(list(key))
+
+    return {
+        "protocol": logic.name,
+        "interconnect": "directory" if directory else "bus",
+        "rows_total": len(rows),
+        "rows_reachable": len(reachable),
+        "dead_rows": dead,
+        "illegal_rows": sorted(illegal_rows),
+        "crashed": crashed,
+        "illegal_unexpected": illegal_unexpected,
+        "illegal_missing": illegal_missing,
+        "unaccounted": unaccounted,
+    }
+
+
+def audit_all() -> list[dict]:
+    """Run :func:`audit_protocol` for every protocol × interconnect."""
+    return [
+        audit_protocol(name, directory)
+        for name in AUDITED_PROTOCOLS
+        for _, directory in INTERCONNECTS
+    ]
+
+
+# ---------------------------------------------------------------------------
+# MESTI <-> E-MESTI asymmetry allowlist
+# ---------------------------------------------------------------------------
+
+#: (predicate-name, justification) pairs; a diffed row is allowed when
+#: any predicate matches it.  Predicates see (side, pre, event, posts)
+#: where posts is the pair (mesti_post, emesti_post) with None for a
+#: row absent from that variant.
+ASYMMETRY_ALLOWLIST: tuple[tuple[str, str], ...] = (
+    (
+        "vs-state",
+        "Validate_Shared (VS) exists only in E-MESTI: rows entering, "
+        "leaving, or snooped in VS have no MESTI counterpart (Figure 3).",
+    ),
+    (
+        "owned-state",
+        "E-MESTI is built on MOESTI, so O-state rows (dirty-shared "
+        "retirement, O-side snoops, Upgrade-from-O) have no plain-MESTI "
+        "counterpart.",
+    ),
+    (
+        "validate-retires-dirty",
+        "The validating owner retires to O in E-MESTI (dirty data stays "
+        "on-chip) but to S in MESTI, whose validate implies a writeback "
+        "(§2.2).",
+    ),
+    (
+        "flush-keeps-ownership",
+        "A dirty flush demotes M to O in E-MESTI but to S in MESTI "
+        "(no O state to retire into).",
+    ),
+)
+
+
+def _asymmetry_allowed(side: str, pre: str, event: str, posts: tuple) -> str | None:
+    """The allowlist justification covering this diff row, or None."""
+    mesti_post, emesti_post = posts
+    if pre == "VS" or "VS" in (mesti_post, emesti_post) or event == "PrRd.hit":
+        return ASYMMETRY_ALLOWLIST[0][1]
+    if pre == "O" or "O" in (mesti_post, emesti_post):
+        return ASYMMETRY_ALLOWLIST[1][1]
+    if event == "PrWr.Validate":
+        return ASYMMETRY_ALLOWLIST[2][1]
+    if event in ("Read+flush", "ReadX+flush") and pre == "M":
+        return ASYMMETRY_ALLOWLIST[3][1]
+    return None
+
+
+def diff_mesti_emesti(directory: bool = False) -> dict:
+    """Diff the MESTI and E-MESTI tables row by row.
+
+    Returns ``{"allowed": [...], "violations": [...]}`` where each
+    entry carries the row, both post states (None = row absent from
+    that variant), and — for allowed rows — the justification.
+    """
+    from repro.verify.table import expected_rows
+
+    mesti = expected_rows(_make_logic("mesti"), directory=directory)
+    emesti = expected_rows(_make_logic("emesti"), directory=directory)
+    allowed, violations = [], []
+    for key in sorted(set(mesti) | set(emesti)):
+        m = mesti.get(key)
+        e = emesti.get(key)
+        posts = (m["post"] if m else None, e["post"] if e else None)
+        if posts[0] == posts[1]:
+            continue
+        side, pre, event = key
+        why = _asymmetry_allowed(side, pre, event, posts)
+        entry = {
+            "row": list(key),
+            "mesti_post": posts[0],
+            "emesti_post": posts[1],
+        }
+        if why is not None:
+            allowed.append({**entry, "why": why})
+        else:
+            violations.append(entry)
+    return {"allowed": allowed, "violations": violations}
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+
+class _AuditRule(Rule):
+    """Base for audit rules: runs :func:`audit_all` once, lazily."""
+
+    _cache: dict | None = None
+
+    def _audits(self) -> list[dict]:
+        cache = _AuditRule._cache
+        if cache is None:
+            cache = _AuditRule._cache = {"audits": audit_all()}
+        return cache["audits"]
+
+    @classmethod
+    def reset_cache(cls) -> None:
+        """Drop the shared audit cache (tests that patch tables use this)."""
+        _AuditRule._cache = None
+
+
+class MissingRowRule(_AuditRule):
+    """SL101: a table probe crashed — a hole, not a transition."""
+
+    id = "SL101"
+    title = "protocol table row crashes"
+    rationale = (
+        "Every (state, event) pair must either transition or raise the "
+        "deliberate ProtocolError; any other exception is an unhandled "
+        "table hole that a simulation would hit as a crash."
+    )
+
+    def check_tree(self) -> Iterator[Finding]:
+        """Report rows whose probe raised a non-ProtocolError."""
+        for audit in self._audits():
+            path = _audit_path(audit["protocol"], audit["interconnect"])
+            for item in audit["crashed"]:
+                row = "/".join(item["row"])
+                yield Finding(
+                    rule=self.id, path=path, line=0,
+                    message=f"row {row} crashed: {item['error']}",
+                    snippet=row,
+                )
+
+
+class IllegalRowDriftRule(_AuditRule):
+    """SL102: the deliberately-illegal row set drifted."""
+
+    id = "SL102"
+    title = "illegal-row set drift"
+    rationale = (
+        "The rows that raise ProtocolError are an invariant statement "
+        "(M/E cannot snoop an Upgrade; only T/S/VS may snoop a "
+        "Validate).  A new raising row is a disguised table hole; a "
+        "silently-passing guarded row is a dropped assertion."
+    )
+
+    def check_tree(self) -> Iterator[Finding]:
+        """Report rows raising unexpectedly or missing a required guard."""
+        for audit in self._audits():
+            path = _audit_path(audit["protocol"], audit["interconnect"])
+            for pre, event in audit["illegal_unexpected"]:
+                yield Finding(
+                    rule=self.id, path=path, line=0,
+                    message=(
+                        f"row remote/{pre}/{event} raises ProtocolError but "
+                        f"is not on the expected-illegal list: handle it or "
+                        f"extend expected_illegal_rows with a justification"
+                    ),
+                    snippet=f"remote/{pre}/{event}:unexpected",
+                )
+            for pre, event in audit["illegal_missing"]:
+                yield Finding(
+                    rule=self.id, path=path, line=0,
+                    message=(
+                        f"row remote/{pre}/{event} must raise ProtocolError "
+                        f"(invariant guard) but probes legal"
+                    ),
+                    snippet=f"remote/{pre}/{event}:missing-guard",
+                )
+
+
+class RowAccountingRule(_AuditRule):
+    """SL103: unexplained missing/dead rows in the accounting."""
+
+    id = "SL103"
+    title = "unexplained missing/dead table row"
+    rationale = (
+        "Every (state, event) pair must be reachable, dead with a "
+        "documented invariant reason (the verify coverage classifier), "
+        "or expected-illegal.  Anything left over is a row nobody can "
+        "explain — exactly where protocol bugs hide."
+    )
+
+    def check_tree(self) -> Iterator[Finding]:
+        """Report rows that fall through the three-way classification."""
+        for audit in self._audits():
+            path = _audit_path(audit["protocol"], audit["interconnect"])
+            for row in audit["unaccounted"]:
+                joined = "/".join(row)
+                yield Finding(
+                    rule=self.id, path=path, line=0,
+                    message=f"row {joined} is neither reachable, "
+                            f"dead-with-reason, nor expected-illegal",
+                    snippet=joined,
+                )
+
+
+class AsymmetryRule(_AuditRule):
+    """SL104: MESTI ↔ E-MESTI asymmetry not on the allowlist."""
+
+    id = "SL104"
+    title = "unallowlisted MESTI/E-MESTI asymmetry"
+    rationale = (
+        "E-MESTI must be MESTI plus the enhancements (O retirement, "
+        "Validate_Shared, the useful snoop response).  Any other table "
+        "divergence is a transcription bug that would silently skew the "
+        "MESTI-vs-E-MESTI comparisons in Figures 6-8."
+    )
+
+    def check_tree(self) -> Iterator[Finding]:
+        """Report table diffs no allowlist entry justifies."""
+        for interconnect, directory in INTERCONNECTS:
+            diff = diff_mesti_emesti(directory=directory)
+            path = f"protocol:mesti~emesti/{interconnect}"
+            for item in diff["violations"]:
+                row = "/".join(item["row"])
+                yield Finding(
+                    rule=self.id, path=path, line=0,
+                    message=(
+                        f"row {row} differs (MESTI={item['mesti_post']}, "
+                        f"E-MESTI={item['emesti_post']}) and no allowlist "
+                        f"entry covers it"
+                    ),
+                    snippet=row,
+                )
+
+
+#: Table-audit rule classes, in id order.
+AUDIT_RULES = (MissingRowRule, IllegalRowDriftRule, RowAccountingRule, AsymmetryRule)

@@ -262,7 +262,7 @@ class SLEEngine:
         if any(r.phase is not Phase.DONE for r in self.region_ops):
             return
         now = self.scheduler.now
-        when = max([now] + [r.complete_time for r in self.region_ops])
+        when = max([now, *(r.complete_time for r in self.region_ops)])
         token = object()
         self._commit_token = token
         self.scheduler.at(when, lambda: self._do_commit(token))

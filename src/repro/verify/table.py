@@ -30,8 +30,6 @@ from __future__ import annotations
 from repro.coherence.messages import SnoopResult, TxnKind
 from repro.coherence.protocol import ProtocolLogic, TransitionRecord
 from repro.coherence.states import LineState
-from repro.common.errors import ProtocolError
-from repro.memory.cache import CacheLine
 
 RowKey = tuple[str, str, str]
 
@@ -114,18 +112,8 @@ class TransitionCoverage:
 def _probe_remote(protocol: ProtocolLogic, pre: LineState, kind: TxnKind,
                   flush: bool) -> str:
     """Outcome of one remote row: a post-state letter or 'illegal'."""
-    line = CacheLine(1)
-    line.base = 0
-    line.state = pre
-    line.data = [0]
-    line.visible = [0]
-    result = SnoopResult(dirty_owner=0 if flush else None)
-    try:
-        protocol.snoop_query(line, kind)
-        protocol.snoop_apply(line, kind, result)
-    except ProtocolError:
-        return "illegal"
-    return line.state.value
+    label = f"{kind.value}+flush" if flush else kind.value
+    return protocol.probe_remote(pre, label)
 
 
 def expected_rows(
@@ -166,7 +154,7 @@ def expected_rows(
         def local(pre: str, event: str, post: str, unreachable: str | None = None):
             rows[("local", pre, event)] = {"post": post, "unreachable": unreachable}
 
-        fill_sources = ["-", "I"] + (["T"] if protocol.has_temporal else [])
+        fill_sources = ["-", "I", "T"] if protocol.has_temporal else ["-", "I"]
         shared = SnoopResult(shared=True)
         alone = SnoopResult(shared=False)
         for pre in fill_sources:

@@ -82,3 +82,38 @@ def test_checker_detects_value_divergence(tiny4_config):
     shared.data[0] ^= 0xDEAD
     with pytest.raises(ProtocolError):
         checker.check_line(shared.base)
+
+
+def test_check_all_sweeps_lines_in_sorted_base_order():
+    """Regression (simlint SL002): the end-of-run sweep must audit lines
+    in sorted-base order, not set hash order, so the first-reported
+    violation is deterministic across PYTHONHASHSEED values."""
+
+    class _StubLine:
+        def __init__(self, base):
+            self.base = base
+
+    class _StubCache:
+        def __init__(self, bases):
+            self._bases = bases
+
+        def resident_lines(self):
+            return [_StubLine(b) for b in self._bases]
+
+    class _StubCtrl:
+        def __init__(self, bases):
+            self.l2 = _StubCache(bases)
+
+    class _StubSystem:
+        # Bases deliberately inserted out of order and overlapping.
+        controllers = [
+            _StubCtrl([0x4C0, 0x100, 0x7F40]),
+            _StubCtrl([0x100, 0x2300, 0x40]),
+        ]
+
+    checker = CoherenceChecker.__new__(CoherenceChecker)
+    checker.system = _StubSystem()
+    audited = []
+    checker.check_line = audited.append
+    checker.check_all()
+    assert audited == [0x40, 0x100, 0x4C0, 0x2300, 0x7F40]

@@ -1,0 +1,1 @@
+"""Tests for the simlint static analyzer (repro.lint)."""

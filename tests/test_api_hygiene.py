@@ -61,6 +61,23 @@ def test_top_level_exports_resolve():
         assert getattr(repro, name, None) is not None, name
 
 
+def test_lint_public_api_is_stable():
+    """repro.lint must keep exporting its documented stable surface."""
+    import inspect
+
+    import repro.lint as lint
+
+    for name in ("run_lint", "Rule", "Finding"):
+        assert name in lint.__all__, name
+        assert getattr(lint, name, None) is not None, name
+    assert callable(lint.run_lint)
+    assert inspect.isclass(lint.Rule)
+    assert inspect.isclass(lint.Finding)
+    # The Finding wire-contract the baseline and CI JSON depend on.
+    fields = set(inspect.signature(lint.Finding).parameters)
+    assert {"rule", "path", "line", "message", "snippet"} <= fields
+
+
 def test_no_circular_import_on_fresh_interpreter():
     import subprocess
     import sys
