@@ -5,7 +5,13 @@ figure of the paper at a reduced scale (so the whole suite runs in
 minutes) and prints the rendered rows through pytest-benchmark's
 ``extra_info``.  Absolute numbers shrink with the scale; the *shape*
 (who wins, by roughly what factor) is what these reproduce.
+
+Set ``REPRO_BENCH_WORKERS=N`` to fan the matrix-backed regenerations
+out over N worker processes (the determinism contract guarantees
+identical results, see docs/performance.md); unset or 0 runs serially.
 """
+
+import os
 
 import pytest
 
@@ -14,7 +20,15 @@ import pytest
 BENCH_SCALE = 0.25
 BENCH_SEEDS = (1,)
 
+#: Worker processes for matrix-backed regenerations (0/unset = serial).
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0")) or None
+
 
 @pytest.fixture(scope="session")
 def bench_scale() -> float:
     return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_workers() -> int | None:
+    return BENCH_WORKERS

@@ -14,7 +14,7 @@ import pytest
 from repro.experiments.figure7 import render, speedups
 from repro.experiments.runner import MatrixRunner
 
-from benchmarks.conftest import BENCH_SCALE, BENCH_SEEDS
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEEDS, BENCH_WORKERS
 
 BENCHMARKS = ("raytrace", "specjbb", "tpc-b")
 TECHNIQUES = ("mesti", "emesti", "lvp", "sle", "emesti+lvp")
@@ -22,10 +22,13 @@ TECHNIQUES = ("mesti", "emesti", "lvp", "sle", "emesti+lvp")
 
 def test_figure7_bench(benchmark, tmp_path):
     runner = MatrixRunner(
-        scale=BENCH_SCALE, results_dir=tmp_path, label="f7", verbose=False
+        scale=BENCH_SCALE, results_dir=tmp_path, label="f7", verbose=False,
+        workers=BENCH_WORKERS,
     )
 
     def regenerate():
+        if BENCH_WORKERS:
+            runner.run_matrix(BENCHMARKS, ("base", *TECHNIQUES), BENCH_SEEDS)
         return speedups(
             runner, benchmarks=BENCHMARKS, techniques=TECHNIQUES, seeds=BENCH_SEEDS
         )

@@ -5,7 +5,7 @@ import pytest
 from repro.experiments.figure8 import render, transaction_breakdown
 from repro.experiments.runner import MatrixRunner
 
-from benchmarks.conftest import BENCH_SCALE, BENCH_SEEDS
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEEDS, BENCH_WORKERS
 
 BENCHMARKS = ("specjbb", "tpc-b")
 TECHNIQUES = ("base", "mesti", "emesti")
@@ -13,10 +13,13 @@ TECHNIQUES = ("base", "mesti", "emesti")
 
 def test_figure8_bench(benchmark, tmp_path):
     runner = MatrixRunner(
-        scale=BENCH_SCALE, results_dir=tmp_path, label="f8", verbose=False
+        scale=BENCH_SCALE, results_dir=tmp_path, label="f8", verbose=False,
+        workers=BENCH_WORKERS,
     )
 
     def regenerate():
+        if BENCH_WORKERS:
+            runner.run_matrix(BENCHMARKS, TECHNIQUES, BENCH_SEEDS)
         return transaction_breakdown(
             runner, benchmarks=BENCHMARKS, techniques=TECHNIQUES, seeds=BENCH_SEEDS
         )

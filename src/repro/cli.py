@@ -5,7 +5,8 @@ Usage (installed as ``repro-sim``, or ``python -m repro.cli``):
     repro-sim run tpc-b --technique emesti+lvp --scale 0.5 --seed 1
     repro-sim run locks --technique emesti --trace /tmp/t.json --trace-format chrome
     repro-sim report /tmp/t.json
-    repro-sim experiment figure7 --scale 0.6
+    repro-sim experiment figure7 --scale 0.6 --workers 4
+    repro-sim bench --quick
     repro-sim check --protocol emesti --interconnect both
     repro-sim lint --format json
     repro-sim list
@@ -205,10 +206,31 @@ def cmd_lint(args) -> int:
 def cmd_experiment(args) -> int:
     """Handle ``repro-sim experiment``."""
     import importlib
+    import inspect
 
     module = importlib.import_module(f"repro.experiments.{args.name}")
     kwargs = {"scale": args.scale}
+    if "workers" in inspect.signature(module.run).parameters:
+        kwargs["workers"] = args.workers
+    elif args.workers:
+        print(f"repro-sim: note: {args.name} does not support --workers; "
+              f"running serially", file=sys.stderr)
     print(module.run(**kwargs))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """Handle ``repro-sim bench`` (perf tracking + determinism check)."""
+    from repro.experiments import bench
+
+    report = bench.run(
+        quick=args.quick, workers=args.workers, output=args.output,
+    )
+    print(bench.render(report))
+    if not report["determinism"]["ok"]:
+        print("repro-sim: error: serial/worker determinism check FAILED",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -279,6 +301,37 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p = sub.add_parser("experiment", help="regenerate a table/figure")
     exp_p.add_argument("name", choices=EXPERIMENTS)
     exp_p.add_argument("--scale", type=float, default=0.5)
+    exp_p.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="fan independent simulation cells out over N worker "
+             "processes (results are identical to a serial run; see "
+             "docs/performance.md)",
+    )
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="time the simulator and write BENCH_matrix.json",
+        description=(
+            "Run the scheduler/stats microbenchmarks and a fixed "
+            "mini-matrix (per-cell wall times, serial vs parallel "
+            "wall-clock), verify the serial-vs-worker determinism "
+            "contract, and write a machine-readable report.  Exit 1 "
+            "on a determinism mismatch."
+        ),
+    )
+    bench_p.add_argument(
+        "--quick", action="store_true",
+        help="smaller matrix and microbench counts (CI smoke)",
+    )
+    bench_p.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="workers for the parallel matrix pass "
+             "(default: min(4, cpu_count))",
+    )
+    bench_p.add_argument(
+        "--output", default="BENCH_matrix.json", metavar="PATH",
+        help="report path (default: BENCH_matrix.json in the cwd)",
+    )
 
     check_p = sub.add_parser(
         "check",
@@ -395,6 +448,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": cmd_run,
         "report": cmd_report,
         "experiment": cmd_experiment,
+        "bench": cmd_bench,
         "check": cmd_check,
         "lint": cmd_lint,
     }

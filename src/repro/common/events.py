@@ -8,7 +8,7 @@ model relies on for transaction serialization.
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Callable
 
 from repro.common.errors import SimulationError
@@ -43,7 +43,7 @@ class Scheduler:
             raise SimulationError(
                 f"cannot schedule event in the past: {time} < now {self._now}"
             )
-        heapq.heappush(self._queue, (time, self._seq, callback))
+        heappush(self._queue, (time, self._seq, callback))
         self._seq += 1
 
     def after(self, delay: int, callback: Callable[[], None]) -> None:
@@ -54,9 +54,10 @@ class Scheduler:
 
     def step(self) -> bool:
         """Fire the next event.  Returns False if the queue is empty."""
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             return False
-        time, _, callback = heapq.heappop(self._queue)
+        time, _, callback = heappop(queue)
         self._now = time
         self._events_fired += 1
         callback()
@@ -83,7 +84,7 @@ class Scheduler:
         perf_counter = self._perf_counter
         if not self._queue:
             return False
-        time, _, callback = heapq.heappop(self._queue)
+        time, _, callback = heappop(self._queue)
         self._now = time
         self._events_fired += 1
         start = perf_counter()
@@ -102,7 +103,51 @@ class Scheduler:
         ``until`` is checked after every event; ``max_cycles`` and
         ``max_events`` are hard safety limits that raise
         :class:`SimulationError` when exceeded (they indicate livelock).
+
+        This is the simulator's hottest loop (every event of every run
+        passes through it), so the body is inlined rather than calling
+        :meth:`step`, with the queue and ``heappop`` hoisted to locals.
+        ``self._now``/``self._events_fired`` are still written before
+        each callback — callbacks read them through ``now``/
+        ``events_fired`` (heartbeats, tracers, ``at()`` validation).
         """
+        if "step" in self.__dict__:
+            # Profiling swapped in a custom step; take the generic
+            # (measured) path so every event stays attributed.
+            self._run_via_step(until, max_cycles, max_events)
+            return
+        queue = self._queue
+        pop = heappop
+        if until is None and max_cycles is None and max_events is None:
+            # Drain-the-queue fast path (replay, microbenchmarks):
+            # no stop-condition or limit checks at all.
+            while queue:
+                time, _, callback = pop(queue)
+                self._now = time
+                self._events_fired += 1
+                callback()
+            return
+        start_events = self._events_fired
+        while queue:
+            if until is not None and until():
+                return
+            if max_cycles is not None and self._now > max_cycles:
+                raise SimulationError(f"exceeded max_cycles={max_cycles}")
+            if max_events is not None and self._events_fired - start_events > max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+            time, _, callback = pop(queue)
+            self._now = time
+            self._events_fired += 1
+            callback()
+
+    def _run_via_step(
+        self,
+        until: Callable[[], bool] | None,
+        max_cycles: int | None,
+        max_events: int | None,
+    ) -> None:
+        """The generic run loop, dispatching through ``self.step``."""
+        step = self.step
         start_events = self._events_fired
         while self._queue:
             if until is not None and until():
@@ -111,4 +156,4 @@ class Scheduler:
                 raise SimulationError(f"exceeded max_cycles={max_cycles}")
             if max_events is not None and self._events_fired - start_events > max_events:
                 raise SimulationError(f"exceeded max_events={max_events}")
-            self.step()
+            step()

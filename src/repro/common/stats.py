@@ -291,23 +291,32 @@ class StatsRegistry:
 
 
 class ScopedStats:
-    """A prefix-applying view onto a :class:`StatsRegistry`."""
+    """A prefix-applying view onto a :class:`StatsRegistry`.
+
+    Counter increments are the single hottest stats operation (every
+    commit, transaction, and miss bumps several), so ``add``/``set``/
+    ``get`` go straight at the registry's counter dict through a
+    cached alias instead of bouncing through a registry method call.
+    """
+
+    __slots__ = ("_registry", "_prefix", "_counters")
 
     def __init__(self, registry: StatsRegistry, prefix: str):
         self._registry = registry
         self._prefix = prefix.rstrip(".") + "."
+        self._counters = registry._counters
 
     def add(self, name: str, amount: float = 1) -> None:
         """Increment ``prefix.name`` in the backing registry."""
-        self._registry.add(self._prefix + name, amount)
+        self._counters[self._prefix + name] += amount
 
     def set(self, name: str, value: float) -> None:
-        """Set ``prefix.name`` in the backing registry."""
-        self._registry.set(self._prefix + name, value)
+        """Set ``prefix.name`` to an absolute value."""
+        self._counters[self._prefix + name] = value
 
     def get(self, name: str, default: float = 0) -> float:
         """Read ``prefix.name`` from the backing registry."""
-        return self._registry.get(self._prefix + name, default)
+        return self._counters.get(self._prefix + name, default)
 
     def histogram(self, name: str, bounds: Iterable[float] | None = None) -> Histogram:
         """Get-or-create ``prefix.name`` histogram in the registry."""

@@ -10,6 +10,11 @@
   kernel critical section.
 * **SLE ROB threshold**: the in-core buffering bound.
 * **Update-silent store squashing** ([21]) on top of the baseline.
+
+Each ablation builds its full (config × benchmark) job list up front
+and dispatches through :func:`~repro.experiments.runner.map_cells`, so
+``workers`` > 1 runs the sweep on a process pool with results
+identical to the serial order.
 """
 
 from __future__ import annotations
@@ -17,37 +22,48 @@ from __future__ import annotations
 import dataclasses
 
 from repro.analysis.report import render_table
-from repro.common.config import ValidatePolicy, scaled_config
-from repro.experiments.runner import DEFAULT_JITTER, summarize
-from repro.system.system import System
+from repro.common.config import MachineConfig, ValidatePolicy, scaled_config
+from repro.experiments.runner import DEFAULT_JITTER, map_cells
 from repro.system.techniques import configure_technique
-from repro.workloads.registry import get_benchmark
 
 
-def _run(config, benchmark: str, scale: float, seed: int):
-    config = dataclasses.replace(config, latency_jitter=DEFAULT_JITTER)
-    workload = get_benchmark(benchmark, scale=scale)
-    result = System(config, workload, seed=seed).run(
-        max_cycles=500_000_000, max_events=300_000_000
-    )
-    return summarize(result)
+def _jittered(config: MachineConfig) -> MachineConfig:
+    return dataclasses.replace(config, latency_jitter=DEFAULT_JITTER)
+
+
+def _sweep(specs, scale: float, seed: int, workers: int | None):
+    """Run ``(tag, config)`` specs; returns {tag: summary} in job order."""
+    jobs = [
+        (_jittered(config), benchmark, scale, seed)
+        for (benchmark, _label), config in specs
+    ]
+    summaries = map_cells(jobs, workers)
+    return {tag: summary for (tag, _), summary in zip(specs, summaries)}
 
 
 def validate_policy_ablation(scale=1.0, seed=1, benchmarks=("specjbb", "tpc-b"),
-                             verbose=True) -> str:
+                             verbose=True, workers=None) -> str:
     """Validate policy sweep on MESTI."""
-    rows = []
+    policies = [
+        (ValidatePolicy.ALWAYS, "mesti"),
+        (ValidatePolicy.SNOOP_AWARE, "mesti"),
+        (ValidatePolicy.PREDICTOR, "emesti"),
+    ]
+    specs = []
     for benchmark in benchmarks:
-        base = _run(configure_technique(scaled_config(), "base"), benchmark, scale, seed)
-        for policy, technique in [
-            (ValidatePolicy.ALWAYS, "mesti"),
-            (ValidatePolicy.SNOOP_AWARE, "mesti"),
-            (ValidatePolicy.PREDICTOR, "emesti"),
-        ]:
+        specs.append(((benchmark, "base"),
+                      configure_technique(scaled_config(), "base")))
+        for policy, technique in policies:
             cfg = configure_technique(scaled_config(), technique)
             cfg = cfg.with_protocol(validate_policy=policy,
                                     enhanced=(policy is ValidatePolicy.PREDICTOR))
-            summary = _run(cfg, benchmark, scale, seed)
+            specs.append(((benchmark, policy.value), cfg))
+    results = _sweep(specs, scale, seed, workers)
+    rows = []
+    for benchmark in benchmarks:
+        base = results[(benchmark, "base")]
+        for policy, _technique in policies:
+            summary = results[(benchmark, policy.value)]
             rows.append([
                 benchmark,
                 policy.value,
@@ -56,7 +72,8 @@ def validate_policy_ablation(scale=1.0, seed=1, benchmarks=("specjbb", "tpc-b"),
                 round(summary["txn_total"] / base["txn_total"], 3),
             ])
             if verbose:
-                print(f"  validate-ablation {benchmark}/{policy.value} done", flush=True)
+                print(f"  validate-ablation {benchmark}/{policy.value} done",
+                      flush=True)
     return render_table(
         ["Benchmark", "Policy", "Speedup", "Validates", "Txn vs base"],
         rows, title="Ablation: validate broadcast policy",
@@ -64,19 +81,27 @@ def validate_policy_ablation(scale=1.0, seed=1, benchmarks=("specjbb", "tpc-b"),
 
 
 def sle_predictor_ablation(scale=1.0, seed=1, benchmarks=("tpc-b", "raytrace"),
-                           verbose=True) -> str:
+                           verbose=True, workers=None) -> str:
     """Enhanced elision confidence vs simple restart threshold."""
+    variants = [
+        ("enhanced-confidence", {"confidence_enabled": True}),
+        ("simple-threshold", {"confidence_enabled": False}),
+        ("naive-isync", {"isync_safety_check": False}),
+        ("checkpoint-mode", {"checkpoint_mode": True}),
+    ]
+    specs = []
+    for benchmark in benchmarks:
+        specs.append(((benchmark, "base"),
+                      configure_technique(scaled_config(), "base")))
+        for label, kw in variants:
+            specs.append(((benchmark, label),
+                          configure_technique(scaled_config(), "sle").with_sle(**kw)))
+    results = _sweep(specs, scale, seed, workers)
     rows = []
     for benchmark in benchmarks:
-        base = _run(configure_technique(scaled_config(), "base"), benchmark, scale, seed)
-        for label, kw in [
-            ("enhanced-confidence", {"confidence_enabled": True}),
-            ("simple-threshold", {"confidence_enabled": False}),
-            ("naive-isync", {"isync_safety_check": False}),
-            ("checkpoint-mode", {"checkpoint_mode": True}),
-        ]:
-            cfg = configure_technique(scaled_config(), "sle").with_sle(**kw)
-            summary = _run(cfg, benchmark, scale, seed)
+        base = results[(benchmark, "base")]
+        for label, _kw in variants:
+            summary = results[(benchmark, label)]
             rows.append([
                 benchmark, label,
                 round(base["cycles"] / summary["cycles"], 3),
@@ -92,13 +117,22 @@ def sle_predictor_ablation(scale=1.0, seed=1, benchmarks=("tpc-b", "raytrace"),
 
 
 def sle_rob_threshold_ablation(scale=1.0, seed=1, benchmark="raytrace",
-                               thresholds=(0.25, 0.5, 0.75), verbose=True) -> str:
+                               thresholds=(0.25, 0.5, 0.75), verbose=True,
+                               workers=None) -> str:
     """Critical-section buffering bound sweep."""
-    rows = []
-    base = _run(configure_technique(scaled_config(), "base"), benchmark, scale, seed)
+    specs = [((benchmark, "base"), configure_technique(scaled_config(), "base"))]
     for threshold in thresholds:
-        cfg = configure_technique(scaled_config(), "sle").with_sle(rob_threshold=threshold)
-        summary = _run(cfg, benchmark, scale, seed)
+        specs.append((
+            (benchmark, threshold),
+            configure_technique(scaled_config(), "sle").with_sle(
+                rob_threshold=threshold
+            ),
+        ))
+    results = _sweep(specs, scale, seed, workers)
+    base = results[(benchmark, "base")]
+    rows = []
+    for threshold in thresholds:
+        summary = results[(benchmark, threshold)]
         rows.append([
             threshold,
             round(base["cycles"] / summary["cycles"], 3),
@@ -114,13 +148,19 @@ def sle_rob_threshold_ablation(scale=1.0, seed=1, benchmark="raytrace",
 
 
 def silent_store_ablation(scale=1.0, seed=1, benchmarks=("ocean", "tpc-b"),
-                          verbose=True) -> str:
+                          verbose=True, workers=None) -> str:
     """Update-silent store squashing on the baseline protocol."""
+    specs = []
+    for benchmark in benchmarks:
+        specs.append(((benchmark, "base"),
+                      configure_technique(scaled_config(), "base")))
+        specs.append(((benchmark, "squash"),
+                      scaled_config().with_protocol(squash_silent_stores=True)))
+    results = _sweep(specs, scale, seed, workers)
     rows = []
     for benchmark in benchmarks:
-        base = _run(configure_technique(scaled_config(), "base"), benchmark, scale, seed)
-        cfg = scaled_config().with_protocol(squash_silent_stores=True)
-        summary = _run(cfg, benchmark, scale, seed)
+        base = results[(benchmark, "base")]
+        summary = results[(benchmark, "squash")]
         rows.append([
             benchmark,
             round(base["cycles"] / summary["cycles"], 3),
@@ -135,13 +175,14 @@ def silent_store_ablation(scale=1.0, seed=1, benchmarks=("ocean", "tpc-b"),
     )
 
 
-def run(scale: float = 1.0, seed: int = 1, verbose=True) -> str:
+def run(scale: float = 1.0, seed: int = 1, verbose=True,
+        workers: int | None = None) -> str:
     """Run the experiment and return the rendered text."""
     parts = [
-        validate_policy_ablation(scale, seed, verbose=verbose),
-        sle_predictor_ablation(scale, seed, verbose=verbose),
-        sle_rob_threshold_ablation(scale, seed, verbose=verbose),
-        silent_store_ablation(scale, seed, verbose=verbose),
+        validate_policy_ablation(scale, seed, verbose=verbose, workers=workers),
+        sle_predictor_ablation(scale, seed, verbose=verbose, workers=workers),
+        sle_rob_threshold_ablation(scale, seed, verbose=verbose, workers=workers),
+        silent_store_ablation(scale, seed, verbose=verbose, workers=workers),
     ]
     return "\n\n".join(parts)
 

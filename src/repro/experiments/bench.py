@@ -1,0 +1,274 @@
+"""Performance bench harness (``repro-sim bench``).
+
+Tracks the perf trajectory of the simulator itself: two microbenchmarks
+(the :class:`~repro.common.events.Scheduler` event loop and the
+:class:`~repro.common.stats.StatsRegistry` counter hot path), a fixed
+mini-matrix timed cell by cell (serially, and optionally through the
+parallel runner for a wall-clock speedup figure), and the
+serial-vs-worker determinism check that guards the parallel runner's
+core contract.  Results are written as machine-readable JSON
+(``BENCH_matrix.json`` at the repo root by default) so successive runs
+are diffable; CI runs ``bench --quick`` and fails on a determinism
+mismatch (exit code 1).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+from repro.common.config import scaled_config
+from repro.common.events import Scheduler
+from repro.common.stats import StatsRegistry
+from repro.experiments.runner import (
+    NONDETERMINISTIC_FIELDS,
+    MatrixRunner,
+    config_fingerprint,
+    run_cell,
+    summaries_equal,
+)
+
+log = logging.getLogger("repro.bench")
+
+#: The fixed mini-matrix: small but heterogeneous (one scientific + one
+#: commercial workload, baseline + the headline technique), so per-cell
+#: wall times stay comparable run over run.
+MINI_MATRIX = {
+    "benchmarks": ("radiosity", "tpc-b"),
+    "techniques": ("base", "emesti"),
+    "seeds": (1,),
+    "scale": 0.1,
+}
+
+#: ``--quick`` variant for CI smoke runs.
+QUICK_MATRIX = {
+    "benchmarks": ("radiosity",),
+    "techniques": ("base", "emesti"),
+    "seeds": (1,),
+    "scale": 0.05,
+}
+
+
+def scheduler_microbench(n_events: int = 200_000) -> dict:
+    """Time ``n_events`` self-rescheduling events through the run loop."""
+    sched = Scheduler()
+    remaining = [n_events]
+
+    def tick():
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            sched.after(1, tick)
+
+    sched.at(0, tick)
+    start = time.perf_counter()
+    sched.run()
+    seconds = time.perf_counter() - start
+    return {
+        "events": sched.events_fired,
+        "seconds": round(seconds, 4),
+        "events_per_sec": round(sched.events_fired / seconds) if seconds else None,
+    }
+
+
+def stats_microbench(n_adds: int = 300_000) -> dict:
+    """Time counter increments through the ScopedStats hot path."""
+    registry = StatsRegistry()
+    scoped = registry.scoped("node0")
+    add = scoped.add
+    start = time.perf_counter()
+    for _ in range(n_adds):
+        add("stores.update_silent")
+    add_seconds = time.perf_counter() - start
+    hist = registry.histogram("miss_latency")
+    record = hist.record
+    start = time.perf_counter()
+    for value in range(n_adds):
+        record(value & 1023)
+    hist_seconds = time.perf_counter() - start
+    return {
+        "adds": n_adds,
+        "add_seconds": round(add_seconds, 4),
+        "adds_per_sec": round(n_adds / add_seconds) if add_seconds else None,
+        "hist_records": n_adds,
+        "hist_seconds": round(hist_seconds, 4),
+        "hist_records_per_sec": (
+            round(n_adds / hist_seconds) if hist_seconds else None
+        ),
+    }
+
+
+def determinism_check(scale: float = 0.05, benchmark: str = "radiosity",
+                      technique: str = "emesti", seed: int = 1) -> dict:
+    """Run one cell serially and in a worker process; compare summaries.
+
+    This is the parallel runner's non-negotiable contract: both paths
+    must produce identical summaries (every field except the
+    ``wall_seconds`` host measurement).
+    """
+    runner = MatrixRunner(scale=scale, results_dir=tempfile.mkdtemp(),
+                          verbose=False)
+    config = runner.cell_config(technique)
+    serial = run_cell(config, benchmark, scale, seed)
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        parallel = pool.submit(run_cell, config, benchmark, scale, seed).result()
+    mismatched = sorted(
+        key
+        for key in set(serial) | set(parallel)
+        if key not in NONDETERMINISTIC_FIELDS
+        and serial.get(key) != parallel.get(key)
+    )
+    return {
+        "benchmark": benchmark,
+        "technique": technique,
+        "seed": seed,
+        "scale": scale,
+        "ok": not mismatched,
+        "mismatched_fields": mismatched,
+    }
+
+
+def matrix_bench(spec: dict, workers: int | None = None) -> dict:
+    """Time the fixed mini-matrix cell by cell (plus a parallel pass).
+
+    Every cell runs fresh in a throwaway results dir — the point is
+    wall time, not reuse.  With ``workers`` > 1 the same matrix is
+    also run through ``run_matrix(workers=...)`` against a second
+    empty cache, yielding the serial/parallel wall-clock ratio and a
+    summary-equality cross-check between the two paths.
+    """
+    scale = spec["scale"]
+    serial = MatrixRunner(scale=scale, results_dir=tempfile.mkdtemp(),
+                          verbose=False)
+    cells = []
+    start = time.perf_counter()
+    serial_out = serial.run_matrix(
+        benchmarks=spec["benchmarks"], techniques=spec["techniques"],
+        seeds=spec["seeds"],
+    )
+    serial_seconds = time.perf_counter() - start
+    for key, summary in serial_out.items():
+        benchmark, technique, seed = key.split("|")
+        cells.append({
+            "benchmark": benchmark,
+            "technique": technique,
+            "seed": int(seed),
+            "wall_seconds": summary["wall_seconds"],
+            "cycles": summary["cycles"],
+            "committed": summary["committed"],
+        })
+    out = {
+        "scale": scale,
+        "benchmarks": list(spec["benchmarks"]),
+        "techniques": list(spec["techniques"]),
+        "seeds": list(spec["seeds"]),
+        "fingerprint": config_fingerprint(scaled_config()),
+        "cells": cells,
+        "serial_seconds": round(serial_seconds, 3),
+        "workers": workers,
+        "parallel_seconds": None,
+        "speedup": None,
+        "parallel_matches_serial": None,
+    }
+    if workers and workers > 1:
+        par = MatrixRunner(scale=scale, results_dir=tempfile.mkdtemp(),
+                           verbose=False, workers=workers)
+        start = time.perf_counter()
+        par_out = par.run_matrix(
+            benchmarks=spec["benchmarks"], techniques=spec["techniques"],
+            seeds=spec["seeds"],
+        )
+        parallel_seconds = time.perf_counter() - start
+        out["parallel_seconds"] = round(parallel_seconds, 3)
+        out["speedup"] = (
+            round(serial_seconds / parallel_seconds, 3) if parallel_seconds else None
+        )
+        out["parallel_matches_serial"] = all(
+            summaries_equal(serial_out[key], par_out[key]) for key in serial_out
+        )
+    return out
+
+
+def run(quick: bool = False, workers: int | None = None,
+        output: str | Path = "BENCH_matrix.json", verbose: bool = True) -> dict:
+    """Run the full bench suite and write the JSON report.
+
+    Returns the report dict; ``report["determinism"]["ok"]`` is the
+    pass/fail signal (the CLI turns it into the exit code).
+    """
+    spec = QUICK_MATRIX if quick else MINI_MATRIX
+    if workers is None:
+        workers = min(4, os.cpu_count() or 1)
+    n_events = 50_000 if quick else 200_000
+    n_adds = 100_000 if quick else 300_000
+    if verbose:
+        log.info("scheduler microbench (%d events)...", n_events)
+    scheduler = scheduler_microbench(n_events)
+    if verbose:
+        log.info("stats microbench (%d adds)...", n_adds)
+    stats = stats_microbench(n_adds)
+    if verbose:
+        log.info("mini-matrix (%d cells, scale=%s, workers=%s)...",
+                 len(spec["benchmarks"]) * len(spec["techniques"])
+                 * len(spec["seeds"]), spec["scale"], workers)
+    matrix = matrix_bench(spec, workers=workers)
+    if verbose:
+        log.info("determinism check (serial vs worker)...")
+    determinism = determinism_check(scale=spec["scale"])
+    report = {
+        "schema": 1,
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "platform": sys.platform,
+        "cpu_count": os.cpu_count(),
+        "scheduler": scheduler,
+        "stats": stats,
+        "matrix": matrix,
+        "determinism": determinism,
+    }
+    if matrix["parallel_matches_serial"] is False:
+        report["determinism"]["ok"] = False
+        report["determinism"]["mismatched_fields"].append(
+            "<run_matrix parallel/serial summaries differ>"
+        )
+    Path(output).write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    if verbose:
+        log.info("wrote %s", output)
+    return report
+
+
+def render(report: dict) -> str:
+    """One-screen human summary of a bench report."""
+    lines = [
+        f"scheduler : {report['scheduler']['events_per_sec']:,} events/s",
+        f"stats     : {report['stats']['adds_per_sec']:,} counter adds/s, "
+        f"{report['stats']['hist_records_per_sec']:,} histogram records/s",
+    ]
+    matrix = report["matrix"]
+    lines.append(
+        f"matrix    : {len(matrix['cells'])} cells at scale {matrix['scale']} "
+        f"in {matrix['serial_seconds']}s serial"
+    )
+    for cell in matrix["cells"]:
+        lines.append(
+            f"  {cell['benchmark']:>10s}/{cell['technique']:<8s} seed={cell['seed']} "
+            f"{cell['wall_seconds']:.2f}s"
+        )
+    if matrix["parallel_seconds"] is not None:
+        lines.append(
+            f"parallel  : {matrix['parallel_seconds']}s with "
+            f"{matrix['workers']} workers (speedup {matrix['speedup']}x, "
+            f"cpu_count={report['cpu_count']})"
+        )
+    det = report["determinism"]
+    lines.append(
+        "determinism: "
+        + ("ok (serial == worker)" if det["ok"]
+           else f"MISMATCH in fields {det['mismatched_fields']}")
+    )
+    return "\n".join(lines)

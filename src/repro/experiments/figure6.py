@@ -21,10 +21,9 @@ from repro.common.config import (
     StaleDetectionMode,
     scaled_config,
 )
-from repro.experiments.runner import summarize
-from repro.system.system import System
+from repro.experiments.runner import map_cells
 from repro.system.techniques import configure_technique
-from repro.workloads.registry import BENCHMARKS, get_benchmark
+from repro.workloads.registry import BENCHMARKS
 
 #: The sweep: label -> (mode, stale storage bytes).  The paper pairs an
 #: 8 KB L1-D with 32 KB / 128 KB stale stores (4x / 16x the L1); our
@@ -45,29 +44,32 @@ def figure6_machine(base: MachineConfig | None = None) -> MachineConfig:
     return configure_technique(cfg, "mesti")
 
 
-def sweep(scale: float = 1.0, seed: int = 1, benchmarks=None, verbose=True):
-    """Run the capacity sweep; returns {benchmark: {label: comm misses}}."""
-    out: dict[str, dict[str, float]] = {}
+def sweep(scale: float = 1.0, seed: int = 1, benchmarks=None, verbose=True,
+          workers: int | None = None):
+    """Run the capacity sweep; returns {benchmark: {label: comm misses}}.
+
+    ``workers`` > 1 fans the (benchmark × capacity) cells out over a
+    process pool; the returned numbers are identical to a serial sweep.
+    """
+    tags = []
+    jobs = []
     for benchmark in benchmarks or BENCHMARKS:
-        out[benchmark] = {}
         for label, mode, stale_bytes in CONFIGS:
-            cfg = figure6_machine()
-            cfg = cfg.with_protocol(
+            cfg = figure6_machine().with_protocol(
                 stale_detection=mode, stale_storage_bytes=stale_bytes
             )
-            workload = get_benchmark(benchmark, scale=scale)
-            result = System(cfg, workload, seed=seed).run(
-                max_cycles=500_000_000, max_events=300_000_000
+            tags.append((benchmark, label))
+            jobs.append((cfg, benchmark, scale, seed))
+    out: dict[str, dict[str, float]] = {}
+    for (benchmark, label), summary in zip(tags, map_cells(jobs, workers)):
+        out.setdefault(benchmark, {})[label] = summary["miss_comm"]
+        if verbose:
+            print(
+                f"  figure6 {benchmark:>9s} {label:<14s} "
+                f"comm={summary['miss_comm']:.0f} "
+                f"validates={summary['txn_validate']:.0f}",
+                flush=True,
             )
-            summary = summarize(result)
-            out[benchmark][label] = summary["miss_comm"]
-            if verbose:
-                print(
-                    f"  figure6 {benchmark:>9s} {label:<14s} "
-                    f"comm={summary['miss_comm']:.0f} "
-                    f"validates={summary['txn_validate']:.0f}",
-                    flush=True,
-                )
     return out
 
 
@@ -87,9 +89,11 @@ def render(results: dict[str, dict[str, float]]) -> str:
     )
 
 
-def run(scale: float = 1.0, seed: int = 1, benchmarks=None, verbose=True) -> str:
+def run(scale: float = 1.0, seed: int = 1, benchmarks=None, verbose=True,
+        workers: int | None = None) -> str:
     """Run the experiment and return the rendered text."""
-    return render(sweep(scale=scale, seed=seed, benchmarks=benchmarks, verbose=verbose))
+    return render(sweep(scale=scale, seed=seed, benchmarks=benchmarks,
+                        verbose=verbose, workers=workers))
 
 
 if __name__ == "__main__":

@@ -58,9 +58,15 @@ def render(results: dict[str, dict[str, dict[str, float]]]) -> str:
 
 
 def run(scale: float = 1.0, seeds=DEFAULT_SEEDS, results_dir="results",
-        benchmarks=None, verbose=True) -> str:
-    """Run the experiment and return the rendered text."""
-    runner = MatrixRunner(scale=scale, results_dir=results_dir, verbose=verbose)
+        benchmarks=None, verbose=True, workers: int | None = None) -> str:
+    """Run the experiment and return the rendered text.
+
+    ``workers`` > 1 prefetches the uncached matrix cells in parallel.
+    """
+    runner = MatrixRunner(scale=scale, results_dir=results_dir, verbose=verbose,
+                          workers=workers)
+    if workers and workers > 1:
+        runner.run_matrix(benchmarks, ("base",) + FIGURE7_TECHNIQUES, seeds)
     return render(transaction_breakdown(runner, benchmarks, seeds=seeds))
 
 

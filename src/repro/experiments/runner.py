@@ -5,29 +5,57 @@ numbers the figures need) and cached as JSON under ``results/`` so the
 per-figure harnesses can share runs: Figure 7 (performance) and
 Figure 8 (address transactions) use the same matrix, Table 2 uses its
 ``mesti`` column, and the SLE statistics of §5.3.1 its ``sle`` column.
+
+Cells are independent simulations (each builds its own ``System`` from
+the seed), so the matrix fans out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` when ``workers`` is
+given.  The determinism contract (docs/performance.md): a cell run in
+a worker produces a summary identical — every field except the
+``wall_seconds`` wall-clock measurement — to the same cell run
+serially, so cached, serial, and parallel results are interchangeable.
+
+The cache file carries a fingerprint of the machine configuration, so
+summaries produced under one config are never silently reused under
+another, and flushes merge with whatever is already on disk (guarded
+by a lock file) so concurrent runners sharing a cache path cannot
+clobber each other's completed cells.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import enum
+import hashlib
 import json
 import logging
 import os
 import tempfile
 import time
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.common.config import MachineConfig, scaled_config
 from repro.system.system import RunResult, System
 from repro.system.techniques import configure_technique
 from repro.workloads.registry import BENCHMARKS, get_benchmark
 
-import dataclasses
-
 #: Default timing-perturbation magnitude for variability runs
 #: (Alameldeen–Wood): a few percent of the remote latency.
 DEFAULT_JITTER = 8
+
+#: Per-cell wall-clock budget for parallel runs.  The in-simulation
+#: ``max_cycles``/``max_events`` guards catch livelock deterministically;
+#: this outer limit only catches a wedged worker process.
+DEFAULT_CELL_TIMEOUT = 3600.0
+
+#: Cache file format version (bumped when the on-disk layout changes).
+CACHE_FORMAT = 2
+
+#: Summary fields that measure the host, not the simulation — excluded
+#: from determinism comparisons.
+NONDETERMINISTIC_FIELDS = ("wall_seconds",)
 
 RunSummary = dict
 
@@ -111,6 +139,119 @@ def summarize(result: RunResult, wall_seconds: float = 0.0) -> RunSummary:
     return summary
 
 
+def summaries_equal(a: RunSummary, b: RunSummary) -> bool:
+    """Dict equality modulo the host-dependent wall-clock fields."""
+    strip = lambda s: {k: v for k, v in s.items() if k not in NONDETERMINISTIC_FIELDS}
+    return strip(a) == strip(b)
+
+
+def config_fingerprint(config: MachineConfig, jitter: int = DEFAULT_JITTER) -> str:
+    """Stable hash of every :class:`MachineConfig` field plus the jitter.
+
+    Two runners whose fingerprints match produce interchangeable
+    summaries for the same (benchmark, technique, seed) cell; the cache
+    file records the fingerprint so summaries cached under one machine
+    are never silently reused under another.
+    """
+
+    def encode(value):
+        if dataclasses.is_dataclass(value):
+            return {
+                f.name: encode(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            }
+        if isinstance(value, enum.Enum):
+            return value.value
+        return value
+
+    payload = json.dumps(
+        {"config": encode(config), "jitter": jitter}, sort_keys=True
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def run_cell(
+    config: MachineConfig, benchmark: str, scale: float, seed: int
+) -> RunSummary:
+    """Run one fully-configured cell and summarize it.
+
+    Module-level so a :class:`ProcessPoolExecutor` can pickle it; the
+    serial path uses the same function, which is what makes the
+    serial-vs-worker determinism contract enforceable by test.
+    """
+    workload = get_benchmark(benchmark, scale=scale)
+    start = time.perf_counter()
+    result = System(config, workload, seed=seed).run(
+        max_cycles=500_000_000, max_events=300_000_000
+    )
+    return summarize(result, time.perf_counter() - start)
+
+
+def _harvest(
+    future: Future,
+    retry: Callable[[], RunSummary],
+    timeout: float | None,
+    label: str,
+) -> RunSummary:
+    """Wait for one cell's future; on any failure, retry exactly once."""
+    try:
+        return future.result(timeout=timeout)
+    except Exception as exc:  # noqa: BLE001 - every failure gets one retry
+        log.warning(
+            "cell %s failed (%s: %s); retrying once",
+            label, type(exc).__name__, exc,
+        )
+        return retry()
+
+
+def _pool_map(
+    jobs: list[tuple[MachineConfig, str, float, int]],
+    workers: int,
+    timeout: float | None,
+):
+    """Yield each job's summary in submission order from a process pool.
+
+    Each cell gets a per-cell ``timeout`` and exactly one retry — in a
+    fresh worker, or in-process if the pool died (worker crash); the
+    cell itself may still be fine.  Yielding incrementally lets the
+    caller persist finished cells before a later one fails.
+    """
+    with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
+        futures = [pool.submit(run_cell, *job) for job in jobs]
+
+        def retry_for(job):
+            def retry():
+                try:
+                    return pool.submit(run_cell, *job).result(timeout=timeout)
+                except BrokenExecutor:
+                    return run_cell(*job)
+            return retry
+
+        for future, job in zip(futures, jobs):
+            yield _harvest(
+                future, retry_for(job), timeout,
+                f"{job[1]}|scale{job[2]}|seed{job[3]}",
+            )
+
+
+def map_cells(
+    jobs: list[tuple[MachineConfig, str, float, int]],
+    workers: int | None = None,
+    timeout: float | None = DEFAULT_CELL_TIMEOUT,
+) -> list[RunSummary]:
+    """Run ``(config, benchmark, scale, seed)`` jobs, preserving order.
+
+    With ``workers`` > 1 the jobs fan out over a process pool with a
+    per-cell timeout and one retry; otherwise they run serially.  The
+    returned list matches ``jobs`` index for index either way, with
+    identical summaries (modulo ``wall_seconds``) — simulations are
+    pure functions of (config, benchmark, scale, seed).
+    """
+    if not workers or workers <= 1 or len(jobs) <= 1:
+        return [run_cell(*job) for job in jobs]
+    return list(_pool_map(jobs, workers, timeout))
+
+
 class MatrixRunner:
     """Runs and caches the benchmark × technique × seed matrix."""
 
@@ -121,18 +262,22 @@ class MatrixRunner:
         results_dir: str | Path = "results",
         label: str = "matrix",
         verbose: bool = True,
+        workers: int | None = None,
+        cell_timeout: float | None = DEFAULT_CELL_TIMEOUT,
     ):
         self.base_config = config or scaled_config()
         self.scale = scale
         self.results_dir = Path(results_dir)
         self.label = label
         self.verbose = verbose
+        self.workers = workers
+        self.cell_timeout = cell_timeout
+        self.fingerprint = config_fingerprint(self.base_config)
         self._cache: dict[str, RunSummary] = {}
         self._cache_path = self.results_dir / f"{label}_scale{scale}.json"
         self._dirty = False
         self._batch_depth = 0
-        if self._cache_path.exists():
-            self._cache = json.loads(self._cache_path.read_text())
+        self._cache = self._load_cache()
 
     def __enter__(self) -> "MatrixRunner":
         """Context-manager entry (flushes the cache on exit)."""
@@ -152,6 +297,73 @@ class MatrixRunner:
         """Cache key for one (benchmark, technique, seed) cell."""
         return f"{benchmark}|{technique}|{seed}"
 
+    def cell_config(self, technique: str) -> MachineConfig:
+        """The complete per-cell machine config for one technique."""
+        config = configure_technique(self.base_config, technique)
+        return dataclasses.replace(config, latency_jitter=DEFAULT_JITTER)
+
+    # ------------------------------------------------------------------
+    # Cache loading
+    # ------------------------------------------------------------------
+
+    def _load_cache(self) -> dict[str, RunSummary]:
+        """Read the cache file, surviving corruption and config drift.
+
+        * A truncated/corrupt file (interrupted mid-save by an older
+          writer, partial copy, ...) is moved aside to ``*.corrupt``
+          with a warning and the cache starts empty.
+        * A fingerprint mismatch (the file was produced under a
+          different :class:`MachineConfig`) moves the file aside to
+          ``*.stale`` so its summaries are never mixed with ours.
+        * Legacy flat-dict caches (no header) predate fingerprints;
+          they are adopted as-is with a warning and upgraded to the
+          current format on the next flush.
+        """
+        if not self._cache_path.exists():
+            return {}
+        try:
+            data = json.loads(self._cache_path.read_text())
+            cells, fingerprint = self._split_cache_doc(data)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            quarantine = self._cache_path.with_suffix(".corrupt")
+            os.replace(self._cache_path, quarantine)
+            log.warning(
+                "cache %s is corrupt (%s); moved aside to %s and starting "
+                "an empty cache", self._cache_path, exc, quarantine,
+            )
+            return {}
+        if fingerprint is None and cells:
+            log.warning(
+                "cache %s predates config fingerprints; assuming it matches "
+                "the current machine config (flush will record fingerprint "
+                "%s)", self._cache_path, self.fingerprint,
+            )
+            return cells
+        if fingerprint is not None and fingerprint != self.fingerprint:
+            quarantine = self._cache_path.with_suffix(".stale")
+            os.replace(self._cache_path, quarantine)
+            log.warning(
+                "cache %s was produced under a different machine config "
+                "(fingerprint %s != ours %s); moved aside to %s and "
+                "starting an empty cache",
+                self._cache_path, fingerprint, self.fingerprint, quarantine,
+            )
+            return {}
+        return cells
+
+    @staticmethod
+    def _split_cache_doc(data) -> tuple[dict[str, RunSummary], str | None]:
+        """Return (cells, fingerprint) for either cache file layout."""
+        if isinstance(data, dict) and "cells" in data and "fingerprint" in data:
+            return dict(data["cells"]), data["fingerprint"]
+        if isinstance(data, dict):  # legacy flat key->summary mapping
+            return dict(data), None
+        raise json.JSONDecodeError("cache root is not an object", "", 0)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
     def run_one(
         self, benchmark: str, technique: str, seed: int, force: bool = False
     ) -> RunSummary:
@@ -159,15 +371,15 @@ class MatrixRunner:
         key = self.key(benchmark, technique, seed)
         if not force and key in self._cache:
             return self._cache[key]
-        config = configure_technique(self.base_config, technique)
-        config = dataclasses.replace(config, latency_jitter=DEFAULT_JITTER)
-        workload = get_benchmark(benchmark, scale=self.scale)
-        start = time.perf_counter()
-        result = System(config, workload, seed=seed).run(
-            max_cycles=500_000_000, max_events=300_000_000
-        )
-        summary = summarize(result, time.perf_counter() - start)
-        self._cache[key] = summary
+        summary = run_cell(self.cell_config(technique), benchmark, self.scale, seed)
+        self._record(benchmark, technique, seed, summary)
+        return summary
+
+    def _record(
+        self, benchmark: str, technique: str, seed: int, summary: RunSummary
+    ) -> None:
+        """Insert one finished cell into the cache and log it."""
+        self._cache[self.key(benchmark, technique, seed)] = summary
         self._save()
         log.log(
             logging.INFO if self.verbose else logging.DEBUG,
@@ -175,24 +387,67 @@ class MatrixRunner:
             benchmark, technique, seed,
             summary["cycles"], summary["ipc"], summary["wall_seconds"],
         )
-        return summary
 
     def run_matrix(
         self,
         benchmarks: Iterable[str] | None = None,
         techniques: Iterable[str] = ("base",),
         seeds: Iterable[int] = (1, 2, 3),
+        workers: int | None = None,
     ) -> dict[str, RunSummary]:
-        """Run every requested cell; returns the key->summary mapping."""
-        out = {}
+        """Run every requested cell; returns the key->summary mapping.
+
+        ``workers`` (default: the runner's ``workers`` setting) > 1
+        fans the uncached cells out over a process pool; the returned
+        mapping is in the serial iteration order either way, and every
+        summary is identical to what the serial path would produce
+        (modulo ``wall_seconds`` — see docs/performance.md).
+        """
+        cells = [
+            (benchmark, technique, seed)
+            for benchmark in (benchmarks or BENCHMARKS)
+            for technique in techniques
+            for seed in seeds
+        ]
+        workers = self.workers if workers is None else workers
+        out: dict[str, RunSummary] = {}
         with self._batch():
-            for benchmark in benchmarks or BENCHMARKS:
-                for technique in techniques:
-                    for seed in seeds:
-                        out[self.key(benchmark, technique, seed)] = self.run_one(
-                            benchmark, technique, seed
-                        )
+            if workers and workers > 1:
+                self._run_cells_parallel(cells, workers)
+            for benchmark, technique, seed in cells:
+                out[self.key(benchmark, technique, seed)] = self.run_one(
+                    benchmark, technique, seed
+                )
         return out
+
+    def _run_cells_parallel(
+        self, cells: list[tuple[str, str, int]], workers: int
+    ) -> None:
+        """Fan uncached cells out over a process pool into the cache.
+
+        Harvesting happens inside the enclosing batch, so cells
+        completed before a crash/timeout-exhaustion are flushed by the
+        batch's ``finally`` — a re-run only re-executes what's missing.
+        """
+        pending = [
+            (benchmark, technique, seed)
+            for benchmark, technique, seed in dict.fromkeys(cells)
+            if self.key(benchmark, technique, seed) not in self._cache
+        ]
+        if not pending:
+            return
+        jobs = [
+            (self.cell_config(technique), benchmark, self.scale, seed)
+            for benchmark, technique, seed in pending
+        ]
+        log.log(
+            logging.INFO if self.verbose else logging.DEBUG,
+            "fanning %d cell(s) out over %d workers",
+            len(pending), min(workers, len(pending)),
+        )
+        summaries = _pool_map(jobs, workers, self.cell_timeout)
+        for (benchmark, technique, seed), summary in zip(pending, summaries):
+            self._record(benchmark, technique, seed, summary)
 
     def cells(self, benchmark: str, technique: str, seeds: Iterable[int]) -> list[RunSummary]:
         """Fetch (running if needed) all seeds of one cell."""
@@ -216,32 +471,105 @@ class MatrixRunner:
             if self._batch_depth == 0 and self._dirty:
                 self.flush()
 
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
     def _save(self) -> None:
         self._dirty = True
         if self._batch_depth == 0:
             self.flush()
 
-    def flush(self) -> None:
-        """Atomically write the result cache to disk.
+    @contextmanager
+    def _flush_lock(self, timeout: float = 10.0):
+        """Serialize flushes across processes with a lock file.
 
-        The JSON is staged in a temp file in the same directory and
-        moved into place with :func:`os.replace`, so an interrupted
-        sweep can never leave a truncated cache behind.
+        ``O_CREAT|O_EXCL`` is atomic on every POSIX filesystem; a
+        holder that died leaves the lock behind, so after ``timeout``
+        seconds of polling the lock is broken with a warning rather
+        than deadlocking the flush.
         """
-        self.results_dir.mkdir(parents=True, exist_ok=True)
-        payload = json.dumps(self._cache, indent=1, sort_keys=True)
-        fd, tmp_path = tempfile.mkstemp(
-            prefix=self._cache_path.name + ".", suffix=".tmp",
-            dir=self.results_dir,
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(payload)
-            os.replace(tmp_path, self._cache_path)
-        except BaseException:
+        lock_path = self._cache_path.with_suffix(".lock")
+        deadline = time.perf_counter() + timeout
+        while True:
             try:
-                os.unlink(tmp_path)
+                fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                break
+            except FileExistsError:
+                if time.perf_counter() >= deadline:
+                    log.warning(
+                        "breaking stale cache lock %s after %.0fs",
+                        lock_path, timeout,
+                    )
+                    try:
+                        os.unlink(lock_path)
+                    except OSError:
+                        pass
+                else:
+                    time.sleep(0.02)
+        try:
+            os.write(fd, str(os.getpid()).encode())
+            os.close(fd)
+            yield
+        finally:
+            try:
+                os.unlink(lock_path)
             except OSError:
                 pass
-            raise
+
+    def flush(self) -> None:
+        """Atomically merge-and-write the result cache to disk.
+
+        Under the lock file, the on-disk cache is re-read and unioned
+        with the in-memory cells (ours win on conflict — same cell,
+        same config, deterministic summary), then the JSON is staged in
+        a temp file in the same directory and moved into place with
+        :func:`os.replace`.  Two runners sharing one cache path each
+        keep the other's completed cells, and an interrupted sweep can
+        never leave a truncated cache behind.
+        """
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        with self._flush_lock():
+            self._merge_from_disk()
+            payload = json.dumps(
+                {
+                    "format": CACHE_FORMAT,
+                    "fingerprint": self.fingerprint,
+                    "cells": self._cache,
+                },
+                indent=1, sort_keys=True,
+            )
+            fd, tmp_path = tempfile.mkstemp(
+                prefix=self._cache_path.name + ".", suffix=".tmp",
+                dir=self.results_dir,
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(payload)
+                os.replace(tmp_path, self._cache_path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
         self._dirty = False
+
+    def _merge_from_disk(self) -> None:
+        """Union cells another runner flushed since we last read."""
+        if not self._cache_path.exists():
+            return
+        try:
+            data = json.loads(self._cache_path.read_text())
+            cells, fingerprint = self._split_cache_doc(data)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return  # corrupt on disk; our atomic write replaces it
+        if fingerprint is not None and fingerprint != self.fingerprint:
+            log.warning(
+                "cache %s changed fingerprint on disk (%s != ours %s); "
+                "not merging its cells", self._cache_path, fingerprint,
+                self.fingerprint,
+            )
+            return
+        for key, summary in cells.items():
+            self._cache.setdefault(key, summary)

@@ -6,6 +6,11 @@ validate leverage typically grows with the machine — while the address
 network's fixed occupancy makes useless traffic costlier, which is why
 the paper positions E-MESTI for "coherence bandwidth-limited
 environments".
+
+The (benchmark × cpu-count × technique) cells are independent
+simulations, so with ``workers`` > 1 they fan out over a process pool
+via :func:`~repro.experiments.runner.map_cells` — the 16-processor
+cells dominate the sweep, and they parallelize perfectly.
 """
 
 from __future__ import annotations
@@ -14,10 +19,8 @@ import dataclasses
 
 from repro.analysis.report import render_table
 from repro.common.config import scaled_config
-from repro.experiments.runner import DEFAULT_JITTER, summarize
-from repro.system.system import System
+from repro.experiments.runner import DEFAULT_JITTER, map_cells
 from repro.system.techniques import configure_technique
-from repro.workloads.registry import get_benchmark
 
 HEADERS = [
     "Benchmark",
@@ -30,41 +33,35 @@ HEADERS = [
 
 
 def collect(scale=0.4, seed=1, benchmarks=("tpc-b", "radiosity"),
-            cpu_counts=(4, 8, 16), verbose=True):
+            cpu_counts=(4, 8, 16), verbose=True, workers=None):
     """Run the experiment and return its result rows."""
+    points = [(b, n) for b in benchmarks for n in cpu_counts]
+    jobs = []
+    for benchmark, n in points:
+        for technique in ("base", "emesti"):
+            cfg = dataclasses.replace(
+                configure_technique(scaled_config(n_procs=n), technique),
+                latency_jitter=DEFAULT_JITTER,
+            )
+            jobs.append((cfg, benchmark, scale, seed))
+    summaries = map_cells(jobs, workers)
     rows = []
-    for benchmark in benchmarks:
-        for n in cpu_counts:
-            base_cfg = dataclasses.replace(
-                configure_technique(scaled_config(n_procs=n), "base"),
-                latency_jitter=DEFAULT_JITTER,
-            )
-            base = summarize(
-                System(base_cfg, get_benchmark(benchmark, scale=scale), seed=seed)
-                .run(max_cycles=500_000_000, max_events=300_000_000)
-            )
-            em_cfg = dataclasses.replace(
-                configure_technique(scaled_config(n_procs=n), "emesti"),
-                latency_jitter=DEFAULT_JITTER,
-            )
-            emesti = summarize(
-                System(em_cfg, get_benchmark(benchmark, scale=scale), seed=seed)
-                .run(max_cycles=500_000_000, max_events=300_000_000)
-            )
-            rows.append([
-                benchmark, n, base["cycles"], base["miss_comm"],
-                round(base["cycles"] / emesti["cycles"], 3),
-                emesti["txn_validate"],
-            ])
-            if verbose:
-                print(f"  scaling {benchmark} n={n} done", flush=True)
+    for i, (benchmark, n) in enumerate(points):
+        base, emesti = summaries[2 * i], summaries[2 * i + 1]
+        rows.append([
+            benchmark, n, base["cycles"], base["miss_comm"],
+            round(base["cycles"] / emesti["cycles"], 3),
+            emesti["txn_validate"],
+        ])
+        if verbose:
+            print(f"  scaling {benchmark} n={n} done", flush=True)
     return rows
 
 
 def run(scale=0.4, seed=1, benchmarks=("tpc-b", "radiosity"),
-        cpu_counts=(4, 8, 16), verbose=True) -> str:
+        cpu_counts=(4, 8, 16), verbose=True, workers: int | None = None) -> str:
     """Run the experiment and return the rendered text."""
-    rows = collect(scale, seed, benchmarks, cpu_counts, verbose)
+    rows = collect(scale, seed, benchmarks, cpu_counts, verbose, workers)
     return render_table(HEADERS, rows, title="Processor-count scaling (§5.2)")
 
 

@@ -161,3 +161,68 @@ def test_max_events_budget_is_per_run():
         sched.at(t, lambda: None)
     sched.run(max_events=5)  # fresh budget despite 6 total fired
     assert sched.events_fired == 6
+
+
+def test_run_no_args_drains_fast_path():
+    # run() with no stop condition or limits takes the inlined
+    # drain-the-queue fast path; counters must stay exact.
+    sched = Scheduler()
+    fired = []
+    for t in (5, 1, 3):
+        sched.at(t, lambda t=t: fired.append(t))
+    sched.run()
+    assert fired == [1, 3, 5]
+    assert sched.events_fired == 3
+    assert sched.now == 5
+    assert sched.pending() == 0
+
+
+def test_run_fast_path_callbacks_can_schedule():
+    # Callbacks scheduling further events mid-drain keep firing (the
+    # hoisted queue alias is the same list heappush appends to).
+    sched = Scheduler()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 4:
+            sched.after(1, lambda: chain(n + 1))
+
+    sched.at(0, lambda: chain(0))
+    sched.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_run_inlined_loop_reads_now_in_callbacks():
+    # self._now must be written before each callback even in the
+    # inlined loops — callbacks schedule relative to it.
+    sched = Scheduler()
+    seen = []
+    sched.at(7, lambda: seen.append(sched.now))
+    sched.run(max_cycles=100)
+    assert seen == [7]
+
+
+def test_profiled_run_attributes_every_event():
+    # With profiling enabled, run() must dispatch through the swapped
+    # step so every event is measured, in all run() modes.
+    class Recorder:
+        def __init__(self):
+            self.n = 0
+
+        def record(self, label, seconds):
+            self.n += 1
+
+    from repro.obs.profiler import SimProfiler  # noqa: F401 - import check
+
+    sched = Scheduler()
+    rec = Recorder()
+    sched.enable_profiling(rec)
+    for t in range(3):
+        sched.at(t, lambda: None)
+    sched.run()
+    for t in range(3, 6):
+        sched.at(t, lambda: None)
+    sched.run(until=lambda: False, max_cycles=100, max_events=100)
+    assert rec.n == 6
+    assert sched.events_fired == 6

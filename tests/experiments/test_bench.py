@@ -1,0 +1,78 @@
+"""The ``repro-sim bench`` harness: report shape and determinism gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import bench
+
+
+def test_scheduler_microbench_counts():
+    out = bench.scheduler_microbench(n_events=2_000)
+    assert out["events"] == 2_000
+    assert out["events_per_sec"] > 0
+
+
+def test_stats_microbench_counts():
+    out = bench.stats_microbench(n_adds=2_000)
+    assert out["adds"] == 2_000
+    assert out["adds_per_sec"] > 0
+    assert out["hist_records_per_sec"] > 0
+
+
+def test_determinism_check_passes():
+    out = bench.determinism_check(scale=0.02)
+    assert out["ok"] is True
+    assert out["mismatched_fields"] == []
+
+
+@pytest.fixture(scope="module")
+def quick_report(tmp_path_factory):
+    path = tmp_path_factory.mktemp("bench") / "BENCH_matrix.json"
+    report = bench.run(quick=True, workers=2, output=path, verbose=False)
+    return report, path
+
+
+def test_bench_report_written(quick_report):
+    report, path = quick_report
+    on_disk = json.loads(path.read_text())
+    assert on_disk == report
+    assert report["schema"] == 1
+    assert report["quick"] is True
+
+
+def test_bench_report_fields(quick_report):
+    report, _ = quick_report
+    assert report["scheduler"]["events_per_sec"] > 0
+    assert report["stats"]["adds_per_sec"] > 0
+    matrix = report["matrix"]
+    assert matrix["serial_seconds"] > 0
+    assert len(matrix["cells"]) == 2  # quick: radiosity x (base, emesti)
+    for cell in matrix["cells"]:
+        assert cell["wall_seconds"] >= 0
+        assert cell["cycles"] > 0
+    assert matrix["parallel_seconds"] is not None
+    assert matrix["parallel_matches_serial"] is True
+    assert report["determinism"]["ok"] is True
+
+
+def test_bench_render_one_screen(quick_report):
+    report, _ = quick_report
+    text = bench.render(report)
+    assert "determinism: ok" in text
+    assert "events/s" in text
+    assert "radiosity" in text
+
+
+def test_render_reports_mismatch():
+    report = {
+        "cpu_count": 4,
+        "scheduler": {"events_per_sec": 1},
+        "stats": {"adds_per_sec": 1, "hist_records_per_sec": 1},
+        "matrix": {"cells": [], "scale": 0.1, "serial_seconds": 0.0,
+                   "parallel_seconds": None, "workers": None, "speedup": None},
+        "determinism": {"ok": False, "mismatched_fields": ["cycles"]},
+    }
+    assert "MISMATCH" in bench.render(report)

@@ -1,0 +1,229 @@
+"""Parallel matrix execution: determinism contract + cache robustness.
+
+Covers the non-negotiables of the ``workers=N`` mode:
+
+* a cell run in a worker process produces a summary identical to the
+  same cell run serially (modulo the ``wall_seconds`` measurement);
+* the cache file is fingerprinted by machine config, survives
+  corruption, and merges concurrent flushes instead of clobbering.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import logging
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.common.config import BusConfig, scaled_config
+from repro.experiments.runner import (
+    NONDETERMINISTIC_FIELDS,
+    MatrixRunner,
+    config_fingerprint,
+    map_cells,
+    run_cell,
+    summaries_equal,
+)
+
+SCALE = 0.02
+
+
+class TestDeterminism:
+    def test_same_cell_twice_serial(self, tmp_path):
+        runner = MatrixRunner(scale=SCALE, results_dir=tmp_path, verbose=False)
+        first = runner.run_one("radiosity", "emesti", 1)
+        again = runner.run_one("radiosity", "emesti", 1, force=True)
+        assert summaries_equal(first, again)
+        # Beyond the helper: every field except wall_seconds is
+        # bit-identical, including the float-valued ones.
+        for key in first:
+            if key not in NONDETERMINISTIC_FIELDS:
+                assert first[key] == again[key], key
+
+    def test_serial_vs_process_pool_worker(self, tmp_path):
+        runner = MatrixRunner(scale=SCALE, results_dir=tmp_path, verbose=False)
+        config = runner.cell_config("emesti")
+        serial = run_cell(config, "radiosity", SCALE, 1)
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            worker = pool.submit(run_cell, config, "radiosity", SCALE, 1).result()
+        assert summaries_equal(serial, worker)
+
+    def test_run_matrix_workers_matches_serial(self, tmp_path):
+        serial = MatrixRunner(
+            scale=SCALE, results_dir=tmp_path / "serial", verbose=False
+        ).run_matrix(benchmarks=["radiosity"], techniques=("base", "mesti"),
+                     seeds=(1, 2))
+        parallel = MatrixRunner(
+            scale=SCALE, results_dir=tmp_path / "par", verbose=False
+        ).run_matrix(benchmarks=["radiosity"], techniques=("base", "mesti"),
+                     seeds=(1, 2), workers=2)
+        # Deterministic result order: same keys in the same order.
+        assert list(parallel) == list(serial)
+        for key in serial:
+            assert summaries_equal(serial[key], parallel[key]), key
+
+    def test_workers_results_are_cached(self, tmp_path):
+        runner = MatrixRunner(scale=SCALE, results_dir=tmp_path, verbose=False)
+        runner.run_matrix(benchmarks=["radiosity"], techniques=("base",),
+                          seeds=(1,), workers=2)
+        cells = json.loads(runner._cache_path.read_text())["cells"]
+        assert "radiosity|base|1" in cells
+
+    def test_map_cells_serial_parallel_parity(self):
+        config = scaled_config()
+        jobs = [(config, "radiosity", SCALE, 1), (config, "radiosity", SCALE, 2)]
+        serial = map_cells(jobs)
+        parallel = map_cells(jobs, workers=2)
+        assert len(parallel) == 2
+        for a, b in zip(serial, parallel):
+            assert summaries_equal(a, b)
+
+
+class TestRetry:
+    def test_harvest_retries_once_on_failure(self, caplog):
+        from repro.experiments.runner import _harvest
+
+        class FailingFuture:
+            def result(self, timeout=None):
+                raise RuntimeError("worker died")
+
+        retried = []
+        with caplog.at_level(logging.WARNING, logger="repro.runner"):
+            out = _harvest(
+                FailingFuture(), lambda: retried.append(1) or {"cycles": 7},
+                timeout=1.0, label="x|y|1",
+            )
+        assert out == {"cycles": 7}
+        assert retried == [1]
+        assert "retrying once" in caplog.text
+
+    def test_harvest_second_failure_propagates(self):
+        from repro.experiments.runner import _harvest
+
+        class FailingFuture:
+            def result(self, timeout=None):
+                raise RuntimeError("worker died")
+
+        def retry():
+            raise RuntimeError("still dead")
+
+        with pytest.raises(RuntimeError, match="still dead"):
+            _harvest(FailingFuture(), retry, timeout=1.0, label="x|y|1")
+
+
+class TestConfigFingerprint:
+    def test_fingerprint_sensitive_to_config(self):
+        base = scaled_config()
+        custom = dataclasses.replace(base, bus=BusConfig(addr_latency=99))
+        assert config_fingerprint(base) != config_fingerprint(custom)
+        assert config_fingerprint(base) == config_fingerprint(scaled_config())
+
+    def test_custom_config_does_not_reuse_default_cache(self, tmp_path, caplog):
+        default = MatrixRunner(scale=SCALE, results_dir=tmp_path, verbose=False)
+        cached = default.run_one("radiosity", "base", 1)
+        custom_config = dataclasses.replace(
+            scaled_config(), bus=BusConfig(addr_latency=99, data_latency=200)
+        )
+        with caplog.at_level(logging.WARNING, logger="repro.runner"):
+            custom = MatrixRunner(
+                config=custom_config, scale=SCALE, results_dir=tmp_path,
+                verbose=False,
+            )
+        assert "different machine config" in caplog.text
+        assert custom._cache == {}  # must not adopt the mismatched cells
+        fresh = custom.run_one("radiosity", "base", 1)
+        assert not summaries_equal(cached, fresh)  # different bus timing
+        # The mismatched file was moved aside, not destroyed.
+        stale = default._cache_path.with_suffix(".stale")
+        assert stale.exists()
+        assert "radiosity|base|1" in json.loads(stale.read_text())["cells"]
+
+    def test_legacy_flat_cache_adopted_with_warning(self, tmp_path, caplog):
+        path = tmp_path / f"matrix_scale{SCALE}.json"
+        legacy = {"radiosity|base|1": {"cycles": 123, "ipc": 1.0}}
+        path.write_text(json.dumps(legacy))
+        with caplog.at_level(logging.WARNING, logger="repro.runner"):
+            runner = MatrixRunner(scale=SCALE, results_dir=tmp_path, verbose=False)
+        assert "predates config fingerprints" in caplog.text
+        assert runner.run_one("radiosity", "base", 1) == {"cycles": 123, "ipc": 1.0}
+        # Flushing upgrades the file to the fingerprinted format.
+        runner._dirty = True
+        runner.flush()
+        doc = json.loads(path.read_text())
+        assert doc["fingerprint"] == runner.fingerprint
+        assert "radiosity|base|1" in doc["cells"]
+
+
+class TestCorruptCache:
+    def test_truncated_cache_recovers(self, tmp_path, caplog):
+        path = tmp_path / f"matrix_scale{SCALE}.json"
+        path.write_text('{"cells": {"radiosity|base|1": {"cyc')  # interrupted
+        with caplog.at_level(logging.WARNING, logger="repro.runner"):
+            runner = MatrixRunner(scale=SCALE, results_dir=tmp_path, verbose=False)
+        assert runner._cache == {}
+        assert "corrupt" in caplog.text
+        quarantine = path.with_suffix(".corrupt")
+        assert quarantine.exists() and not path.exists()
+
+    def test_non_object_root_recovers(self, tmp_path):
+        path = tmp_path / f"matrix_scale{SCALE}.json"
+        path.write_text("[1, 2, 3]")
+        runner = MatrixRunner(scale=SCALE, results_dir=tmp_path, verbose=False)
+        assert runner._cache == {}
+
+    def test_runner_still_usable_after_recovery(self, tmp_path):
+        path = tmp_path / f"matrix_scale{SCALE}.json"
+        path.write_text("not json at all")
+        runner = MatrixRunner(scale=SCALE, results_dir=tmp_path, verbose=False)
+        summary = runner.run_one("radiosity", "base", 1)
+        assert summary["cycles"] > 0
+        assert "radiosity|base|1" in json.loads(path.read_text())["cells"]
+
+
+class TestConcurrentFlush:
+    def test_two_runners_sharing_a_cache_merge(self, tmp_path):
+        # Both constructed before either flushes: the classic
+        # last-writer-wins hazard.
+        a = MatrixRunner(scale=SCALE, results_dir=tmp_path, verbose=False)
+        b = MatrixRunner(scale=SCALE, results_dir=tmp_path, verbose=False)
+        a.run_one("radiosity", "base", 1)  # a flushes {cell1}
+        b.run_one("radiosity", "base", 2)  # b flushes {cell2} + merges cell1
+        cells = json.loads(a._cache_path.read_text())["cells"]
+        assert "radiosity|base|1" in cells
+        assert "radiosity|base|2" in cells
+
+    def test_flush_does_not_resurrect_mismatched_cells(self, tmp_path):
+        a = MatrixRunner(scale=SCALE, results_dir=tmp_path, verbose=False)
+        a.run_one("radiosity", "base", 1)
+        # Another process rewrites the file under a different config.
+        doc = json.loads(a._cache_path.read_text())
+        doc["fingerprint"] = "deadbeefdeadbeef"
+        doc["cells"]["other|config|9"] = {"cycles": 1}
+        a._cache_path.write_text(json.dumps(doc))
+        a._cache["radiosity|base|3"] = {"cycles": 2}
+        a._dirty = True
+        a.flush()
+        out = json.loads(a._cache_path.read_text())
+        assert out["fingerprint"] == a.fingerprint
+        assert "other|config|9" not in out["cells"]
+
+    def test_no_lock_file_left_behind(self, tmp_path):
+        runner = MatrixRunner(scale=SCALE, results_dir=tmp_path, verbose=False)
+        runner.run_one("radiosity", "base", 1)
+        assert not runner._cache_path.with_suffix(".lock").exists()
+
+    def test_stale_lock_is_broken(self, tmp_path, caplog):
+        runner = MatrixRunner(scale=SCALE, results_dir=tmp_path, verbose=False)
+        runner._cache["fake|cell|1"] = {"cycles": 1}
+        runner._dirty = True
+        lock = runner._cache_path.with_suffix(".lock")
+        tmp_path.mkdir(exist_ok=True)
+        lock.write_text("12345")  # a holder that died
+        with caplog.at_level(logging.WARNING, logger="repro.runner"):
+            with runner._flush_lock(timeout=0.1):
+                pass
+        assert "breaking stale cache lock" in caplog.text
+        runner.flush()
+        assert "fake|cell|1" in json.loads(runner._cache_path.read_text())["cells"]

@@ -145,7 +145,8 @@ class TestBatchedAtomicSave:
         )
         assert len(flushes) == 1  # one write for three cells
         cache = json.loads(runner._cache_path.read_text())
-        assert len(cache) == 3
+        assert len(cache["cells"]) == 3
+        assert cache["fingerprint"] == runner.fingerprint
 
     def test_run_one_outside_batch_saves_immediately(self, tmp_path):
         runner = MatrixRunner(scale=0.02, results_dir=tmp_path, verbose=False)
@@ -159,7 +160,7 @@ class TestBatchedAtomicSave:
             with runner._batch():
                 runner.run_one("radiosity", "base", 1)
                 raise RuntimeError("simulated crash mid-sweep")
-        assert json.loads(runner._cache_path.read_text())
+        assert json.loads(runner._cache_path.read_text())["cells"]
 
     def test_flush_leaves_no_temp_files(self, tmp_path):
         runner = MatrixRunner(scale=0.02, results_dir=tmp_path, verbose=False)
@@ -179,7 +180,7 @@ class TestBatchedAtomicSave:
                 runner._cache["fake|cell|0"] = {"cycles": 1}
                 runner._dirty = True
         cache = json.loads(runner._cache_path.read_text())
-        assert "fake|cell|0" in cache
+        assert "fake|cell|0" in cache["cells"]
 
     def test_logging_progress(self, tmp_path, caplog):
         import logging
