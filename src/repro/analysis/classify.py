@@ -24,6 +24,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.common.stats import ScopedStats
+from repro.obs.metrics import NULL_METRICS
 
 
 class _Residency(enum.Enum):
@@ -43,9 +44,26 @@ class _LineHistory:
 class MissClassifier:
     """Tracks per-(node, line) history and classifies every miss."""
 
-    def __init__(self, stats: ScopedStats, n_procs: int):
+    def __init__(self, stats: ScopedStats, n_procs: int, metrics=NULL_METRICS):
         self._stats = stats
         self._history: list[dict[int, _LineHistory]] = [dict() for _ in range(n_procs)]
+        self._m_miss = {
+            cls: metrics.bound_counter(
+                stats, f"miss.{cls}",
+                "repro_misses_total", "L2 misses by class", cls=cls,
+            )
+            for cls in ("cold", "capacity", "comm")
+        }
+        self._m_total = stats.counter("miss.total")
+        self._m_comm = {
+            cause: metrics.bound_counter(
+                stats, f"miss.comm.{cause}",
+                "repro_comm_misses_total",
+                "Communication misses by cause (tss/false/true sharing)",
+                cause=cause,
+            )
+            for cause in ("tss", "false", "true")
+        }
 
     def _entry(self, node: int, base: int) -> _LineHistory:
         per_node = self._history[node]
@@ -67,8 +85,8 @@ class MissClassifier:
             entry.pending_word = word
         else:
             kind = "capacity"
-        self._stats.add(f"miss.{kind}")
-        self._stats.add("miss.total")
+        self._m_miss[kind].inc()
+        self._m_total.inc()
         return kind
 
     def on_fill(self, node: int, base: int, data: list[int]) -> None:
@@ -85,7 +103,7 @@ class MissClassifier:
                 sub = "false"
             else:
                 sub = "true"
-            self._stats.add(f"miss.comm.{sub}")
+            self._m_comm[sub].inc()
         entry.residency = _Residency.RESIDENT
         entry.snapshot = None
         entry.pending_word = None

@@ -23,7 +23,7 @@ from repro.common.config import InterconnectKind, scaled_config
 from repro.common.errors import ConfigError
 from repro.experiments.runner import summarize
 from repro.obs.profiler import SimProfiler
-from repro.obs.report import read_trace, render_report, summarize_trace
+from repro.obs.report import load_trace, render_report, summarize_trace
 from repro.obs.tracer import TraceFilter, Tracer
 from repro.system.system import System
 from repro.system.techniques import ALL_TECHNIQUES, configure_technique
@@ -59,9 +59,17 @@ def cmd_run(args) -> int:
     config = configure_technique(scaled_config(n_procs=args.procs), args.technique)
     workload = get_benchmark(args.benchmark, scale=args.scale)
     tracer = _make_tracer(args)
+    metrics = None
+    if args.metrics:
+        from repro.obs.metrics import MetricsRegistry
+
+        # Fail on an unwritable path now, not after a long simulation.
+        with open(args.metrics, "w"):
+            pass
+        metrics = MetricsRegistry()
     system = System(
         config, workload, seed=args.seed, tracer=tracer,
-        check_invariants=args.check_invariants,
+        check_invariants=args.check_invariants, metrics=metrics,
     )
     profiler = SimProfiler() if args.profile else None
     if profiler is not None:
@@ -75,6 +83,17 @@ def cmd_run(args) -> int:
         tracer.save(args.trace, format=args.trace_format)
         print(f"trace: {len(tracer.events)} events -> {args.trace} "
               f"({args.trace_format}, {tracer.dropped} filtered)")
+    if metrics is not None:
+        from pathlib import Path
+
+        if args.metrics_format == "prom":
+            text = metrics.to_prometheus()
+        else:
+            text = json.dumps(metrics.to_json(), indent=1, sort_keys=True) + "\n"
+        Path(args.metrics).write_text(text)
+        n_series = sum(1 for f in metrics.families() for _ in f.series())
+        print(f"metrics: {n_series} series -> {args.metrics} "
+              f"({args.metrics_format})")
     if profiler is not None:
         print(profiler.report())
     return 0
@@ -82,8 +101,11 @@ def cmd_run(args) -> int:
 
 def cmd_report(args) -> int:
     """Handle ``repro-sim report``."""
-    events = read_trace(args.trace)
-    print(render_report(summarize_trace(events, top=args.top)))
+    load = load_trace(args.trace)
+    if load.skipped:
+        print(f"repro-sim: warning: skipped {load.skipped} malformed "
+              f"event(s) in {args.trace}", file=sys.stderr)
+    print(render_report(summarize_trace(load.events, top=args.top)))
     return 0
 
 
@@ -220,17 +242,40 @@ def cmd_experiment(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    """Handle ``repro-sim bench`` (perf tracking + determinism check)."""
+    """Handle ``repro-sim bench`` (perf tracking + regression gate)."""
     from repro.experiments import bench
+    from repro.obs.regress import (
+        DEFAULT_REL_THRESHOLD,
+        compare_reports,
+        load_report,
+        render_comparison,
+    )
 
+    baseline = None
+    if args.compare:
+        # Load before running: --output may point at the baseline file.
+        baseline = load_report(args.compare)
     report = bench.run(
         quick=args.quick, workers=args.workers, output=args.output,
+        results_dir=args.results_dir,
     )
     print(bench.render(report))
     if not report["determinism"]["ok"]:
         print("repro-sim: error: serial/worker determinism check FAILED",
               file=sys.stderr)
         return 1
+    if baseline is not None:
+        threshold = (
+            DEFAULT_REL_THRESHOLD if args.threshold is None else args.threshold
+        )
+        comparison = compare_reports(baseline, report, rel_threshold=threshold)
+        print(f"\ncompare vs {args.compare}:")
+        print(render_comparison(comparison))
+        if not comparison.ok:
+            print("repro-sim: error: perf regression vs baseline "
+                  "(regenerate with `repro-sim bench` if intentional)",
+                  file=sys.stderr)
+            return 1
     return 0
 
 
@@ -286,6 +331,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="attribute wall time to simulator components",
     )
     run_p.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="export the run's metric series (counters, gauges, "
+             "histograms with labels) to PATH",
+    )
+    run_p.add_argument(
+        "--metrics-format", choices=("json", "prom"), default="json",
+        help="metrics output format (prom is Prometheus text exposition)",
+    )
+    run_p.add_argument(
         "--check-invariants", action="store_true",
         help="run the coherence invariant checker on every bus grant "
              "plus an end-of-run sweep (fails fast on protocol bugs)",
@@ -331,6 +385,22 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument(
         "--output", default="BENCH_matrix.json", metavar="PATH",
         help="report path (default: BENCH_matrix.json in the cwd)",
+    )
+    bench_p.add_argument(
+        "--compare", default=None, metavar="BASELINE.json",
+        help="diff this run against a baseline bench report; exit 1 "
+             "when a metric regresses past the threshold",
+    )
+    bench_p.add_argument(
+        "--threshold", type=float, default=None, metavar="REL",
+        help="relative threshold for rate/time metrics in --compare "
+             "(default: 0.5, i.e. ±50%%; cycles/committed always "
+             "compare exactly)",
+    )
+    bench_p.add_argument(
+        "--results-dir", default=None, metavar="DIR",
+        help="keep the matrix caches and run manifests in DIR "
+             "(default: a throwaway tempdir)",
     )
 
     check_p = sub.add_parser(
@@ -387,7 +457,7 @@ def build_parser() -> argparse.ArgumentParser:
         "lint",
         help="static determinism/protocol analysis (simlint)",
         description=(
-            "Run the simlint AST rules (SL001-SL006) over the repro "
+            "Run the simlint AST rules (SL001-SL007) over the repro "
             "sources and the static protocol-table audit (SL101-SL104) "
             "over the MESI/MOESI/MESTI/E-MESTI tables.  Exit 0 when "
             "clean (after baseline suppression), 1 on new findings, "

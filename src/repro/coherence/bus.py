@@ -25,6 +25,7 @@ from repro.common.rng import SplitRng
 from repro.common.stats import ScopedStats
 from repro.coherence.messages import BusTransaction, TxnKind
 from repro.memory.mainmem import MainMemory
+from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
 
 
@@ -64,6 +65,7 @@ class SnoopBus:
         jitter: int = 0,
         rng: SplitRng | None = None,
         tracer=NULL_TRACER,
+        metrics=NULL_METRICS,
     ):
         self.scheduler = scheduler
         self.config = config
@@ -75,7 +77,38 @@ class SnoopBus:
         self._clients: list[SnoopClient] = []
         self._addr_free_at = 0
         self._data_free_at = 0
-        self._queue_hist = stats.histogram("queue_depth")
+        self._queue_hist = metrics.bind_histogram(
+            stats.histogram("queue_depth"),
+            "repro_bus_queue_depth", "Address-network queue depth at request",
+            network="bus",
+        )
+        # Per-kind transaction counters, resolved once: the bus grants
+        # millions of transactions, so the hot path must not rebuild
+        # counter names (or label lookups) per grant.
+        self._txn_counters = {
+            kind: metrics.bound_counter(
+                stats, f"txn.{kind.value.lower()}",
+                "repro_bus_txn_total", "Address transactions by kind",
+                kind=kind.value.lower(),
+            )
+            for kind in TxnKind
+        }
+        self._txn_cancelled = metrics.bound_counter(
+            stats, "txn.cancelled",
+            "repro_bus_txn_total", "Address transactions by kind",
+            kind="cancelled",
+        )
+        self._txn_total = stats.counter("txn.total")
+        self._data_from_cache = metrics.bound_counter(
+            stats, "txn.cache_to_cache",
+            "repro_bus_data_source_total", "Data responses by source",
+            source="cache",
+        )
+        self._data_from_memory = metrics.bound_counter(
+            stats, "txn.from_memory",
+            "repro_bus_data_source_total", "Data responses by source",
+            source="memory",
+        )
 
     def attach(self, client: SnoopClient) -> None:
         """Register a coherence controller on the bus."""
@@ -110,14 +143,14 @@ class SnoopBus:
         # ReadX; a Validate whose line changed underneath is cancelled.
         requester = self._clients[txn.requester]
         if not requester.pre_grant(txn):
-            self.stats.add("txn.cancelled")
+            self._txn_cancelled.inc()
             self.tracer.emit(
                 "bus.cancel", node=txn.requester, base=txn.base,
                 txn=txn.kind.value,
             )
             return
-        self.stats.add(f"txn.{txn.kind.value.lower()}")
-        self.stats.add("txn.total")
+        self._txn_counters[txn.kind].inc()
+        self._txn_total.inc()
 
         result = txn.result
         remotes = [c for c in self._clients if c.node_id != txn.requester]
@@ -136,10 +169,10 @@ class SnoopBus:
                 owner = self._clients[result.dirty_owner]
                 data = owner.supply_data(txn)
                 result.owner_data = data
-                self.stats.add("txn.cache_to_cache")
+                self._data_from_cache.inc()
             else:
                 data = self.memory.read_line(txn.base)
-                self.stats.add("txn.from_memory")
+                self._data_from_memory.inc()
         elif txn.kind is TxnKind.WRITEBACK:
             assert txn.data is not None
             self.memory.write_line(txn.base, txn.data)

@@ -38,6 +38,7 @@ from repro.coherence.states import LineState
 from repro.memory.cache import CacheLine, SetAssocCache
 from repro.memory.mainmem import MainMemory
 from repro.memory.stale import ExplicitStaleDetector
+from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
 
 
@@ -52,6 +53,7 @@ class CoherenceController:
         memory: MainMemory,
         stats: ScopedStats,
         tracer=NULL_TRACER,
+        metrics=NULL_METRICS,
     ):
         self.node_id = node_id
         self.config = config
@@ -67,11 +69,44 @@ class CoherenceController:
             stats.scoped("predictor"),
             tracer=tracer,
             node_id=node_id,
+            metrics=metrics,
         )
         # Validate-to-reuse distance: cycle of the last revalidation of
         # each line, consumed at the node's next local touch of it.
         self._revalidated_at: dict[int, int] = {}
-        self._reuse_hist = stats.histogram("validate_reuse_distance")
+        self._reuse_hist = metrics.bind_histogram(
+            stats.histogram("validate_reuse_distance"),
+            "repro_validate_reuse_distance",
+            "Cycles from revalidation to next local touch", node=node_id,
+        )
+        # Paper-level counters as first-class metric series (Table 2 /
+        # Figure 8 inputs): temporally silent stores, validate fate.
+        self._m_ts_stores = metrics.bound_counter(
+            stats, "ts_stores",
+            "repro_ts_stores_total", "Temporally silent stores detected",
+            node=node_id,
+        )
+        self._m_validates_broadcast = metrics.bound_counter(
+            stats, "validates_broadcast",
+            "repro_validates_total", "Validate broadcasts by outcome",
+            node=node_id, outcome="broadcast",
+        )
+        self._m_validates_suppressed = metrics.bound_counter(
+            stats, "validates_suppressed",
+            "repro_validates_total", "Validate broadcasts by outcome",
+            node=node_id, outcome="suppressed",
+        )
+        self._m_validates_cancelled = metrics.bound_counter(
+            stats, "validates_cancelled",
+            "repro_validates_total", "Validate broadcasts by outcome",
+            node=node_id, outcome="cancelled",
+        )
+        self._m_revalidations = metrics.bound_counter(
+            stats, "revalidations",
+            "repro_revalidations_total",
+            "T-state copies re-installed by a remote validate",
+            node=node_id,
+        )
         self.stale_detector: ExplicitStaleDetector | None = None
         if config.protocol.stale_detection is StaleDetectionMode.EXPLICIT:
             self.stale_detector = ExplicitStaleDetector(
@@ -196,7 +231,7 @@ class CoherenceController:
             line = self.l2.lookup(txn.base)
             ok = line is not None and line.state in (LineState.S, LineState.O)
             if not ok:
-                self.stats.add("validates_cancelled")
+                self._m_validates_cancelled.inc()
             return ok
         return True
 
@@ -288,13 +323,13 @@ class CoherenceController:
         line.diverged = False
         # Counted for every protocol (Table 2 reports temporally silent
         # stores); only T-state protocols can act on the detection.
-        self.stats.add("ts_stores")
+        self._m_ts_stores.inc()
         if not self.protocol.has_temporal:
             return
         if self.policy.should_validate(line):
             self._broadcast_validate(line)
         else:
-            self.stats.add("validates_suppressed")
+            self._m_validates_suppressed.inc()
             self.tracer.emit(
                 "validate.suppressed", node=self.node_id, base=line.base
             )
@@ -315,7 +350,7 @@ class CoherenceController:
             kind=TxnKind.VALIDATE, base=line.base, requester=self.node_id
         )
         self.bus.request(txn)
-        self.stats.add("validates_broadcast")
+        self._m_validates_broadcast.inc()
         self.tracer.emit(
             "validate.broadcast", node=self.node_id, base=line.base,
             to=line.state.value,
@@ -410,7 +445,7 @@ class CoherenceController:
         if txn.kind is TxnKind.VALIDATE and pre_state is LineState.T:
             # Re-installed: the saved value is the globally visible one.
             line.visible = list(line.data)
-            self.stats.add("revalidations")
+            self._m_revalidations.inc()
             self._revalidated_at[base] = self.bus.scheduler.now
             self.tracer.emit(
                 "validate.revalidate", node=self.node_id, base=base,

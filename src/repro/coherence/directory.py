@@ -44,6 +44,7 @@ from repro.common.stats import ScopedStats
 from repro.coherence.bus import CompletionCallback, SnoopClient
 from repro.coherence.messages import BusTransaction, TxnKind
 from repro.memory.mainmem import MainMemory
+from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
 
 
@@ -69,6 +70,7 @@ class DirectoryNetwork:
         rng: SplitRng | None = None,
         hop_latency: int | None = None,
         tracer=NULL_TRACER,
+        metrics=NULL_METRICS,
     ):
         self.scheduler = scheduler
         self.config = config
@@ -85,7 +87,35 @@ class DirectoryNetwork:
         self._home_free_at = 0
         self._data_free_at = 0
         self._entries: dict[int, DirectoryEntry] = {}
-        self._queue_hist = stats.histogram("queue_depth")
+        self._queue_hist = metrics.bind_histogram(
+            stats.histogram("queue_depth"),
+            "repro_bus_queue_depth", "Address-network queue depth at request",
+            network="directory",
+        )
+        self._txn_counters = {
+            kind: metrics.bound_counter(
+                stats, f"txn.{kind.value.lower()}",
+                "repro_bus_txn_total", "Address transactions by kind",
+                kind=kind.value.lower(),
+            )
+            for kind in TxnKind
+        }
+        self._txn_cancelled = metrics.bound_counter(
+            stats, "txn.cancelled",
+            "repro_bus_txn_total", "Address transactions by kind",
+            kind="cancelled",
+        )
+        self._txn_total = stats.counter("txn.total")
+        self._data_from_cache = metrics.bound_counter(
+            stats, "txn.cache_to_cache",
+            "repro_bus_data_source_total", "Data responses by source",
+            source="cache",
+        )
+        self._data_from_memory = metrics.bound_counter(
+            stats, "txn.from_memory",
+            "repro_bus_data_source_total", "Data responses by source",
+            source="memory",
+        )
 
     # -- SnoopBus-compatible surface -------------------------------------
 
@@ -127,14 +157,14 @@ class DirectoryNetwork:
         txn.grant_time = now
         requester = self._clients[txn.requester]
         if not requester.pre_grant(txn):
-            self.stats.add("txn.cancelled")
+            self._txn_cancelled.inc()
             self.tracer.emit(
                 "bus.cancel", node=txn.requester, base=txn.base,
                 txn=txn.kind.value,
             )
             return
-        self.stats.add(f"txn.{txn.kind.value.lower()}")
-        self.stats.add("txn.total")
+        self._txn_counters[txn.kind].inc()
+        self._txn_total.inc()
 
         entry = self.entry(txn.base)
         targets = self._targets(entry, txn)
@@ -165,10 +195,10 @@ class DirectoryNetwork:
             if result.dirty_owner is not None:
                 data = self._clients[result.dirty_owner].supply_data(txn)
                 result.owner_data = data
-                self.stats.add("txn.cache_to_cache")
+                self._data_from_cache.inc()
             else:
                 data = self.memory.read_line(txn.base)
-                self.stats.add("txn.from_memory")
+                self._data_from_memory.inc()
         elif txn.kind is TxnKind.WRITEBACK:
             assert txn.data is not None
             self.memory.write_line(txn.base, txn.data)

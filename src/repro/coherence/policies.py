@@ -15,6 +15,7 @@ from repro.common.stats import ScopedStats
 from repro.coherence.messages import SnoopResult, TxnKind
 from repro.coherence.predictor import UsefulValidatePredictor
 from repro.memory.cache import CacheLine
+from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
 
 
@@ -78,9 +79,10 @@ class PredictorValidate(ValidatePolicyBase):
         stats: ScopedStats,
         tracer=NULL_TRACER,
         node_id: int = 0,
+        metrics=NULL_METRICS,
     ):
         self.predictor = UsefulValidatePredictor(
-            config, stats, tracer=tracer, node_id=node_id
+            config, stats, tracer=tracer, node_id=node_id, metrics=metrics
         )
 
     def should_validate(self, line: CacheLine) -> bool:
@@ -113,6 +115,7 @@ def make_validate_policy(
     stats: ScopedStats,
     tracer=NULL_TRACER,
     node_id: int = 0,
+    metrics=NULL_METRICS,
 ) -> ValidatePolicyBase:
     """Build the policy object selected by the configuration."""
     if policy is ValidatePolicy.ALWAYS:
@@ -120,5 +123,5 @@ def make_validate_policy(
     if policy is ValidatePolicy.SNOOP_AWARE:
         return SnoopAwareValidate()
     if policy is ValidatePolicy.PREDICTOR:
-        return PredictorValidate(predictor_config, stats, tracer, node_id)
+        return PredictorValidate(predictor_config, stats, tracer, node_id, metrics)
     raise ConfigError(f"unknown validate policy {policy}")

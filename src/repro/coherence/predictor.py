@@ -31,6 +31,7 @@ from repro.memory.cache import (
     PRED_UPGRADE_WAIT,
     CacheLine,
 )
+from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
 
 
@@ -43,12 +44,49 @@ class UsefulValidatePredictor:
         stats: ScopedStats,
         tracer=NULL_TRACER,
         node_id: int = 0,
+        metrics=NULL_METRICS,
     ):
         config.validate()
         self.config = config
         self._stats = stats
         self._tracer = tracer
         self._node_id = node_id
+        self._m_ts_detects = metrics.bound_counter(
+            stats, "ts_detects",
+            "repro_predictor_ts_detects_total",
+            "Temporal-silence detections observed by the predictor",
+            node=node_id,
+        )
+        self._m_send = metrics.bound_counter(
+            stats, "validates_sent",
+            "repro_predictor_decisions_total",
+            "Predictor validate decisions at TS detect",
+            node=node_id, decision="send",
+        )
+        self._m_suppress = metrics.bound_counter(
+            stats, "validates_suppressed",
+            "repro_predictor_decisions_total",
+            "Predictor validate decisions at TS detect",
+            node=node_id, decision="suppress",
+        )
+        self._m_useful_external = metrics.bound_counter(
+            stats, "useful_by_external_req",
+            "repro_predictor_transitions_total",
+            "Predictor confidence transitions by cause",
+            node=node_id, cause="external_request",
+        )
+        self._m_useful_snoop = metrics.bound_counter(
+            stats, "useful_by_snoop_response",
+            "repro_predictor_transitions_total",
+            "Predictor confidence transitions by cause",
+            node=node_id, cause="useful_snoop",
+        )
+        self._m_useless_snoop = metrics.bound_counter(
+            stats, "useless_by_snoop_response",
+            "repro_predictor_transitions_total",
+            "Predictor confidence transitions by cause",
+            node=node_id, cause="useless_snoop",
+        )
 
     def init_line(self, line: CacheLine) -> None:
         """Cold-allocate predictor storage for a newly filled line."""
@@ -63,8 +101,8 @@ class UsefulValidatePredictor:
         """
         line.pred_state = PRED_TS_DETECTED
         send = line.pred_conf >= self.config.threshold
-        self._stats.add("ts_detects")
-        self._stats.add("validates_sent" if send else "validates_suppressed")
+        self._m_ts_detects.inc()
+        (self._m_send if send else self._m_suppress).inc()
         self._tracer.emit(
             "predictor.decide", node=self._node_id, base=line.base,
             conf=line.pred_conf, send=send,
@@ -76,7 +114,7 @@ class UsefulValidatePredictor:
         if line.pred_state == PRED_TS_DETECTED:
             self._bump(line, self.config.increment)
             line.pred_state = PRED_START
-            self._stats.add("useful_by_external_req")
+            self._m_useful_external.inc()
             self._tracer.emit(
                 "predictor.train", node=self._node_id, base=line.base,
                 conf=line.pred_conf, cause="external_request",
@@ -93,10 +131,10 @@ class UsefulValidatePredictor:
             return
         if useful:
             self._bump(line, self.config.increment)
-            self._stats.add("useful_by_snoop_response")
+            self._m_useful_snoop.inc()
         else:
             self._bump(line, -self.config.decrement)
-            self._stats.add("useless_by_snoop_response")
+            self._m_useless_snoop.inc()
         line.pred_state = PRED_START
         self._tracer.emit(
             "predictor.train", node=self._node_id, base=line.base,

@@ -290,6 +290,40 @@ class StatsRegistry:
         return f"StatsRegistry({len(self._counters)} counters)"
 
 
+class CounterHandle:
+    """A pre-resolved handle onto one counter in a registry.
+
+    Components that bump the same counter on every event fetch a
+    handle once at init (:meth:`ScopedStats.counter`) and call
+    :meth:`inc` on the hot path — the dotted name is concatenated
+    once, not per increment, making this strictly cheaper than
+    :meth:`ScopedStats.add`.
+    """
+
+    __slots__ = ("_counters", "_key")
+
+    def __init__(self, counters: dict, key: str):
+        self._counters = counters
+        self._key = key
+
+    @property
+    def name(self) -> str:
+        """The full dotted counter name this handle resolves to."""
+        return self._key
+
+    def inc(self, amount: float = 1) -> None:
+        """Increment the counter by ``amount``."""
+        self._counters[self._key] += amount
+
+    @property
+    def value(self) -> float:
+        """Current counter value (0 if never incremented)."""
+        return self._counters.get(self._key, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"CounterHandle({self._key!r}={self.value})"
+
+
 class ScopedStats:
     """A prefix-applying view onto a :class:`StatsRegistry`.
 
@@ -317,6 +351,10 @@ class ScopedStats:
     def get(self, name: str, default: float = 0) -> float:
         """Read ``prefix.name`` from the backing registry."""
         return self._counters.get(self._prefix + name, default)
+
+    def counter(self, name: str) -> CounterHandle:
+        """Pre-resolved :class:`CounterHandle` for ``prefix.name``."""
+        return CounterHandle(self._counters, self._prefix + name)
 
     def histogram(self, name: str, bounds: Iterable[float] | None = None) -> Histogram:
         """Get-or-create ``prefix.name`` histogram in the registry."""

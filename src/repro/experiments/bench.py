@@ -8,8 +8,9 @@ parallel runner for a wall-clock speedup figure), and the
 serial-vs-worker determinism check that guards the parallel runner's
 core contract.  Results are written as machine-readable JSON
 (``BENCH_matrix.json`` at the repo root by default) so successive runs
-are diffable; CI runs ``bench --quick`` and fails on a determinism
-mismatch (exit code 1).
+are diffable; ``repro-sim bench --compare BASELINE.json`` diffs a fresh
+report against a committed one via :mod:`repro.obs.regress` and exits
+non-zero on regressions, which is how CI gates perf drift.
 """
 
 from __future__ import annotations
@@ -133,17 +134,21 @@ def determinism_check(scale: float = 0.05, benchmark: str = "radiosity",
     }
 
 
-def matrix_bench(spec: dict, workers: int | None = None) -> dict:
+def matrix_bench(spec: dict, workers: int | None = None,
+                 results_dir: str | Path | None = None) -> dict:
     """Time the fixed mini-matrix cell by cell (plus a parallel pass).
 
-    Every cell runs fresh in a throwaway results dir — the point is
+    Every cell runs fresh in an empty results dir — the point is
     wall time, not reuse.  With ``workers`` > 1 the same matrix is
     also run through ``run_matrix(workers=...)`` against a second
     empty cache, yielding the serial/parallel wall-clock ratio and a
-    summary-equality cross-check between the two paths.
+    summary-equality cross-check between the two paths.  Pass
+    ``results_dir`` to keep the caches and run manifests around
+    (CI uploads them as artifacts); the default is a throwaway tempdir.
     """
     scale = spec["scale"]
-    serial = MatrixRunner(scale=scale, results_dir=tempfile.mkdtemp(),
+    root = Path(results_dir) if results_dir else Path(tempfile.mkdtemp())
+    serial = MatrixRunner(scale=scale, results_dir=root / "serial",
                           verbose=False)
     cells = []
     start = time.perf_counter()
@@ -176,7 +181,7 @@ def matrix_bench(spec: dict, workers: int | None = None) -> dict:
         "parallel_matches_serial": None,
     }
     if workers and workers > 1:
-        par = MatrixRunner(scale=scale, results_dir=tempfile.mkdtemp(),
+        par = MatrixRunner(scale=scale, results_dir=root / "parallel",
                            verbose=False, workers=workers)
         start = time.perf_counter()
         par_out = par.run_matrix(
@@ -195,11 +200,14 @@ def matrix_bench(spec: dict, workers: int | None = None) -> dict:
 
 
 def run(quick: bool = False, workers: int | None = None,
-        output: str | Path = "BENCH_matrix.json", verbose: bool = True) -> dict:
+        output: str | Path = "BENCH_matrix.json", verbose: bool = True,
+        results_dir: str | Path | None = None) -> dict:
     """Run the full bench suite and write the JSON report.
 
     Returns the report dict; ``report["determinism"]["ok"]`` is the
-    pass/fail signal (the CLI turns it into the exit code).
+    pass/fail signal (the CLI turns it into the exit code).  With
+    ``results_dir`` the matrix caches and run manifests are kept
+    there instead of a throwaway tempdir.
     """
     spec = QUICK_MATRIX if quick else MINI_MATRIX
     if workers is None:
@@ -216,12 +224,12 @@ def run(quick: bool = False, workers: int | None = None,
         log.info("mini-matrix (%d cells, scale=%s, workers=%s)...",
                  len(spec["benchmarks"]) * len(spec["techniques"])
                  * len(spec["seeds"]), spec["scale"], workers)
-    matrix = matrix_bench(spec, workers=workers)
+    matrix = matrix_bench(spec, workers=workers, results_dir=results_dir)
     if verbose:
         log.info("determinism check (serial vs worker)...")
     determinism = determinism_check(scale=spec["scale"])
     report = {
-        "schema": 1,
+        "schema": 2,
         "quick": quick,
         "python": sys.version.split()[0],
         "platform": sys.platform,

@@ -32,11 +32,13 @@ import os
 import tempfile
 import time
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Callable, Iterable
 
 from repro.common.config import MachineConfig, scaled_config
+from repro.obs.progress import CellUpdate, MatrixProgress, RunManifest
 from repro.system.system import RunResult, System
 from repro.system.techniques import configure_technique
 from repro.workloads.registry import BENCHMARKS, get_benchmark
@@ -54,8 +56,10 @@ DEFAULT_CELL_TIMEOUT = 3600.0
 CACHE_FORMAT = 2
 
 #: Summary fields that measure the host, not the simulation — excluded
-#: from determinism comparisons.
-NONDETERMINISTIC_FIELDS = ("wall_seconds",)
+#: from determinism comparisons.  ``worker`` (the producing pid) and
+#: ``retries`` are provenance, recorded so a retried cell's inflated
+#: ``wall_seconds`` is explainable from the cache alone.
+NONDETERMINISTIC_FIELDS = ("wall_seconds", "worker", "retries")
 
 RunSummary = dict
 
@@ -109,6 +113,18 @@ def summarize(result: RunResult, wall_seconds: float = 0.0) -> RunSummary:
         ("revalidations", "revalidations"),
     ]:
         summary[key] = sum(stats.get(f"ctrl{i}.{name}") for i in range(n))
+    # Validate usefulness, from the predictor's training events: a
+    # validate was useful when a remote request consumed the silent
+    # value (or the upgrade's snoop response asserted sharing), useless
+    # when the snoop response denied it.
+    summary["validates_useful"] = sum(
+        stats.get(f"ctrl{i}.predictor.useful_by_external_req")
+        + stats.get(f"ctrl{i}.predictor.useful_by_snoop_response")
+        for i in range(n)
+    )
+    summary["validates_useless"] = sum(
+        stats.get(f"ctrl{i}.predictor.useless_by_snoop_response") for i in range(n)
+    )
     for name in (
         "candidates",
         "attempts",
@@ -184,7 +200,12 @@ def run_cell(
     result = System(config, workload, seed=seed).run(
         max_cycles=500_000_000, max_events=300_000_000
     )
-    return summarize(result, time.perf_counter() - start)
+    summary = summarize(result, time.perf_counter() - start)
+    # Provenance over the result pipe: which process produced this
+    # summary.  Host-dependent, hence in NONDETERMINISTIC_FIELDS.
+    summary["worker"] = os.getpid()
+    summary["retries"] = 0
+    return summary
 
 
 def _harvest(
@@ -192,22 +213,41 @@ def _harvest(
     retry: Callable[[], RunSummary],
     timeout: float | None,
     label: str,
+    on_event: Callable[[CellUpdate], None] | None = None,
 ) -> RunSummary:
-    """Wait for one cell's future; on any failure, retry exactly once."""
+    """Wait for one cell's future; on any failure, retry exactly once.
+
+    The retried summary's ``retries`` field is bumped so the extra
+    attempt (and its inflated wall clock) is visible in the cache.
+    """
     try:
         return future.result(timeout=timeout)
     except Exception as exc:  # noqa: BLE001 - every failure gets one retry
+        # On 3.10 the futures TimeoutError is not the builtin one yet.
+        kind = (
+            "timeout"
+            if isinstance(exc, (TimeoutError, FuturesTimeoutError))
+            else "retry"
+        )
+        if on_event is not None:
+            on_event(CellUpdate(
+                kind, label, error=f"{type(exc).__name__}: {exc}",
+            ))
         log.warning(
             "cell %s failed (%s: %s); retrying once",
             label, type(exc).__name__, exc,
         )
-        return retry()
+        summary = retry()
+        summary["retries"] = summary.get("retries", 0) + 1
+        return summary
 
 
 def _pool_map(
     jobs: list[tuple[MachineConfig, str, float, int]],
     workers: int,
     timeout: float | None,
+    keys: list[str] | None = None,
+    on_event: Callable[[CellUpdate], None] | None = None,
 ):
     """Yield each job's summary in submission order from a process pool.
 
@@ -215,9 +255,20 @@ def _pool_map(
     fresh worker, or in-process if the pool died (worker crash); the
     cell itself may still be fine.  Yielding incrementally lets the
     caller persist finished cells before a later one fails.
+
+    ``on_event`` receives a :class:`CellUpdate` per telemetry event:
+    ``start`` at submission (the cell is queued or running), ``retry``/
+    ``timeout`` on a failed first attempt, ``finish`` once the summary
+    is harvested (carrying worker pid, wall time, and retry count).
     """
+    if keys is None:
+        keys = [f"{job[1]}|scale{job[2]}|seed{job[3]}" for job in jobs]
     with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
-        futures = [pool.submit(run_cell, *job) for job in jobs]
+        futures = []
+        for job, key in zip(jobs, keys):
+            futures.append(pool.submit(run_cell, *job))
+            if on_event is not None:
+                on_event(CellUpdate("start", key))
 
         def retry_for(job):
             def retry():
@@ -227,11 +278,16 @@ def _pool_map(
                     return run_cell(*job)
             return retry
 
-        for future, job in zip(futures, jobs):
-            yield _harvest(
-                future, retry_for(job), timeout,
-                f"{job[1]}|scale{job[2]}|seed{job[3]}",
-            )
+        for future, job, key in zip(futures, jobs, keys):
+            summary = _harvest(future, retry_for(job), timeout, key, on_event)
+            if on_event is not None:
+                on_event(CellUpdate(
+                    "finish", key,
+                    worker=summary.get("worker"),
+                    wall_seconds=summary.get("wall_seconds"),
+                    retries=int(summary.get("retries", 0)),
+                ))
+            yield summary
 
 
 def map_cells(
@@ -275,6 +331,8 @@ class MatrixRunner:
         self.fingerprint = config_fingerprint(self.base_config)
         self._cache: dict[str, RunSummary] = {}
         self._cache_path = self.results_dir / f"{label}_scale{scale}.json"
+        self.manifest_path = self._cache_path.with_suffix(".manifest.json")
+        self.manifest: RunManifest | None = None  # last run_matrix sweep
         self._dirty = False
         self._batch_depth = 0
         self._cache = self._load_cache()
@@ -401,7 +459,13 @@ class MatrixRunner:
         fans the uncached cells out over a process pool; the returned
         mapping is in the serial iteration order either way, and every
         summary is identical to what the serial path would produce
-        (modulo ``wall_seconds`` — see docs/performance.md).
+        (modulo the ``NONDETERMINISTIC_FIELDS`` provenance — see
+        docs/performance.md).
+
+        Every sweep also writes a :class:`RunManifest` next to the
+        cache file (``<cache>.manifest.json``) recording, per cell,
+        cached-vs-ran status, the producing worker pid, the retry
+        count, and the wall time.
         """
         cells = [
             (benchmark, technique, seed)
@@ -410,6 +474,7 @@ class MatrixRunner:
             for seed in seeds
         ]
         workers = self.workers if workers is None else workers
+        cached_before = set(self._cache)
         out: dict[str, RunSummary] = {}
         with self._batch():
             if workers and workers > 1:
@@ -418,7 +483,38 @@ class MatrixRunner:
                 out[self.key(benchmark, technique, seed)] = self.run_one(
                     benchmark, technique, seed
                 )
+        self.manifest = self._build_manifest(out, cached_before, workers)
+        self._save_manifest(self.manifest)
         return out
+
+    def _build_manifest(
+        self,
+        out: dict[str, RunSummary],
+        cached_before: set[str],
+        workers: int | None,
+    ) -> RunManifest:
+        """Per-cell provenance for one finished sweep."""
+        manifest = RunManifest(
+            label=self.label, scale=self.scale,
+            fingerprint=self.fingerprint, workers=workers,
+        )
+        for key, summary in out.items():
+            manifest.record(
+                key,
+                status="cached" if key in cached_before else "ran",
+                worker=summary.get("worker"),
+                retries=int(summary.get("retries", 0)),
+                wall_seconds=summary.get("wall_seconds"),
+            )
+        return manifest
+
+    def _save_manifest(self, manifest: RunManifest) -> None:
+        """Persist the sweep manifest next to the cache file."""
+        try:
+            self.results_dir.mkdir(parents=True, exist_ok=True)
+            manifest.save(self.manifest_path)
+        except OSError as exc:  # manifest is telemetry, never fatal
+            log.warning("could not write manifest %s: %s", self.manifest_path, exc)
 
     def _run_cells_parallel(
         self, cells: list[tuple[str, str, int]], workers: int
@@ -445,9 +541,17 @@ class MatrixRunner:
             "fanning %d cell(s) out over %d workers",
             len(pending), min(workers, len(pending)),
         )
-        summaries = _pool_map(jobs, workers, self.cell_timeout)
-        for (benchmark, technique, seed), summary in zip(pending, summaries):
-            self._record(benchmark, technique, seed, summary)
+        progress = MatrixProgress(total=len(pending), label=self.label)
+        try:
+            summaries = _pool_map(
+                jobs, workers, self.cell_timeout,
+                keys=[self.key(*cell) for cell in pending],
+                on_event=progress.update,
+            )
+            for (benchmark, technique, seed), summary in zip(pending, summaries):
+                self._record(benchmark, technique, seed, summary)
+        finally:
+            progress.close()
 
     def cells(self, benchmark: str, technique: str, seeds: Iterable[int]) -> list[RunSummary]:
         """Fetch (running if needed) all seeds of one cell."""

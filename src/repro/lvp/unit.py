@@ -19,6 +19,7 @@ from repro.common.stats import ScopedStats
 from repro.coherence.states import LineState
 from repro.memory.cache import CacheLine
 from repro.memory.mshr import MSHREntry
+from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
 
 
@@ -31,11 +32,24 @@ class LVPUnit:
         stats: ScopedStats,
         tracer=NULL_TRACER,
         node_id: int = 0,
+        metrics=NULL_METRICS,
     ):
         self.config = config
         self._stats = stats
         self._tracer = tracer
         self._node_id = node_id
+        self._m_verified = metrics.bound_counter(
+            stats, "lvp.correct",
+            "repro_lvp_resolutions_total",
+            "LVP speculative deliveries by resolution outcome",
+            node=node_id, outcome="verified",
+        )
+        self._m_squashed = metrics.bound_counter(
+            stats, "lvp.mispredictions",
+            "repro_lvp_resolutions_total",
+            "LVP speculative deliveries by resolution outcome",
+            node=node_id, outcome="squashed",
+        )
 
     def candidate(self, line: CacheLine | None, word_index: int) -> int | None:
         """A usable stale value for a missing load, or None."""
@@ -64,7 +78,7 @@ class LVPUnit:
             return
         mismatched = [d for d in live if data[d.word_index] != d.value]
         if mismatched:
-            self._stats.add("lvp.mispredictions", len(live))
+            self._m_squashed.inc(len(live))
             oldest = min(live, key=lambda d: d.consumer.seq)
             self._tracer.emit(
                 "lvp.squash", node=self._node_id, base=entry.base,
@@ -72,7 +86,7 @@ class LVPUnit:
             )
             core.lvp_mispredict(oldest.consumer)
         else:
-            self._stats.add("lvp.correct", len(live))
+            self._m_verified.inc(len(live))
             self._tracer.emit(
                 "lvp.verify", node=self._node_id, base=entry.base,
                 deliveries=len(live),

@@ -25,6 +25,7 @@ from repro.coherence.states import LineState
 from repro.lvp.unit import LVPUnit
 from repro.memory.cache import CacheLine, SetAssocCache
 from repro.memory.mshr import MSHRFile
+from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
 
 StoreCallback = Callable[[], None]
@@ -43,6 +44,7 @@ class NodeMemory:
         stats: ScopedStats,
         classifier=None,
         tracer=NULL_TRACER,
+        metrics=NULL_METRICS,
     ):
         self.node_id = node_id
         self.config = config
@@ -53,8 +55,20 @@ class NodeMemory:
         self.tracer = tracer
         self.l1 = SetAssocCache(config.l1, f"P{node_id}.L1")
         self.mshrs = MSHRFile(config.core.mshrs)
-        self.lvp = LVPUnit(config.lvp, stats, tracer=tracer, node_id=node_id)
-        self._miss_hist = stats.histogram("miss_latency")
+        self.lvp = LVPUnit(
+            config.lvp, stats, tracer=tracer, node_id=node_id, metrics=metrics
+        )
+        self._miss_hist = metrics.bind_histogram(
+            stats.histogram("miss_latency"),
+            "repro_miss_latency_cycles", "L2 miss latency in cycles",
+            node=node_id,
+        )
+        self._m_lvp_predictions = metrics.bound_counter(
+            stats, "lvp.predictions",
+            "repro_lvp_predictions_total",
+            "Speculative value deliveries from stale lines",
+            node=node_id,
+        )
         self._deferred: list[Callable[[], None]] = []
         self.core = None  # set by the system builder; narrow interface
         self.sle_engine = None  # optional, set by the system builder
@@ -107,7 +121,7 @@ class NodeMemory:
             entry.add_waiter(self._load_waiter(winop, base, widx, reserve, spec_value))
             if spec_value is not None:
                 entry.record_speculation(widx, spec_value, winop)
-                self.stats.add("lvp.predictions")
+                self._m_lvp_predictions.inc()
                 self.tracer.emit(
                     "lvp.predict", node=self.node_id, base=base,
                     word=widx, value=spec_value,
@@ -138,7 +152,7 @@ class NodeMemory:
             spec=(widx, spec_value, winop) if spec_value is not None else None,
         )
         if spec_value is not None:
-            self.stats.add("lvp.predictions")
+            self._m_lvp_predictions.inc()
             self.tracer.emit(
                 "lvp.predict", node=self.node_id, base=base,
                 word=widx, value=spec_value,

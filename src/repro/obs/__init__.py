@@ -1,19 +1,48 @@
-"""Simulation observability: tracing, profiling, and trace reports.
+"""Simulation observability: tracing, metrics, profiling, and reports.
 
 * :class:`~repro.obs.tracer.Tracer` — typed structured event tracing
   (JSONL / Chrome trace-event output, per-kind/node/address filtering,
   bounded ring-buffer mode).  :data:`~repro.obs.tracer.NULL_TRACER` is
   the zero-overhead default every component holds when tracing is off.
+* :class:`~repro.obs.metrics.MetricsRegistry` — named, labeled metric
+  series (counters, gauges, histograms) threaded through the coherence
+  / LVP / SLE layers; exports JSON and Prometheus text.
+  :data:`~repro.obs.metrics.NULL_METRICS` is the no-op default.
+* :class:`~repro.obs.progress.MatrixProgress` /
+  :class:`~repro.obs.progress.RunManifest` — parallel-run telemetry:
+  live per-cell progress and the persisted per-cell provenance record.
+* :func:`~repro.obs.regress.compare_reports` — cross-run perf
+  regression tracking (the ``repro-sim bench --compare`` gate).
 * :class:`~repro.obs.profiler.SimProfiler` — per-component event counts
   and wall-time attribution from the scheduler;
   :class:`~repro.obs.profiler.Heartbeat` — periodic progress logging.
-* :func:`~repro.obs.report.read_trace` /
-  :func:`~repro.obs.report.summarize_trace` — load and summarize a
-  trace file (the ``repro-sim report`` command).
+* :func:`~repro.obs.report.load_trace` /
+  :func:`~repro.obs.report.summarize_trace` — load (tolerantly) and
+  summarize a trace file (the ``repro-sim report`` command).
 """
 
+from repro.obs.metrics import (
+    NULL_METRICS,
+    MetricFamily,
+    MetricsRegistry,
+    MirroredCounter,
+)
 from repro.obs.profiler import Heartbeat, SimProfiler
-from repro.obs.report import read_trace, render_report, summarize_trace
+from repro.obs.progress import CellUpdate, MatrixProgress, RunManifest
+from repro.obs.regress import (
+    Comparison,
+    Delta,
+    compare_reports,
+    load_report,
+    render_comparison,
+)
+from repro.obs.report import (
+    TraceLoad,
+    load_trace,
+    read_trace,
+    render_report,
+    summarize_trace,
+)
 from repro.obs.tracer import (
     EVENT_KINDS,
     NULL_TRACER,
@@ -25,11 +54,25 @@ from repro.obs.tracer import (
 __all__ = [
     "EVENT_KINDS",
     "NULL_TRACER",
+    "NULL_METRICS",
     "TraceEvent",
     "TraceFilter",
     "Tracer",
+    "MetricFamily",
+    "MetricsRegistry",
+    "MirroredCounter",
+    "CellUpdate",
+    "MatrixProgress",
+    "RunManifest",
+    "Comparison",
+    "Delta",
+    "compare_reports",
+    "load_report",
+    "render_comparison",
     "SimProfiler",
     "Heartbeat",
+    "TraceLoad",
+    "load_trace",
     "read_trace",
     "render_report",
     "summarize_trace",

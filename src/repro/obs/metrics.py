@@ -1,0 +1,450 @@
+"""Labeled metrics registry with JSON / Prometheus export.
+
+The :class:`StatsRegistry` counters are flat dotted strings — good for
+summing, bad for analysis: ``ctrl3.validates_suppressed`` encodes the
+node id in the name and nothing records which counters form one
+logical series.  :class:`MetricsRegistry` layers first-class *named
+series* on top: a metric family has a name, a help string, a kind
+(counter / gauge / histogram), and label names; each label-value
+combination is one series.  The paper-level event counts —
+communication misses by cause, validates issued/useful/useless,
+predictor confidence transitions, LVP verify/squash — become queryable
+families instead of string-prefix conventions.
+
+Two design rules keep the simulator's hot path intact:
+
+* **Stats stay authoritative.**  Components instrument a site with
+  :meth:`MetricsRegistry.bound_counter`, which mirrors every increment
+  into both the stats counter (which ``summarize()`` and the figures
+  read) and the metric series.  Parity is by construction, not by
+  bookkeeping.
+* **Off by default, at zero cost.**  ``NULL_METRICS`` (the default
+  everywhere, mirroring ``NULL_TRACER``) returns a plain
+  :class:`~repro.common.stats.CounterHandle` from ``bound_counter`` —
+  the stats counter is still bumped, through a *faster* path than the
+  old ``stats.add`` string concatenation, and no series exists.
+
+Exports: :meth:`MetricsRegistry.to_json` for programmatic diffing and
+:meth:`MetricsRegistry.to_prometheus` for the Prometheus text
+exposition format (``repro-sim run --metrics``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING, Iterable
+
+from repro.common.stats import CounterHandle, Histogram
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
+    from repro.common.stats import ScopedStats
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text format rules."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    """Render ``{k="v",...}`` (empty string when there are no labels)."""
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+class MetricSeries:
+    """One labeled child of a counter/gauge family: a scalar value."""
+
+    __slots__ = ("labels", "value")
+
+    def __init__(self, labels: dict[str, str]):
+        self.labels = labels
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1) -> None:
+        """Increment the series (counters should only ever go up)."""
+        self.value += amount
+
+    def set(self, value: float) -> None:
+        """Set the series to an absolute value (gauges)."""
+        self.value = value
+
+
+class HistogramSeries:
+    """One labeled child of a histogram family.
+
+    Wraps a :class:`~repro.common.stats.Histogram` — either a private
+    one, or (via :meth:`MetricsRegistry.bind_histogram`) an *existing*
+    stats histogram, so the distribution a component already records
+    is exported without double bookkeeping.
+    """
+
+    __slots__ = ("labels", "hist")
+
+    def __init__(self, labels: dict[str, str], hist: Histogram):
+        self.labels = labels
+        self.hist = hist
+
+    def record(self, value: float, n: int = 1) -> None:
+        """Record ``n`` observations of ``value``."""
+        self.hist.record(value, n)
+
+
+class MirroredCounter:
+    """Counter handle incrementing a stats counter AND a metric series.
+
+    Drop-in replacement for :class:`~repro.common.stats.CounterHandle`
+    at instrumented sites: one ``inc`` keeps the legacy dotted counter
+    (read by ``summarize()``) and the labeled series in lockstep.
+    """
+
+    __slots__ = ("_counters", "_key", "_series")
+
+    def __init__(self, counters: dict, key: str, series: MetricSeries):
+        self._counters = counters
+        self._key = key
+        self._series = series
+
+    @property
+    def name(self) -> str:
+        """The full dotted stats-counter name this handle mirrors."""
+        return self._key
+
+    def inc(self, amount: float = 1) -> None:
+        """Increment both the stats counter and the metric series."""
+        self._counters[self._key] += amount
+        self._series.value += amount
+
+    @property
+    def value(self) -> float:
+        """Current stats-counter value (equals the series by design)."""
+        return self._counters.get(self._key, 0)
+
+
+class MetricFamily:
+    """A named metric with fixed label names and one series per value set."""
+
+    __slots__ = ("name", "help", "kind", "label_names", "bounds", "_series")
+
+    def __init__(
+        self,
+        name: str,
+        help: str,  # noqa: A002 - Prometheus calls it "help"
+        kind: str,
+        label_names: tuple[str, ...],
+        bounds: tuple[float, ...] | None = None,
+    ):
+        self.name = name
+        self.help = help
+        self.kind = kind
+        self.label_names = label_names
+        self.bounds = bounds
+        self._series: dict[tuple[str, ...], MetricSeries | HistogramSeries] = {}
+
+    def labels(self, **labels) -> MetricSeries | HistogramSeries:
+        """The series for one label-value combination (created on first use).
+
+        Label values are stringified; the keyword names must match the
+        family's ``label_names`` exactly.
+        """
+        if tuple(sorted(labels)) != tuple(sorted(self.label_names)):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {sorted(self.label_names)}, "
+                f"got {sorted(labels)}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        series = self._series.get(key)
+        if series is None:
+            label_map = dict(zip(self.label_names, key))
+            if self.kind == HISTOGRAM:
+                series = HistogramSeries(label_map, Histogram(self.bounds))
+            else:
+                series = MetricSeries(label_map)
+            self._series[key] = series
+        return series
+
+    def attach(self, hist: Histogram, **labels) -> Histogram:
+        """Register an *existing* histogram as this family's series.
+
+        Used by :meth:`MetricsRegistry.bind_histogram` so a component's
+        stats histogram doubles as the exported series.
+        """
+        if self.kind != HISTOGRAM:
+            raise ValueError(f"metric {self.name!r} is not a histogram")
+        if tuple(sorted(labels)) != tuple(sorted(self.label_names)):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {sorted(self.label_names)}, "
+                f"got {sorted(labels)}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        self._series[key] = HistogramSeries(dict(zip(self.label_names, key)), hist)
+        return hist
+
+    def series(self) -> Iterable[MetricSeries | HistogramSeries]:
+        """All series in deterministic (label-value) order."""
+        return (self._series[key] for key in sorted(self._series))
+
+
+class MetricsRegistry:
+    """Registry of metric families with JSON and Prometheus export.
+
+    Families are created idempotently: re-registering the same name
+    with the same kind and label names returns the existing family
+    (components each register their own sites); a conflicting
+    re-registration raises.
+    """
+
+    def __init__(self):
+        self._families: dict[str, MetricFamily] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def _register(
+        self,
+        name: str,
+        help: str,  # noqa: A002
+        kind: str,
+        labels: Iterable[str],
+        bounds: Iterable[float] | None = None,
+    ) -> MetricFamily:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        label_names = tuple(labels)
+        for label in label_names:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name: {label!r}")
+        family = self._families.get(name)
+        if family is not None:
+            if family.kind != kind or set(family.label_names) != set(label_names):
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind} with "
+                    f"labels {sorted(family.label_names)}"
+                )
+            if help and not family.help:
+                family.help = help
+            return family
+        family = MetricFamily(
+            name, help, kind, label_names,
+            tuple(bounds) if bounds is not None else None,
+        )
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help: str = "",  # noqa: A002
+                labels: Iterable[str] = ()) -> MetricFamily:
+        """Get-or-create a counter family."""
+        return self._register(name, help, COUNTER, labels)
+
+    def gauge(self, name: str, help: str = "",  # noqa: A002
+              labels: Iterable[str] = ()) -> MetricFamily:
+        """Get-or-create a gauge family."""
+        return self._register(name, help, GAUGE, labels)
+
+    def histogram(self, name: str, help: str = "",  # noqa: A002
+                  labels: Iterable[str] = (),
+                  bounds: Iterable[float] | None = None) -> MetricFamily:
+        """Get-or-create a histogram family."""
+        return self._register(name, help, HISTOGRAM, labels, bounds)
+
+    # ------------------------------------------------------------------
+    # Component instrumentation
+    # ------------------------------------------------------------------
+
+    def bound_counter(
+        self,
+        stats: "ScopedStats",
+        stat_name: str,
+        name: str,
+        help: str = "",  # noqa: A002
+        **labels,
+    ) -> MirroredCounter:
+        """Instrument one stats-counter site as a labeled metric series.
+
+        Returns a handle whose ``inc`` bumps the legacy dotted stats
+        counter (``stats``'s prefix + ``stat_name``) and the series of
+        family ``name`` with the given labels, keeping the two in
+        parity by construction.
+        """
+        family = self.counter(name, help, labels=tuple(labels))
+        series = family.labels(**labels)
+        handle = stats.counter(stat_name)
+        return MirroredCounter(handle._counters, handle._key, series)
+
+    def bind_histogram(
+        self,
+        hist: Histogram,
+        name: str,
+        help: str = "",  # noqa: A002
+        **labels,
+    ) -> Histogram:
+        """Export an existing stats histogram as a labeled series.
+
+        The component keeps recording into the same
+        :class:`~repro.common.stats.Histogram` object; the registry
+        merely exports it.  Returns ``hist`` so call sites stay
+        one-liners.
+        """
+        family = self.histogram(name, help, labels=tuple(labels))
+        family.attach(hist, **labels)
+        return hist
+
+    # ------------------------------------------------------------------
+    # Reading and export
+    # ------------------------------------------------------------------
+
+    def families(self) -> Iterable[MetricFamily]:
+        """All families in name order."""
+        return (self._families[name] for name in sorted(self._families))
+
+    def get(self, name: str, **labels) -> float:
+        """Value of one scalar series (0 if the series does not exist)."""
+        family = self._families.get(name)
+        if family is None:
+            return 0.0
+        key = tuple(str(labels[label]) for label in family.label_names)
+        series = family._series.get(key)
+        if series is None or isinstance(series, HistogramSeries):
+            return 0.0
+        return series.value
+
+    def total(self, name: str) -> float:
+        """Sum of every series of one counter/gauge family."""
+        family = self._families.get(name)
+        if family is None:
+            return 0.0
+        return sum(
+            s.value for s in family.series() if isinstance(s, MetricSeries)
+        )
+
+    def to_json(self) -> dict:
+        """JSON-safe document: one entry per series, sorted, diffable."""
+        out = []
+        for family in self.families():
+            for series in family.series():
+                entry = {
+                    "name": family.name,
+                    "kind": family.kind,
+                    "help": family.help,
+                    "labels": series.labels,
+                }
+                if isinstance(series, HistogramSeries):
+                    entry["histogram"] = series.hist.summary()
+                else:
+                    entry["value"] = series.value
+                out.append(entry)
+        return {"schema": 1, "series": out}
+
+    def to_prometheus(self) -> str:
+        """Render the registry in the Prometheus text exposition format."""
+        lines: list[str] = []
+        for family in self.families():
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for series in family.series():
+                if isinstance(series, HistogramSeries):
+                    lines.extend(self._prom_histogram(family, series))
+                else:
+                    labels = _format_labels(series.labels)
+                    lines.append(f"{family.name}{labels} {series.value:g}")
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _prom_histogram(family: MetricFamily, series: HistogramSeries) -> list[str]:
+        """``_bucket``/``_sum``/``_count`` lines for one histogram series."""
+        hist = series.hist
+        lines = []
+        cumulative = 0
+        for bound, count in zip(hist.bounds, hist.counts):
+            cumulative += count
+            labels = _format_labels({**series.labels, "le": f"{bound:g}"})
+            lines.append(f"{family.name}_bucket{labels} {cumulative}")
+        labels = _format_labels({**series.labels, "le": "+Inf"})
+        lines.append(f"{family.name}_bucket{labels} {hist.count}")
+        base = _format_labels(series.labels)
+        lines.append(f"{family.name}_sum{base} {hist.total:g}")
+        lines.append(f"{family.name}_count{base} {hist.count}")
+        return lines
+
+
+class _NullSeries:
+    """Series stand-in that accepts and discards everything."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1) -> None:
+        """Discard the increment."""
+
+    def set(self, value: float) -> None:
+        """Discard the value."""
+
+    def record(self, value: float, n: int = 1) -> None:
+        """Discard the observation."""
+
+
+class _NullFamily:
+    """Family stand-in whose every series is the shared null series."""
+
+    __slots__ = ()
+
+    def labels(self, **labels) -> _NullSeries:
+        """Return the shared no-op series."""
+        return _NULL_SERIES
+
+
+class _NullMetrics:
+    """Zero-overhead stand-in used when metrics collection is off.
+
+    Deliberately *not* a :class:`MetricsRegistry` subclass (same
+    pattern as ``NULL_TRACER``): components hold whichever object they
+    were given and never branch.  Crucially, :meth:`bound_counter`
+    still returns a live stats :class:`CounterHandle` — figures depend
+    on the stats counters, which must be counted with metrics off.
+    """
+
+    __slots__ = ()
+
+    def counter(self, name: str, help: str = "",  # noqa: A002
+                labels: Iterable[str] = ()) -> _NullFamily:
+        """Return the shared no-op family."""
+        return _NULL_FAMILY
+
+    def gauge(self, name: str, help: str = "",  # noqa: A002
+              labels: Iterable[str] = ()) -> _NullFamily:
+        """Return the shared no-op family."""
+        return _NULL_FAMILY
+
+    def histogram(self, name: str, help: str = "",  # noqa: A002
+                  labels: Iterable[str] = (),
+                  bounds: Iterable[float] | None = None) -> _NullFamily:
+        """Return the shared no-op family."""
+        return _NULL_FAMILY
+
+    def bound_counter(self, stats: "ScopedStats", stat_name: str, name: str,
+                      help: str = "", **labels) -> CounterHandle:  # noqa: A002
+        """Return a stats-only handle — the counter is still counted."""
+        return stats.counter(stat_name)
+
+    def bind_histogram(self, hist: Histogram, name: str, help: str = "",  # noqa: A002
+                       **labels) -> Histogram:
+        """Return ``hist`` unchanged — nothing is exported."""
+        return hist
+
+
+_NULL_SERIES = _NullSeries()
+_NULL_FAMILY = _NullFamily()
+
+#: Shared no-op registry; the default for every component.
+NULL_METRICS = _NullMetrics()

@@ -1,0 +1,308 @@
+"""Cross-run performance regression tracking.
+
+Compares two bench reports (``repro-sim bench`` JSON, see
+:mod:`repro.experiments.bench`) or two metrics exports
+(:meth:`~repro.obs.metrics.MetricsRegistry.to_json`) and classifies
+every comparable number:
+
+* **rate metrics** (events/sec, counter adds/sec, ...) are
+  higher-is-better: a relative drop beyond the threshold is a
+  regression;
+* **time metrics** (serial matrix seconds, per-cell wall time) are
+  lower-is-better: a relative rise beyond the threshold is a
+  regression;
+* **exact metrics** (per-cell ``cycles``/``committed``, metric series
+  of a deterministic run) must match bit-for-bit — any difference is
+  reported as *changed* and fails the gate, forcing a deliberate
+  baseline regeneration whenever the simulation's behavior shifts;
+* the current report's determinism check must pass.
+
+Cells are only compared when the config fingerprint and scale match;
+otherwise they are *skipped* with a note (the microbenchmarks still
+compare — they do not depend on the machine config).
+
+``repro-sim bench --compare BASELINE.json`` wraps
+:func:`compare_reports` + :func:`render_comparison` and exits non-zero
+when :attr:`Comparison.ok` is false; CI runs it against the committed
+``BENCH_matrix.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Default relative threshold for rate/time metrics: ±50%.  Generous on
+#: purpose — wall clocks on shared CI runners are noisy, and the exact
+#: metrics (cycles/committed) catch behavioral drift precisely.
+DEFAULT_REL_THRESHOLD = 0.5
+
+#: Delta classification vocabulary.
+STATUSES = ("ok", "improved", "regression", "changed", "missing", "skipped")
+
+#: Statuses that fail the gate.
+FAILING_STATUSES = ("regression", "changed", "missing")
+
+
+@dataclass
+class Delta:
+    """One compared metric."""
+
+    metric: str
+    baseline: float | None
+    current: float | None
+    rel: float | None  # (current - baseline) / baseline, when defined
+    status: str  # one of STATUSES
+    note: str = ""
+
+    def to_json(self) -> dict:
+        """JSON-safe representation."""
+        return {
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "current": self.current,
+            "rel": self.rel,
+            "status": self.status,
+            "note": self.note,
+        }
+
+
+@dataclass
+class Comparison:
+    """The outcome of one report-vs-baseline diff."""
+
+    deltas: list[Delta] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[Delta]:
+        """Deltas that fail the gate (regression / changed / missing)."""
+        return [d for d in self.deltas if d.status in FAILING_STATUSES]
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing fails the gate."""
+        return not self.regressions
+
+    def to_json(self) -> dict:
+        """JSON-safe document (CI artifact)."""
+        return {
+            "ok": self.ok,
+            "regressions": len(self.regressions),
+            "deltas": [d.to_json() for d in self.deltas],
+        }
+
+
+def load_report(path: str | Path) -> dict:
+    """Read a bench report or metrics export from disk."""
+    return json.loads(Path(path).read_text())
+
+
+def _rel(baseline: float, current: float) -> float | None:
+    if baseline == 0:
+        return None if current == 0 else float("inf")
+    return (current - baseline) / baseline
+
+
+def _classify(
+    metric: str,
+    baseline,
+    current,
+    direction: str,
+    threshold: float,
+    note: str = "",
+) -> Delta:
+    """Build the :class:`Delta` for one metric given its direction."""
+    if baseline is None and current is None:
+        return Delta(metric, None, None, None, "skipped", note or "absent in both")
+    if current is None:
+        return Delta(metric, baseline, None, None, "missing",
+                     note or "absent in current report")
+    if baseline is None:
+        return Delta(metric, None, current, None, "skipped",
+                     note or "absent in baseline")
+    if direction == "exact":
+        if baseline == current:
+            return Delta(metric, baseline, current, 0.0, "ok", note)
+        return Delta(metric, baseline, current, _rel(baseline, current),
+                     "changed", note or "exact metric differs")
+    rel = _rel(baseline, current)
+    if rel is None:
+        return Delta(metric, baseline, current, None, "ok", note)
+    worse = rel < -threshold if direction == "higher_better" else rel > threshold
+    better = rel > threshold if direction == "higher_better" else rel < -threshold
+    status = "regression" if worse else ("improved" if better else "ok")
+    return Delta(metric, baseline, current, rel, status, note)
+
+
+def _bench_entries(report: dict) -> list[tuple[str, float | None, str]]:
+    """Flatten a bench report into (metric, value, direction) rows."""
+    rows: list[tuple[str, float | None, str]] = []
+    scheduler = report.get("scheduler", {})
+    stats = report.get("stats", {})
+    rows.append(("scheduler.events_per_sec",
+                 scheduler.get("events_per_sec"), "higher_better"))
+    rows.append(("stats.adds_per_sec", stats.get("adds_per_sec"), "higher_better"))
+    rows.append(("stats.hist_records_per_sec",
+                 stats.get("hist_records_per_sec"), "higher_better"))
+    matrix = report.get("matrix", {})
+    rows.append(("matrix.serial_seconds",
+                 matrix.get("serial_seconds"), "lower_better"))
+    for cell in matrix.get("cells", ()):
+        key = f"{cell['benchmark']}|{cell['technique']}|{cell['seed']}"
+        rows.append((f"cell[{key}].wall_seconds",
+                     cell.get("wall_seconds"), "lower_better"))
+        rows.append((f"cell[{key}].cycles", cell.get("cycles"), "exact"))
+        rows.append((f"cell[{key}].committed", cell.get("committed"), "exact"))
+    return rows
+
+
+def _compare_bench(
+    baseline: dict,
+    current: dict,
+    threshold: float,
+    thresholds: dict[str, float],
+) -> Comparison:
+    base_rows = dict(
+        (name, (value, direction))
+        for name, value, direction in _bench_entries(baseline)
+    )
+    cur_rows = dict(
+        (name, (value, direction))
+        for name, value, direction in _bench_entries(current)
+    )
+    base_matrix = baseline.get("matrix", {})
+    cur_matrix = current.get("matrix", {})
+    cells_comparable = (
+        base_matrix.get("fingerprint") == cur_matrix.get("fingerprint")
+        and base_matrix.get("scale") == cur_matrix.get("scale")
+    )
+    out = Comparison()
+    for name in sorted(set(base_rows) | set(cur_rows)):
+        base_value, direction = base_rows.get(name, (None, None))
+        cur_value, cur_dir = cur_rows.get(name, (None, None))
+        direction = direction or cur_dir
+        if name.startswith("cell[") and not cells_comparable:
+            out.deltas.append(Delta(
+                name, base_value, cur_value, None, "skipped",
+                "matrix fingerprint/scale differs; cells not comparable",
+            ))
+            continue
+        out.deltas.append(_classify(
+            name, base_value, cur_value, direction,
+            thresholds.get(name, threshold),
+        ))
+    det = current.get("determinism", {})
+    if det:
+        out.deltas.append(Delta(
+            "determinism.ok", 1.0, 1.0 if det.get("ok") else 0.0,
+            None, "ok" if det.get("ok") else "regression",
+            "" if det.get("ok") else
+            f"serial/worker mismatch in {det.get('mismatched_fields')}",
+        ))
+    return out
+
+
+def _metrics_entries(report: dict) -> dict[str, float]:
+    """Flatten a metrics export into a series-key -> value mapping."""
+    out: dict[str, float] = {}
+    for series in report.get("series", ()):
+        labels = ",".join(
+            f"{k}={v}" for k, v in sorted(series.get("labels", {}).items())
+        )
+        key = f"{series['name']}{{{labels}}}"
+        if "value" in series:
+            out[key] = series["value"]
+        elif "histogram" in series:
+            out[key + ".count"] = series["histogram"].get("count", 0)
+            out[key + ".mean"] = series["histogram"].get("mean", 0.0)
+    return out
+
+
+def _compare_metrics(
+    baseline: dict,
+    current: dict,
+    threshold: float,
+    thresholds: dict[str, float],
+) -> Comparison:
+    base = _metrics_entries(baseline)
+    cur = _metrics_entries(current)
+    out = Comparison()
+    for name in sorted(set(base) | set(cur)):
+        # Metric series of a deterministic simulation compare exactly
+        # when the threshold is 0; otherwise treat growth in either
+        # direction beyond the threshold as a change worth failing on.
+        thr = thresholds.get(name, threshold)
+        base_value, cur_value = base.get(name), cur.get(name)
+        if thr == 0:
+            out.deltas.append(_classify(name, base_value, cur_value, "exact", thr))
+            continue
+        if base_value is None or cur_value is None:
+            out.deltas.append(_classify(name, base_value, cur_value, "exact", thr))
+            continue
+        rel = _rel(base_value, cur_value)
+        changed = rel is not None and abs(rel) > thr
+        out.deltas.append(Delta(
+            name, base_value, cur_value, rel,
+            "changed" if changed else "ok",
+            "beyond threshold" if changed else "",
+        ))
+    return out
+
+
+def compare_reports(
+    baseline: dict,
+    current: dict,
+    rel_threshold: float = DEFAULT_REL_THRESHOLD,
+    thresholds: dict[str, float] | None = None,
+) -> Comparison:
+    """Diff two reports of the same shape (bench JSON or metrics JSON).
+
+    ``rel_threshold`` applies to every rate/time metric;
+    ``thresholds`` overrides it per metric name.  Returns a
+    :class:`Comparison` whose :attr:`~Comparison.ok` is the gate.
+    """
+    thresholds = thresholds or {}
+    if "series" in baseline or "series" in current:
+        return _compare_metrics(baseline, current, rel_threshold, thresholds)
+    return _compare_bench(baseline, current, rel_threshold, thresholds)
+
+
+def render_comparison(comparison: Comparison, verbose: bool = False) -> str:
+    """Human-readable delta table (regressions always shown first).
+
+    ``verbose`` includes unchanged (``ok``) rows; otherwise only
+    failures, improvements, and skips are listed under the summary.
+    """
+
+    def fmt(value: float | None) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float) and not value.is_integer():
+            return f"{value:,.0f}" if abs(value) >= 1000 else f"{value:.4g}"
+        return f"{int(value):,}"
+
+    rows = []
+    shown = sorted(
+        (d for d in comparison.deltas
+         if verbose or d.status != "ok"),
+        key=lambda d: (d.status not in FAILING_STATUSES, d.metric),
+    )
+    for d in shown:
+        rel = f"{d.rel:+.1%}" if d.rel is not None else "-"
+        rows.append((d.metric, fmt(d.baseline), fmt(d.current), rel,
+                     d.status.upper() if d.status in FAILING_STATUSES else d.status,
+                     d.note))
+    lines = [
+        f"compared {len(comparison.deltas)} metrics: "
+        f"{len(comparison.regressions)} failing"
+        + ("" if comparison.ok else " — REGRESSION")
+    ]
+    if rows:
+        widths = [max(len(r[i]) for r in rows) for i in range(5)]
+        for r in rows:
+            line = "  ".join(r[i].ljust(widths[i]) for i in range(5)).rstrip()
+            if r[5]:
+                line += f"  ({r[5]})"
+            lines.append("  " + line)
+    return "\n".join(lines)

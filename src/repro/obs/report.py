@@ -1,15 +1,20 @@
 """Trace file reading and summarization (``repro-sim report``).
 
 Reads a trace written by :class:`repro.obs.tracer.Tracer` in either
-format (JSONL or Chrome trace-event JSON), reduces it to counts per
-event kind / per node / per hot line address plus the covered cycle
-span, and renders a terminal report.
+format (JSONL or Chrome trace-event JSON — including the bare
+top-level-array Chrome variant), reduces it to counts per event kind /
+per node / per hot line address plus the covered cycle span, and
+renders a terminal report.  Loading is tolerant: an empty file is an
+empty trace, and malformed lines/records are counted and skipped
+rather than aborting the whole report (a trace from an interrupted run
+is exactly when you want the report most).
 """
 
 from __future__ import annotations
 
 import json
 from collections import Counter
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
@@ -17,66 +22,106 @@ from repro.common.errors import ConfigError
 from repro.obs.tracer import TraceEvent
 
 
-def read_trace(path) -> list[TraceEvent]:
-    """Load a JSONL or Chrome-format trace back into events.
+@dataclass
+class TraceLoad:
+    """The outcome of loading a trace file.
+
+    ``format`` is the detected input format (``jsonl``, ``chrome``, or
+    ``empty``); ``skipped`` counts malformed lines/records that were
+    dropped instead of raising.
+    """
+
+    events: list[TraceEvent] = field(default_factory=list)
+    skipped: int = 0
+    format: str = "empty"
+
+
+def load_trace(path) -> TraceLoad:
+    """Load a JSONL or Chrome-format trace, tolerating damage.
 
     Format auto-detection: a Chrome trace is one JSON document with a
-    ``traceEvents`` key; anything else that parses line-by-line is
-    JSONL (whose every line also starts with ``{``, so the whole-file
-    parse — not the first character — is what disambiguates).
+    ``traceEvents`` key (or a bare top-level array of trace events —
+    the variant Chrome itself accepts); anything else is treated as
+    JSONL.  A whole-file parse — not the first character — is what
+    disambiguates, since every JSONL line also starts with ``{``.
+
+    Malformed JSONL lines (bad JSON, missing ``ts``/``kind``) and
+    Chrome records (missing ``ts``/``name``) are skipped and counted
+    in :attr:`TraceLoad.skipped`; a truncated final line from an
+    interrupted run therefore costs one event, not the whole report.
+    Raises :class:`~repro.common.errors.ConfigError` only when the
+    file is a JSON document that is not a trace at all.
     """
     text = Path(path).read_text()
     if not text.strip():
-        return []
+        return TraceLoad()
     try:
         doc = json.loads(text)
     except json.JSONDecodeError:
-        doc = None  # multi-line JSONL
+        doc = None  # multi-line JSONL (or a truncated single document)
+    if isinstance(doc, list):
+        return _from_chrome(doc)
     if isinstance(doc, dict):
         if "traceEvents" in doc:
-            return _from_chrome(doc)
+            return _from_chrome(doc["traceEvents"])
         if "kind" not in doc:  # neither Chrome nor a single JSONL event
             raise ConfigError("not a Chrome trace: missing 'traceEvents'")
-    events = []
+    out = TraceLoad(format="jsonl")
     for line in text.splitlines():
         line = line.strip()
         if not line:
             continue
-        raw = json.loads(line)
-        events.append(
-            TraceEvent(
+        try:
+            raw = json.loads(line)
+            event = TraceEvent(
                 ts=raw.pop("ts"),
                 kind=raw.pop("kind"),
                 node=raw.pop("node", None),
                 base=raw.pop("base", None),
                 fields=raw,
             )
-        )
-    return events
+        except (json.JSONDecodeError, KeyError, AttributeError, TypeError):
+            out.skipped += 1
+            continue
+        out.events.append(event)
+    return out
 
 
-def _from_chrome(doc: dict[str, Any]) -> list[TraceEvent]:
-    if "traceEvents" not in doc:
-        raise ConfigError("not a Chrome trace: missing 'traceEvents'")
-    events = []
-    for raw in doc["traceEvents"]:
+def read_trace(path) -> list[TraceEvent]:
+    """Back-compat wrapper around :func:`load_trace` (events only)."""
+    return load_trace(path).events
+
+
+def _from_chrome(records: list[Any]) -> TraceLoad:
+    out = TraceLoad(format="chrome")
+    for raw in records:
+        try:
+            ts = raw["ts"]
+            kind = raw["name"]
+        except (KeyError, TypeError):
+            out.skipped += 1
+            continue
         args = dict(raw.get("args", {}))
         base = args.pop("base", None)
         if isinstance(base, str):
-            base = int(base, 0)
+            try:
+                base = int(base, 0)
+            except ValueError:
+                out.skipped += 1
+                continue
         if "dur" in raw:
             args["dur"] = raw["dur"]
         tid = raw.get("tid", -1)
-        events.append(
+        out.events.append(
             TraceEvent(
-                ts=raw["ts"],
-                kind=raw["name"],
+                ts=ts,
+                kind=kind,
                 node=None if tid == -1 else tid,
                 base=base,
                 fields=args,
             )
         )
-    return events
+    return out
 
 
 def summarize_trace(events: list[TraceEvent], top: int = 10) -> dict[str, Any]:

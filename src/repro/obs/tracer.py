@@ -125,6 +125,7 @@ class TraceFilter:
         bases: list[int] = []
         for clause in filter(None, (c.strip() for c in expr.split(","))):
             key, sep, values = clause.partition("=")
+            key = key.strip()
             if not sep:
                 raise ConfigError(f"bad trace filter clause {clause!r}")
             for value in values.split("|"):

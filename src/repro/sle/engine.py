@@ -42,12 +42,16 @@ from repro.coherence.messages import BusTransaction, TxnKind
 from repro.cpu.core import Core, Phase, WinOp
 from repro.cpu.isa import OpKind
 from repro.memory.hierarchy import NodeMemory
+from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
 from repro.sle.confidence import ElisionConfidence
 from repro.sle.idiom import IdiomTracker
 
 _BACKOFF_START = 50
 _BACKOFF_CAP = 800
+
+#: The fixed abort-reason vocabulary (see the module docstring).
+ABORT_REASONS = ("no_release", "conflict", "serialize", "nested")
 
 
 class Mode(enum.Enum):
@@ -68,6 +72,7 @@ class SLEEngine:
         scheduler: Scheduler,
         stats: ScopedStats,
         tracer=NULL_TRACER,
+        metrics=NULL_METRICS,
     ):
         self.config = config
         self.core = core
@@ -75,6 +80,47 @@ class SLEEngine:
         self.scheduler = scheduler
         self.stats = stats
         self.tracer = tracer
+        node_id = core.core_id
+        self._m_candidates = metrics.bound_counter(
+            stats, "candidates",
+            "repro_sle_candidates_total", "Elidable lock-acquire candidates",
+            node=node_id,
+        )
+        self._m_filtered = metrics.bound_counter(
+            stats, "filtered_by_confidence",
+            "repro_sle_confidence_filtered_total",
+            "Candidates skipped by the elision confidence filter",
+            node=node_id,
+        )
+        self._m_attempts = metrics.bound_counter(
+            stats, "attempts",
+            "repro_sle_attempts_total", "Elision attempts started",
+            node=node_id,
+        )
+        self._m_commits = metrics.bound_counter(
+            stats, "successes",
+            "repro_sle_commits_total", "Elided regions committed atomically",
+            node=node_id,
+        )
+        self._m_aborts = {
+            reason: metrics.bound_counter(
+                stats, f"failure.{reason}",
+                "repro_sle_aborts_total", "Elision aborts by reason",
+                node=node_id, reason=reason,
+            )
+            for reason in ABORT_REASONS
+        }
+        self._m_restarts = metrics.bound_counter(
+            stats, "restarts",
+            "repro_sle_restarts_total", "Conflict-aborted regions re-elided",
+            node=node_id,
+        )
+        self._m_fallbacks = metrics.bound_counter(
+            stats, "fallback_acquisitions",
+            "repro_sle_fallbacks_total",
+            "Elisions abandoned for a real lock acquisition",
+            node=node_id,
+        )
         self.confidence = ElisionConfidence(config.sle, stats)
         self.idiom = IdiomTracker()
         self.max_region = max(4, int(config.sle.rob_threshold * config.core.rob_size))
@@ -191,12 +237,12 @@ class SLEEngine:
         larx = self.idiom.match(w)
         if larx is None:
             return "no"
-        self.stats.add("candidates")
+        self._m_candidates.inc()
         recipe = w.op.meta.get("sle_fallback")
         if recipe is None:
             return "no"
         if not self.confidence.should_attempt(w.op.pc):
-            self.stats.add("filtered_by_confidence")
+            self._m_filtered.inc()
             return "no"
         self._begin(w, larx, recipe)
         return "elide"
@@ -211,7 +257,7 @@ class SLEEngine:
         self.fallback = recipe
         self.restarts = 0
         self._reset_region()
-        self.stats.add("attempts")
+        self._m_attempts.inc()
         self.tracer.emit(
             "sle.attempt", node=self.core.core_id, base=self.lock_base,
             pc=self.stcx_pc,
@@ -274,7 +320,7 @@ class SLEEngine:
             if r.sle_buffered and r.op.kind is OpKind.STORE and r is not self.release_w:
                 self.node.apply_store_now(r.op.addr, r.op.value, r.op.pc)
         self.confidence.on_success(self.stcx_pc)
-        self.stats.add("successes")
+        self._m_commits.inc()
         self.stats.add("elided_region_ops", len(self.region_ops))
         self.tracer.emit(
             "sle.commit", node=self.core.core_id, base=self.lock_base,
@@ -335,7 +381,7 @@ class SLEEngine:
                 self._commit_token = None
 
     def _abort(self, reason: str, trigger: WinOp | None) -> None:
-        self.stats.add(f"failure.{reason}")
+        self._m_aborts[reason].inc()
         self.tracer.emit(
             "sle.abort", node=self.core.core_id, base=self.lock_base,
             reason=reason, restarts=self.restarts,
@@ -370,7 +416,7 @@ class SLEEngine:
         )
         if retry:
             self.restarts += 1
-            self.stats.add("restarts")
+            self._m_restarts.inc()
             self._reset_region()
             # Aborts can originate inside a bus snoop; make sure the
             # core re-fetches the replayed region.
@@ -386,7 +432,7 @@ class SLEEngine:
         self.mode = Mode.ACQUIRING
         self._reset_region()
         self.core.stall_fetch(True)
-        self.stats.add("fallback_acquisitions")
+        self._m_fallbacks.inc()
         self.tracer.emit(
             "sle.fallback", node=self.core.core_id, base=self.lock_base
         )

@@ -24,6 +24,7 @@ from repro.coherence.validation import CoherenceChecker
 from repro.cpu.core import Core
 from repro.memory.hierarchy import NodeMemory
 from repro.memory.mainmem import MainMemory
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.profiler import Heartbeat
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sle.engine import SLEEngine
@@ -37,6 +38,7 @@ class RunResult:
     committed: int
     stats: StatsRegistry
     config: MachineConfig = field(repr=False, default=None)
+    metrics: MetricsRegistry | None = field(repr=False, default=None)
 
     @property
     def ipc(self) -> float:
@@ -81,6 +83,7 @@ class System:
         seed: int | str = 0,
         tracer: Tracer | None = None,
         check_invariants: bool = False,
+        metrics: MetricsRegistry | None = None,
     ):
         config.validate()
         self.config = config
@@ -88,6 +91,9 @@ class System:
         self.rng = SplitRng(seed)
         self.scheduler = Scheduler()
         self.stats = StatsRegistry()
+        # Metrics default to the process-wide no-op object, which still
+        # routes bound counters into the stats registry.
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         # Tracing defaults to the process-wide no-op object; a real
         # Tracer is bound to this system's cycle clock.
         if tracer is None:
@@ -105,6 +111,7 @@ class System:
                 jitter=config.latency_jitter,
                 rng=self.rng.split("bus"),
                 tracer=self.tracer,
+                metrics=self.metrics,
             )
         else:
             self.bus = SnoopBus(
@@ -115,8 +122,11 @@ class System:
                 jitter=config.latency_jitter,
                 rng=self.rng.split("bus"),
                 tracer=self.tracer,
+                metrics=self.metrics,
             )
-        self.classifier = MissClassifier(self.stats.scoped("misses"), config.n_procs)
+        self.classifier = MissClassifier(
+            self.stats.scoped("misses"), config.n_procs, metrics=self.metrics
+        )
         programs = workload.build_programs(config, self.rng.split("workload"))
         if len(programs) != config.n_procs:
             raise DeadlockError(
@@ -132,11 +142,12 @@ class System:
             ctrl = CoherenceController(
                 i, config, self.bus, self.memory,
                 self.stats.scoped(f"ctrl{i}"), tracer=self.tracer,
+                metrics=self.metrics,
             )
             node = NodeMemory(
                 i, config, self.scheduler, ctrl,
                 self.stats.scoped(f"node{i}"), classifier=self.classifier,
-                tracer=self.tracer,
+                tracer=self.tracer, metrics=self.metrics,
             )
             core = Core(
                 i, config, self.scheduler, node, programs[i],
@@ -146,6 +157,7 @@ class System:
                 engine = SLEEngine(
                     config, core, node, self.scheduler,
                     self.stats.scoped(f"sle{i}"), tracer=self.tracer,
+                    metrics=self.metrics,
                 )
                 self.engines.append(engine)
             self.controllers.append(ctrl)
@@ -215,7 +227,9 @@ class System:
         )
         self._record_summary(cycles, committed)
         return RunResult(
-            cycles=cycles, committed=committed, stats=self.stats, config=self.config
+            cycles=cycles, committed=committed, stats=self.stats,
+            config=self.config,
+            metrics=self.metrics if self.metrics is not NULL_METRICS else None,
         )
 
     def _progress(self) -> dict:
@@ -235,6 +249,17 @@ class System:
             self.stats.set("run.ipc", committed / cycles)
         if self.checker is not None:
             self.stats.set("run.invariant_checks", self.checker.checks)
+        metrics = self.metrics
+        metrics.gauge("repro_run_cycles", "Simulated cycles").labels().set(cycles)
+        metrics.gauge(
+            "repro_run_committed", "Committed micro-ops"
+        ).labels().set(committed)
+        metrics.gauge("repro_run_ipc", "Committed micro-ops per cycle").labels().set(
+            committed / cycles if cycles else 0.0
+        )
+        metrics.gauge("repro_run_events", "Scheduler events fired").labels().set(
+            self.scheduler.events_fired
+        )
 
 
 def run_workload(

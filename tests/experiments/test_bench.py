@@ -39,7 +39,7 @@ def test_bench_report_written(quick_report):
     report, path = quick_report
     on_disk = json.loads(path.read_text())
     assert on_disk == report
-    assert report["schema"] == 1
+    assert report["schema"] == 2
     assert report["quick"] is True
 
 

@@ -81,6 +81,41 @@ class TestDeterminism:
             assert summaries_equal(a, b)
 
 
+class TestManifest:
+    def test_cell_summaries_carry_provenance(self, tmp_path):
+        runner = MatrixRunner(scale=SCALE, results_dir=tmp_path, verbose=False)
+        summary = runner.run_one("radiosity", "base", 1)
+        assert summary["worker"] > 0  # the producing pid
+        assert summary["retries"] == 0
+
+    def test_run_matrix_writes_manifest(self, tmp_path):
+        from repro.obs.progress import RunManifest
+
+        runner = MatrixRunner(scale=SCALE, results_dir=tmp_path, verbose=False)
+        runner.run_matrix(benchmarks=["radiosity"], techniques=("base",),
+                          seeds=(1, 2), workers=2)
+        assert runner.manifest_path.exists()
+        manifest = RunManifest.load(runner.manifest_path)
+        assert manifest == runner.manifest
+        assert manifest.fingerprint == runner.fingerprint
+        assert manifest.workers == 2
+        assert set(manifest.cells) == {"radiosity|base|1", "radiosity|base|2"}
+        assert manifest.ran == 2 and manifest.cached == 0
+        for cell in manifest.cells.values():
+            assert cell["worker"] > 0
+            assert cell["wall_seconds"] >= 0
+
+    def test_cached_rerun_is_marked_cached(self, tmp_path):
+        from repro.obs.progress import RunManifest
+
+        kwargs = dict(benchmarks=["radiosity"], techniques=("base",), seeds=(1,))
+        runner = MatrixRunner(scale=SCALE, results_dir=tmp_path, verbose=False)
+        runner.run_matrix(**kwargs)
+        runner.run_matrix(**kwargs)  # every cell now served from cache
+        manifest = RunManifest.load(runner.manifest_path)
+        assert manifest.ran == 0 and manifest.cached == 1
+
+
 class TestRetry:
     def test_harvest_retries_once_on_failure(self, caplog):
         from repro.experiments.runner import _harvest
@@ -95,7 +130,9 @@ class TestRetry:
                 FailingFuture(), lambda: retried.append(1) or {"cycles": 7},
                 timeout=1.0, label="x|y|1",
             )
-        assert out == {"cycles": 7}
+        # The retried summary is marked so the extra attempt is visible
+        # in the cache.
+        assert out == {"cycles": 7, "retries": 1}
         assert retried == [1]
         assert "retrying once" in caplog.text
 

@@ -185,6 +185,49 @@ def test_sl006_guarded_emit_passes(tmp_path):
     assert lint_source(tmp_path, source, "SL006").clean
 
 
+def _write_module(tmp_path, rel: str, source: str):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text('"""Fixture."""\n' + textwrap.dedent(source))
+
+
+def test_sl007_flags_direct_paper_counter_add(tmp_path):
+    source = """
+    def after_store(self):
+        self._stats.add("ts_stores")
+    """
+    _write_module(tmp_path, "coherence/ctrl.py", source)
+    result = run_lint(paths=[tmp_path], rules=["SL007"], audit=False)
+    assert [f.path for f in result.findings] == ["coherence/ctrl.py"]
+    assert "bound_counter" in result.findings[0].message
+
+
+def test_sl007_flags_fstring_prefix(tmp_path):
+    source = """
+    def abort(self, reason):
+        self._stats.add(f"failure.{reason}")
+    """
+    _write_module(tmp_path, "sle/engine.py", source)
+    result = run_lint(paths=[tmp_path], rules=["SL007"], audit=False)
+    assert len(result.findings) == 1
+
+
+def test_sl007_scope_and_non_paper_counters_pass(tmp_path):
+    # The same paper counter outside the scoped layers is fine (the
+    # handles only exist in coherence/lvp/sle), as are ordinary
+    # counters inside them.
+    _write_module(tmp_path, "experiments/sweep.py", """
+    def record(stats):
+        stats.add("ts_stores")
+    """)
+    _write_module(tmp_path, "coherence/ctrl.py", """
+    def flush(self, stats):
+        stats.add("flushes")
+        self._m_ts_stores.inc()
+    """)
+    assert run_lint(paths=[tmp_path], rules=["SL007"], audit=False).clean
+
+
 def test_syntax_error_reported_as_sl000(tmp_path):
     (tmp_path / "broken.py").write_text("def oops(:\n")
     result = run_lint(paths=[tmp_path], audit=False)

@@ -94,6 +94,25 @@ class TestHeartbeat:
         assert "committed=7" in caplog.text
         assert "events/s=" in caplog.text
 
+    def test_cadence_is_one_beat_per_interval(self, caplog):
+        # Exactly floor(run_length / interval) beats, at cycles
+        # interval, 2*interval, ... — no beat at cycle 0 and no beat
+        # after the stop condition turns true.
+        sched = Scheduler()
+        done = []
+        sched.at(99, lambda: done.append(True))
+        hb = Heartbeat(sched, 25, stop=lambda: bool(done))
+        with caplog.at_level(logging.INFO, logger="repro.heartbeat"):
+            sched.run()
+        assert hb.beats == 4  # cycles 25, 50, 75, 100
+        cycles = [
+            int(rec.getMessage().split("cycle=")[1].split()[0])
+            for rec in caplog.records
+            if rec.name == "repro.heartbeat"
+        ]
+        assert cycles == [25, 50, 75, 100]
+        assert sched.pending() == 0
+
     def test_system_run_heartbeat(self, caplog):
         from repro.common.config import scaled_config
         from repro.system.system import System

@@ -1,0 +1,272 @@
+"""Cross-run regression tracking: classification, gate, CLI wiring."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.obs.regress import (
+    DEFAULT_REL_THRESHOLD,
+    Comparison,
+    Delta,
+    compare_reports,
+    load_report,
+    render_comparison,
+)
+
+
+def bench_report(**overrides) -> dict:
+    """A minimal but complete bench-shaped report."""
+    report = {
+        "schema": 2,
+        "quick": True,
+        "python": "3.11.0",
+        "platform": "linux",
+        "cpu_count": 2,
+        "scheduler": {"events_per_sec": 1_000_000},
+        "stats": {"adds_per_sec": 2_000_000, "hist_records_per_sec": 3_000_000},
+        "matrix": {
+            "scale": 0.05,
+            "fingerprint": "abcd1234",
+            "serial_seconds": 2.0,
+            "workers": None,
+            "parallel_seconds": None,
+            "speedup": None,
+            "parallel_matches_serial": None,
+            "cells": [
+                {"benchmark": "radiosity", "technique": "base", "seed": 1,
+                 "wall_seconds": 1.0, "cycles": 1000, "committed": 500},
+                {"benchmark": "radiosity", "technique": "emesti", "seed": 1,
+                 "wall_seconds": 1.0, "cycles": 900, "committed": 500},
+            ],
+        },
+        "determinism": {"ok": True, "mismatched_fields": []},
+    }
+    report.update(overrides)
+    return report
+
+
+class TestCompareBench:
+    def test_identical_reports_pass(self):
+        base = bench_report()
+        cmp_ = compare_reports(base, copy.deepcopy(base))
+        assert cmp_.ok
+        assert cmp_.regressions == []
+        assert all(d.status in ("ok",) for d in cmp_.deltas)
+
+    def test_rate_drop_past_threshold_is_a_regression(self):
+        base = bench_report()
+        cur = bench_report()
+        cur["scheduler"]["events_per_sec"] = 400_000  # -60%
+        cmp_ = compare_reports(base, cur)
+        (bad,) = cmp_.regressions
+        assert bad.metric == "scheduler.events_per_sec"
+        assert bad.status == "regression"
+        assert bad.rel == pytest.approx(-0.6)
+
+    def test_rate_drop_within_threshold_passes(self):
+        base = bench_report()
+        cur = bench_report()
+        cur["scheduler"]["events_per_sec"] = 700_000  # -30% < 50%
+        assert compare_reports(base, cur).ok
+
+    def test_wall_time_rise_is_a_regression(self):
+        base = bench_report()
+        cur = bench_report()
+        cur["matrix"]["serial_seconds"] = 4.0  # +100%
+        (bad,) = compare_reports(base, cur).regressions
+        assert bad.metric == "matrix.serial_seconds"
+
+    def test_rate_rise_is_an_improvement_not_a_failure(self):
+        base = bench_report()
+        cur = bench_report()
+        cur["scheduler"]["events_per_sec"] = 5_000_000
+        cmp_ = compare_reports(base, cur)
+        assert cmp_.ok
+        (delta,) = [d for d in cmp_.deltas if d.status == "improved"]
+        assert delta.metric == "scheduler.events_per_sec"
+
+    def test_cycles_compare_exactly(self):
+        # Even a tiny cycles drift fails the gate: the simulator is
+        # deterministic, so any change is a behavior change.
+        base = bench_report()
+        cur = bench_report()
+        cur["matrix"]["cells"][0]["cycles"] += 1
+        (bad,) = compare_reports(base, cur).regressions
+        assert bad.status == "changed"
+        assert "cell[radiosity|base|1].cycles" == bad.metric
+
+    def test_threshold_is_configurable(self):
+        base = bench_report()
+        cur = bench_report()
+        cur["scheduler"]["events_per_sec"] = 700_000  # -30%
+        assert not compare_reports(base, cur, rel_threshold=0.2).ok
+        assert compare_reports(base, cur, rel_threshold=0.4).ok
+
+    def test_per_metric_threshold_override(self):
+        base = bench_report()
+        cur = bench_report()
+        cur["scheduler"]["events_per_sec"] = 700_000
+        cmp_ = compare_reports(
+            base, cur, thresholds={"scheduler.events_per_sec": 0.1}
+        )
+        assert [d.metric for d in cmp_.regressions] == [
+            "scheduler.events_per_sec"
+        ]
+
+    def test_fingerprint_mismatch_skips_cells_not_microbenches(self):
+        base = bench_report()
+        cur = bench_report()
+        cur["matrix"]["fingerprint"] = "ffff0000"
+        cur["matrix"]["cells"][0]["cycles"] += 999  # would fail if compared
+        cur["scheduler"]["events_per_sec"] = 100  # must still be compared
+        cmp_ = compare_reports(base, cur)
+        skipped = [d for d in cmp_.deltas if d.status == "skipped"]
+        assert all(d.metric.startswith("cell[") for d in skipped)
+        assert len(skipped) == 6  # 2 cells x (wall, cycles, committed)
+        assert [d.metric for d in cmp_.regressions] == [
+            "scheduler.events_per_sec"
+        ]
+
+    def test_missing_cell_in_current_fails(self):
+        base = bench_report()
+        cur = bench_report()
+        del cur["matrix"]["cells"][1]
+        statuses = {d.metric: d.status for d in compare_reports(base, cur).deltas}
+        assert statuses["cell[radiosity|emesti|1].cycles"] == "missing"
+        assert not compare_reports(base, cur).ok
+
+    def test_new_cell_in_current_is_skipped_not_failed(self):
+        base = bench_report()
+        cur = bench_report()
+        cur["matrix"]["cells"].append(
+            {"benchmark": "tpc-b", "technique": "base", "seed": 1,
+             "wall_seconds": 1.0, "cycles": 1, "committed": 1}
+        )
+        assert compare_reports(base, cur).ok
+
+    def test_determinism_failure_is_a_regression(self):
+        base = bench_report()
+        cur = bench_report()
+        cur["determinism"] = {"ok": False, "mismatched_fields": ["cycles"]}
+        (bad,) = compare_reports(base, cur).regressions
+        assert bad.metric == "determinism.ok"
+
+
+class TestCompareMetrics:
+    def series(self, value):
+        return {
+            "schema": 1,
+            "series": [
+                {"name": "repro_ts_stores_total", "kind": "counter",
+                 "labels": {"node": "0"}, "value": value},
+            ],
+        }
+
+    def test_identical_series_pass(self):
+        assert compare_reports(self.series(62), self.series(62)).ok
+
+    def test_drift_past_threshold_fails_either_direction(self):
+        assert not compare_reports(self.series(100), self.series(10)).ok
+        assert not compare_reports(self.series(10), self.series(100)).ok
+        assert compare_reports(self.series(100), self.series(120)).ok
+
+    def test_zero_threshold_means_exact(self):
+        cmp_ = compare_reports(
+            self.series(62), self.series(63), rel_threshold=0
+        )
+        (bad,) = cmp_.regressions
+        assert bad.status == "changed"
+
+
+class TestRendering:
+    def test_render_flags_regressions_first(self):
+        base = bench_report()
+        cur = bench_report()
+        cur["scheduler"]["events_per_sec"] = 100
+        cur["stats"]["adds_per_sec"] = 10_000_000  # improvement
+        text = render_comparison(compare_reports(base, cur))
+        assert "REGRESSION" in text
+        lines = text.splitlines()
+        assert "scheduler.events_per_sec" in lines[1]  # failures lead
+
+    def test_render_clean_comparison_is_short(self):
+        base = bench_report()
+        text = render_comparison(compare_reports(base, copy.deepcopy(base)))
+        assert "0 failing" in text
+        assert "REGRESSION" not in text
+
+    def test_to_json_shape(self):
+        cmp_ = Comparison(deltas=[
+            Delta("m", 1.0, 2.0, 1.0, "changed", "note"),
+        ])
+        doc = cmp_.to_json()
+        assert doc["ok"] is False
+        assert doc["regressions"] == 1
+        assert doc["deltas"][0]["metric"] == "m"
+        json.dumps(doc)
+
+    def test_load_report(self, tmp_path):
+        path = tmp_path / "r.json"
+        path.write_text(json.dumps(bench_report()))
+        assert load_report(path)["schema"] == 2
+
+
+class TestCliGate:
+    """The ``repro-sim bench --compare`` exit-code contract."""
+
+    def run_cli(self, tmp_path, monkeypatch, current, baseline,
+                extra_args=()):
+        from repro import cli
+        from repro.experiments import bench
+
+        baseline_path = tmp_path / "BENCH_baseline.json"
+        baseline_path.write_text(json.dumps(baseline))
+        monkeypatch.setattr(
+            bench, "run", lambda **kwargs: copy.deepcopy(current)
+        )
+        return cli.main([
+            "-q", "bench",
+            "--compare", str(baseline_path),
+            "--output", str(tmp_path / "BENCH_current.json"),
+            *extra_args,
+        ])
+
+    def test_unchanged_tree_exits_zero(self, tmp_path, monkeypatch, capsys):
+        rc = self.run_cli(tmp_path, monkeypatch, bench_report(), bench_report())
+        assert rc == 0
+        assert "compare vs" in capsys.readouterr().out
+
+    def test_perturbed_metric_exits_nonzero(self, tmp_path, monkeypatch, capsys):
+        current = bench_report()
+        current["matrix"]["cells"][0]["cycles"] += 50
+        rc = self.run_cli(tmp_path, monkeypatch, current, bench_report())
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "perf regression" in captured.err
+
+    def test_threshold_flag_is_honored(self, tmp_path, monkeypatch, capsys):
+        current = bench_report()
+        current["scheduler"]["events_per_sec"] = 700_000  # -30%
+        assert self.run_cli(
+            tmp_path, monkeypatch, current, bench_report()
+        ) == 0  # default 0.5 tolerates it
+        assert self.run_cli(
+            tmp_path, monkeypatch, current, bench_report(),
+            extra_args=("--threshold", "0.2"),
+        ) == 1
+
+    def test_missing_baseline_file_is_a_usage_error(self, tmp_path, capsys):
+        from repro import cli
+
+        rc = cli.main([
+            "-q", "bench", "--compare", str(tmp_path / "nope.json"),
+        ])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_default_threshold_exported(self):
+        assert 0 < DEFAULT_REL_THRESHOLD < 1

@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.common.errors import ConfigError
-from repro.obs.report import read_trace, render_report, summarize_trace
+from repro.obs.report import load_trace, read_trace, render_report, summarize_trace
 from repro.obs.tracer import Tracer
 
 
@@ -50,6 +50,64 @@ class TestReadTrace:
         path.write_text(json.dumps({"foo": 1}))
         with pytest.raises(ConfigError):
             read_trace(path)
+
+
+class TestTolerantLoading:
+    def test_empty_file_is_an_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("\n\n")
+        load = load_trace(path)
+        assert load.events == [] and load.skipped == 0
+        assert load.format == "empty"
+
+    def test_truncated_final_line_costs_one_event(self, tmp_path):
+        # The classic interrupted-run artifact: the writer died mid-line.
+        path = tmp_path / "t.jsonl"
+        good = make_tracer().to_jsonl()
+        path.write_text(good + '\n{"ts": 12, "ki')
+        load = load_trace(path)
+        assert load.format == "jsonl"
+        assert len(load.events) == 3
+        assert load.skipped == 1
+
+    def test_malformed_middle_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("\n".join([
+            '{"ts": 1, "kind": "bus.grant", "node": 0}',
+            "not json",
+            '{"no_ts_or_kind": true}',
+            '[1, 2]',
+            '{"ts": 2, "kind": "bus.cancel"}',
+        ]))
+        load = load_trace(path)
+        assert [e.kind for e in load.events] == ["bus.grant", "bus.cancel"]
+        assert load.skipped == 3
+
+    def test_bare_array_chrome_trace(self, tmp_path):
+        # Chrome accepts a bare top-level array of events; so do we.
+        doc = make_tracer().to_chrome()
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps(doc["traceEvents"]))
+        load = load_trace(path)
+        assert load.format == "chrome"
+        assert len(load.events) == 3 and load.skipped == 0
+
+    def test_damaged_chrome_records_are_skipped(self, tmp_path):
+        doc = make_tracer().to_chrome()
+        doc["traceEvents"].append({"ph": "i"})  # no ts/name
+        doc["traceEvents"].append("not a record")
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps(doc))
+        load = load_trace(path)
+        assert len(load.events) == 3
+        assert load.skipped == 2
+
+    def test_read_trace_wraps_load_trace(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        make_tracer().save(path, format="jsonl")
+        assert [e.kind for e in read_trace(path)] == [
+            e.kind for e in load_trace(path).events
+        ]
 
 
 class TestSummarize:

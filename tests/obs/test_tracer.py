@@ -105,6 +105,23 @@ class TestTraceFilter:
         with pytest.raises(ConfigError):
             TraceFilter.parse("frob=1")
 
+    def test_parse_empty_expr_matches_everything(self):
+        # No clauses → no constraints; stray separators are ignored.
+        for expr in ("", "   ", ",", " , ,"):
+            filt = TraceFilter.parse(expr)
+            assert filt.kinds is None and filt.nodes is None
+            assert filt.matches("bus.grant", 7, 0xFFFF)
+
+    def test_parse_tolerates_whitespace(self):
+        filt = TraceFilter.parse(" kind = validate | bus.grant , node = 0 - 2 ")
+        assert filt.matches("validate.broadcast", 0, None)
+        assert filt.matches("bus.grant", 2, None)
+        assert not filt.matches("bus.grant", 3, None)
+
+    def test_parse_unknown_key_names_the_key(self):
+        with pytest.raises(ConfigError, match="'proc'"):
+            TraceFilter.parse("proc=0")
+
 
 class TestNullTracer:
     def test_not_a_tracer_subclass(self):
