@@ -89,9 +89,16 @@ class MissClassifier:
         self._m_total.inc()
         return kind
 
-    def on_fill(self, node: int, base: int, data: list[int]) -> None:
-        """The miss data arrived; finish comm-miss sub-classification."""
+    def on_fill(self, node: int, base: int, data: list[int]) -> str | None:
+        """The miss data arrived; finish comm-miss sub-classification.
+
+        Returns the communication-miss cause (``"tss"``/``"false"``/
+        ``"true"``), or None when the fill was not a classified
+        communication miss — the provenance layer attaches this to the
+        ``mem.miss`` event and the miss span.
+        """
         entry = self._entry(node, base)
+        sub = None
         if (
             entry.residency is _Residency.INVALIDATED
             and entry.pending_word is not None
@@ -107,6 +114,7 @@ class MissClassifier:
         entry.residency = _Residency.RESIDENT
         entry.snapshot = None
         entry.pending_word = None
+        return sub
 
     def on_local_evict(self, node: int, base: int) -> None:
         """The node displaced the line locally (capacity/conflict)."""

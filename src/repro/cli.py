@@ -51,7 +51,13 @@ def _make_tracer(args) -> Tracer | None:
     # Fail on an unwritable path now, not after a long simulation.
     with open(args.trace, "w"):
         pass
-    return Tracer(filter=filt, ring=args.trace_ring)
+    # Attaching the sink up front (rather than saving at the end) is
+    # what makes traces crash-safe: the tracer flushes what it has on
+    # exception and at interpreter exit.
+    return Tracer(
+        filter=filt, ring=args.trace_ring,
+        path=args.trace, format=args.trace_format,
+    )
 
 
 def cmd_run(args) -> int:
@@ -74,13 +80,17 @@ def cmd_run(args) -> int:
     profiler = SimProfiler() if args.profile else None
     if profiler is not None:
         system.scheduler.enable_profiling(profiler)
-    result = system.run(heartbeat=args.heartbeat)
+    if tracer is not None:
+        # The context manager flushes a partial trace if the run dies.
+        with tracer:
+            result = system.run(heartbeat=args.heartbeat)
+    else:
+        result = system.run(heartbeat=args.heartbeat)
     summary = summarize(result)
     width = max(len(k) for k in summary)
     for key, value in summary.items():
         print(f"{key.ljust(width)} : {value}")
     if tracer is not None:
-        tracer.save(args.trace, format=args.trace_format)
         print(f"trace: {len(tracer.events)} events -> {args.trace} "
               f"({args.trace_format}, {tracer.dropped} filtered)")
     if metrics is not None:
@@ -107,6 +117,83 @@ def cmd_report(args) -> int:
               f"event(s) in {args.trace}", file=sys.stderr)
     print(render_report(summarize_trace(load.events, top=args.top)))
     return 0
+
+
+def cmd_explain(args) -> int:
+    """Handle ``repro-sim explain`` (miss provenance analysis).
+
+    Live mode runs the cell with tracing + metrics and *gates*: exit 1
+    when the trace/metrics reconciliation mismatches or fewer than 95%
+    of communication misses get a provenance class.  Offline mode
+    (``--trace``) analyzes a saved trace; with no metrics registry to
+    check against, it reports without gating.
+    """
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.provenance import (
+        analyze_events,
+        line_chain,
+        reconcile,
+        reconciliation_ok,
+        render_provenance,
+    )
+
+    if args.trace:
+        load = load_trace(args.trace)
+        if load.skipped:
+            print(f"repro-sim: warning: skipped {load.skipped} malformed "
+                  f"event(s) in {args.trace}", file=sys.stderr)
+        events = load.events
+        metrics = None
+    else:
+        if args.benchmark is None:
+            print("repro-sim: error: explain needs a benchmark to run "
+                  "(or --trace PATH to analyze offline)", file=sys.stderr)
+            return 2
+        config = configure_technique(
+            scaled_config(n_procs=args.procs), args.technique
+        )
+        workload = get_benchmark(args.benchmark, scale=args.scale)
+        tracer = Tracer(ring=args.trace_ring)
+        if args.save_trace:
+            with open(args.save_trace, "w"):
+                pass
+            tracer.attach_sink(args.save_trace, "jsonl")
+        metrics = MetricsRegistry()
+        system = System(
+            config, workload, seed=args.seed, tracer=tracer, metrics=metrics
+        )
+        with tracer:
+            system.run()
+        events = tracer.events
+    report = analyze_events(events)
+    rows = reconcile(report, metrics) if metrics is not None else None
+    gated = metrics is not None
+    ok = (not gated) or (
+        reconciliation_ok(rows) and report.attribution_rate >= 0.95
+    )
+    if args.line is not None:
+        base = int(args.line, 0)
+        chain = line_chain(events, base, limit=args.top * 10)
+        if args.format == "json":
+            print(json.dumps({"line": hex(base), "chain": chain}, indent=1))
+        else:
+            print(f"== line {base:#x}: {len(chain)} event(s) ==")
+            for entry in chain:
+                print(f"  {json.dumps(entry, sort_keys=True)}")
+        return 0
+    if args.format == "json":
+        doc = report.to_json()
+        doc["reconciliation"] = rows
+        doc["ok"] = ok
+        print(json.dumps(doc, indent=1, sort_keys=True))
+    else:
+        print(render_provenance(report, rows, top=args.top))
+        if gated:
+            print(f"\nresult: {'ok' if ok else 'FAIL'} "
+                  f"(attribution {report.attribution_rate:.1%}, "
+                  f"reconciliation "
+                  f"{'exact' if reconciliation_ok(rows) else 'MISMATCH'})")
+    return 0 if ok else 1
 
 
 def cmd_check(args) -> int:
@@ -211,12 +298,24 @@ def cmd_lint(args) -> int:
         print(f"repro-sim: error: {exc}", file=sys.stderr)
         return 2
     if args.update_baseline:
+        from repro.lint.baseline import PLACEHOLDER_JUSTIFICATION
         from repro.lint.baseline import Baseline as _B
 
         path = _B.default_path() if args.baseline is None else args.baseline
-        _B.from_findings(result.findings).save(path)
-        print(f"baseline: {len(result.findings)} entr(y/ies) -> {path} "
-              f"(fill in the justifications before committing)")
+        justification = args.justification or PLACEHOLDER_JUSTIFICATION
+        _B.from_findings(result.findings, justification=justification).save(path)
+        if result.findings and args.justification is None:
+            # The file is written (so it can be hand-edited), but an
+            # unjustified baseline must not pass a CI gate: the whole
+            # point of the baseline is that every suppression explains
+            # itself, and `Baseline.load` refuses the placeholder.
+            print(f"repro-sim: error: baselined {len(result.findings)} "
+                  f"finding(s) without --justification; {path} contains "
+                  f"{PLACEHOLDER_JUSTIFICATION!r} placeholders and will "
+                  f"not load until each is replaced",
+                  file=sys.stderr)
+            return 1
+        print(f"baseline: {len(result.findings)} entr(y/ies) -> {path}")
         return 0
     if args.format == "json":
         print(render_json(result, audit=not args.no_audit))
@@ -311,8 +410,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a structured event trace to PATH",
     )
     run_p.add_argument(
-        "--trace-format", choices=("jsonl", "chrome"), default="jsonl",
-        help="trace output format (chrome loads in Perfetto/about:tracing)",
+        "--trace-format", choices=("jsonl", "chrome", "spans"), default="jsonl",
+        help="trace output format (chrome loads in Perfetto/about:tracing; "
+             "spans is one folded span per line)",
     )
     run_p.add_argument(
         "--trace-filter", metavar="SPEC", default=None,
@@ -350,6 +450,54 @@ def build_parser() -> argparse.ArgumentParser:
     report_p.add_argument(
         "--top", type=int, default=10,
         help="rows per ranking (hot lines, nodes)",
+    )
+
+    explain_p = sub.add_parser(
+        "explain",
+        help="attribute every communication miss to a provenance class",
+        description=(
+            "Run one cell with spans + metrics (or analyze a saved "
+            "trace with --trace), reconstruct per-line coherence "
+            "lifetimes, attribute every communication miss to a "
+            "temporal-silence provenance class, account every "
+            "validate's fate, and reconcile the trace totals exactly "
+            "against the metrics registry.  Live runs exit 1 on a "
+            "reconciliation mismatch or <95%% attribution."
+        ),
+    )
+    explain_p.add_argument(
+        "benchmark", nargs="?", default=None,
+        choices=sorted(BENCHMARKS) + sorted(EXTRA_BENCHMARKS),
+        help="benchmark to run (omit when using --trace)",
+    )
+    explain_p.add_argument("--technique", default="emesti")
+    explain_p.add_argument("--scale", type=float, default=0.5)
+    explain_p.add_argument("--seed", type=int, default=1)
+    explain_p.add_argument("--procs", type=int, default=4)
+    explain_p.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="analyze this saved trace instead of running (no "
+             "metrics reconciliation offline)",
+    )
+    explain_p.add_argument(
+        "--save-trace", metavar="PATH", default=None,
+        help="also write the run's raw event trace (jsonl) to PATH",
+    )
+    explain_p.add_argument(
+        "--trace-ring", metavar="N", type=int, default=None,
+        help="bound the in-memory event buffer to the last N events",
+    )
+    explain_p.add_argument(
+        "--line", metavar="ADDR", default=None,
+        help="drill into one line's event chain (hex, e.g. 0x10080)",
+    )
+    explain_p.add_argument(
+        "--top", type=int, default=10,
+        help="rows in the offender-line table",
+    )
+    explain_p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="json emits the full report + reconciliation for CI",
     )
 
     exp_p = sub.add_parser("experiment", help="regenerate a table/figure")
@@ -457,7 +605,7 @@ def build_parser() -> argparse.ArgumentParser:
         "lint",
         help="static determinism/protocol analysis (simlint)",
         description=(
-            "Run the simlint AST rules (SL001-SL007) over the repro "
+            "Run the simlint AST rules (SL001-SL008) over the repro "
             "sources and the static protocol-table audit (SL101-SL104) "
             "over the MESI/MOESI/MESTI/E-MESTI tables.  Exit 0 when "
             "clean (after baseline suppression), 1 on new findings, "
@@ -483,7 +631,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint_p.add_argument(
         "--update-baseline", action="store_true",
-        help="write the current findings to the baseline file and exit 0",
+        help="write the current findings to the baseline file "
+             "(requires --justification when there are findings)",
+    )
+    lint_p.add_argument(
+        "--justification", metavar="TEXT", default=None,
+        help="one-line justification recorded on every baselined "
+             "finding; --update-baseline without it exits non-zero",
     )
     lint_p.add_argument(
         "--no-audit", action="store_true",
@@ -517,6 +671,7 @@ def main(argv: list[str] | None = None) -> int:
         "list": cmd_list,
         "run": cmd_run,
         "report": cmd_report,
+        "explain": cmd_explain,
         "experiment": cmd_experiment,
         "bench": cmd_bench,
         "check": cmd_check,

@@ -146,8 +146,10 @@ class SnoopBus:
             self._txn_cancelled.inc()
             self.tracer.emit(
                 "bus.cancel", node=txn.requester, base=txn.base,
-                txn=txn.kind.value,
+                txn=txn.kind.value, span=txn.span,
             )
+            self.tracer.span_end(txn.span, node=txn.requester, base=txn.base,
+                                 cancelled=True)
             return
         self._txn_counters[txn.kind].inc()
         self._txn_total.inc()
@@ -180,7 +182,7 @@ class SnoopBus:
         self.tracer.emit(
             "bus.grant", node=txn.requester, base=txn.base,
             txn=txn.kind.value, shared=result.shared,
-            owner=result.dirty_owner,
+            owner=result.dirty_owner, span=txn.span,
         )
 
         for client in remotes:
@@ -192,6 +194,10 @@ class SnoopBus:
         requester.on_grant(txn, data)
 
         done = now + self._completion_delay(txn)
+        self.tracer.span_end(
+            txn.span, node=txn.requester, base=txn.base,
+            shared=result.shared, owner=result.dirty_owner, done=done,
+        )
         if on_complete is not None:
             self.scheduler.at(done, lambda: on_complete(txn, data))
 

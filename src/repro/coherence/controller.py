@@ -74,6 +74,9 @@ class CoherenceController:
         # Validate-to-reuse distance: cycle of the last revalidation of
         # each line, consumed at the node's next local touch of it.
         self._revalidated_at: dict[int, int] = {}
+        # Intermediate-value distance per diverged line (traced runs
+        # only; stays empty — and free — under NULL_TRACER).
+        self._ivd: dict[int, int] = {}
         self._reuse_hist = metrics.bind_histogram(
             stats.histogram("validate_reuse_distance"),
             "repro_validate_reuse_distance",
@@ -147,16 +150,23 @@ class CoherenceController:
         base: int,
         on_done: Callable[[BusTransaction, list[int] | None], None],
         on_granted: Callable[[], None] | None = None,
+        parent: int | None = None,
     ) -> None:
         """Issue a Read/ReadX/Upgrade.
 
         The state change installs at the atomic grant; ``on_granted``
         (if given) then fires synchronously — store paths apply their
         writes there.  ``on_done`` fires at the timing-model completion
-        (address latency, or data delivery for Read/ReadX).
+        (address latency, or data delivery for Read/ReadX).  ``parent``
+        links the transaction's trace span under a causing span (e.g.
+        the MSHR miss span).
         """
         txn = BusTransaction(
             kind=kind, base=base, requester=self.node_id, grant_callback=on_granted
+        )
+        txn.span = self.tracer.span_begin(
+            "txn", node=self.node_id, base=base, parent=parent,
+            txn=kind.value,
         )
         self.bus.request(txn, lambda t, data: self._complete(t, data, on_done))
 
@@ -194,7 +204,7 @@ class CoherenceController:
         self.tracer.emit(
             "cache.transition", node=self.node_id, base=txn.base,
             frm=pre_state.value if pre_state is not None else None,
-            to=line.state.value, via=txn.kind.value,
+            to=line.state.value, via=txn.kind.value, span=txn.span,
         )
         line.data = list(data)
         line.dirty_mask = 0
@@ -245,6 +255,7 @@ class CoherenceController:
         self.tracer.emit(
             "cache.transition", node=self.node_id, base=txn.base,
             frm=line.state.value, to=LineState.M.value, via=txn.kind.value,
+            span=txn.span,
         )
         line.state = LineState.M
         line.dirty_mask = 0
@@ -292,6 +303,10 @@ class CoherenceController:
                 requester=self.node_id,
                 data=list(evicted.data),
             )
+            txn.span = self.tracer.span_begin(
+                "txn", node=self.node_id, base=evicted.base,
+                txn=TxnKind.WRITEBACK.value,
+            )
             self.bus.request(txn)
 
     # ------------------------------------------------------------------
@@ -317,29 +332,47 @@ class CoherenceController:
             return
         if line.data != candidate:
             line.diverged = True
+            # Intermediate-value distance (paper Figure 2): count the
+            # non-reverting stores between divergence and reversion.
+            # Traced runs only — the untraced path keeps the dict empty.
+            if self.tracer is not NULL_TRACER:
+                self._ivd[line.base] = self._ivd.get(line.base, 0) + 1
             return
         if not line.diverged:
             return  # never diverged: not a reversion, nothing to validate
         line.diverged = False
+        ivd = self._ivd.pop(line.base, 0) if self._ivd else 0
         # Counted for every protocol (Table 2 reports temporally silent
         # stores); only T-state protocols can act on the detection.
         self._m_ts_stores.inc()
         if not self.protocol.has_temporal:
             return
-        if self.policy.should_validate(line):
-            self._broadcast_validate(line)
+        # The validate episode span opens at the TS detect, before the
+        # policy decision, so the predictor's decide event is tagged
+        # with it; it closes at suppression here, or at the VALIDATE
+        # transaction's grant/cancel on the interconnect.
+        span = self.tracer.span_begin(
+            "validate", node=self.node_id, base=line.base, ivd=ivd,
+        )
+        if self.policy.should_validate(line, span=span):
+            self._broadcast_validate(line, span=span, ivd=ivd)
         else:
             self._m_validates_suppressed.inc()
             self.tracer.emit(
-                "validate.suppressed", node=self.node_id, base=line.base
+                "validate.suppressed", node=self.node_id, base=line.base,
+                span=span, ivd=ivd,
             )
+            self.tracer.span_end(span, node=self.node_id, base=line.base,
+                                 outcome="suppressed")
 
     def _ts_candidate(self, line: CacheLine) -> list[int] | None:
         if self.stale_detector is not None:
             return self.stale_detector.candidate(line.base)
         return line.visible
 
-    def _broadcast_validate(self, line: CacheLine) -> None:
+    def _broadcast_validate(
+        self, line: CacheLine, span: int | None = None, ivd: int = 0
+    ) -> None:
         line.state = self.protocol.post_validate_state()
         line.dirty_mask = 0
         line.visible = list(line.data)
@@ -347,13 +380,14 @@ class CoherenceController:
         if self.protocol.validate_writes_back:
             self.memory.write_line(line.base, line.data)
         txn = BusTransaction(
-            kind=TxnKind.VALIDATE, base=line.base, requester=self.node_id
+            kind=TxnKind.VALIDATE, base=line.base, requester=self.node_id,
+            span=span,
         )
         self.bus.request(txn)
         self._m_validates_broadcast.inc()
         self.tracer.emit(
             "validate.broadcast", node=self.node_id, base=line.base,
-            to=line.state.value,
+            to=line.state.value, span=span, ivd=ivd,
         )
 
     # ------------------------------------------------------------------
@@ -409,7 +443,7 @@ class CoherenceController:
             self.tracer.emit(
                 "cache.transition", node=self.node_id, base=txn.base,
                 frm=pre_state.value, to=line.state.value,
-                via=f"snoop:{txn.kind.value}",
+                via=f"snoop:{txn.kind.value}", span=txn.span,
             )
         self._post_snoop_effects(txn, line, pre_state, supplied)
 
@@ -449,5 +483,5 @@ class CoherenceController:
             self._revalidated_at[base] = self.bus.scheduler.now
             self.tracer.emit(
                 "validate.revalidate", node=self.node_id, base=base,
-                by=txn.requester, to=line.state.value,
+                by=txn.requester, to=line.state.value, span=txn.span,
             )

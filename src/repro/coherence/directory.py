@@ -160,8 +160,10 @@ class DirectoryNetwork:
             self._txn_cancelled.inc()
             self.tracer.emit(
                 "bus.cancel", node=txn.requester, base=txn.base,
-                txn=txn.kind.value,
+                txn=txn.kind.value, span=txn.span,
             )
+            self.tracer.span_end(txn.span, node=txn.requester, base=txn.base,
+                                 cancelled=True)
             return
         self._txn_counters[txn.kind].inc()
         self._txn_total.inc()
@@ -206,7 +208,7 @@ class DirectoryNetwork:
         self.tracer.emit(
             "bus.grant", node=txn.requester, base=txn.base,
             txn=txn.kind.value, shared=result.shared,
-            owner=result.dirty_owner, targets=len(targets),
+            owner=result.dirty_owner, targets=len(targets), span=txn.span,
         )
         for node in targets:
             self._clients[node].snoop_apply(txn)
@@ -214,6 +216,10 @@ class DirectoryNetwork:
         self._update_directory(entry, txn, result)
 
         done = now + self._completion_delay(txn, result)
+        self.tracer.span_end(
+            txn.span, node=txn.requester, base=txn.base,
+            shared=result.shared, owner=result.dirty_owner, done=done,
+        )
         if on_complete is not None:
             self.scheduler.at(done, lambda: on_complete(txn, data))
 

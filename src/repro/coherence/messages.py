@@ -73,6 +73,9 @@ class BusTransaction:
     # store-conditionals resolve exactly as LL/SC does at the
     # coherence point (first grant wins; no completion-window races).
     grant_callback: Optional[Callable[[], None]] = None
+    # Trace span id minted by the issuing controller (None untraced);
+    # the interconnect closes the span at grant or cancel.
+    span: int | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

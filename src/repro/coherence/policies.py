@@ -22,8 +22,12 @@ from repro.obs.tracer import NULL_TRACER
 class ValidatePolicyBase:
     """Decides, per detected temporal silence, whether to validate."""
 
-    def should_validate(self, line: CacheLine) -> bool:
-        """Decide whether this temporal silence broadcasts a validate."""
+    def should_validate(self, line: CacheLine, span: int | None = None) -> bool:
+        """Decide whether this temporal silence broadcasts a validate.
+
+        ``span`` is the validate-episode trace span, threaded through
+        so predictor decisions are attributable to the episode.
+        """
         raise NotImplementedError
 
     # Hooks the controller calls so policies can observe the system.
@@ -47,7 +51,7 @@ class ValidatePolicyBase:
 class AlwaysValidate(ValidatePolicyBase):
     """Broadcast a validate for every detected temporal silence."""
 
-    def should_validate(self, line: CacheLine) -> bool:
+    def should_validate(self, line: CacheLine, span: int | None = None) -> bool:
         """Decide whether this temporal silence broadcasts a validate."""
         return True
 
@@ -61,7 +65,7 @@ class SnoopAwareValidate(ValidatePolicyBase):
     provably useless and is aborted.  No opportunity is sacrificed.
     """
 
-    def should_validate(self, line: CacheLine) -> bool:
+    def should_validate(self, line: CacheLine, span: int | None = None) -> bool:
         """Decide whether this temporal silence broadcasts a validate."""
         return not line.validate_suppressed
 
@@ -85,9 +89,9 @@ class PredictorValidate(ValidatePolicyBase):
             config, stats, tracer=tracer, node_id=node_id, metrics=metrics
         )
 
-    def should_validate(self, line: CacheLine) -> bool:
+    def should_validate(self, line: CacheLine, span: int | None = None) -> bool:
         """Decide whether this temporal silence broadcasts a validate."""
-        return self.predictor.on_ts_detect(line)
+        return self.predictor.on_ts_detect(line, span=span)
 
     def on_line_filled(self, line: CacheLine) -> None:
         """Initialize per-line predictor state on a fresh fill."""

@@ -93,11 +93,12 @@ class UsefulValidatePredictor:
         line.pred_state = PRED_START
         line.pred_conf = self.config.initial_confidence
 
-    def on_ts_detect(self, line: CacheLine) -> bool:
+    def on_ts_detect(self, line: CacheLine, span: int | None = None) -> bool:
         """Temporal silence detected: return True to broadcast a validate.
 
         This is the (*) transition in Figure 4: the confidence counter
         is read, and the machine moves to ``TS Detected`` either way.
+        ``span`` tags the decision with its validate-episode span.
         """
         line.pred_state = PRED_TS_DETECTED
         send = line.pred_conf >= self.config.threshold
@@ -105,7 +106,7 @@ class UsefulValidatePredictor:
         (self._m_send if send else self._m_suppress).inc()
         self._tracer.emit(
             "predictor.decide", node=self._node_id, base=line.base,
-            conf=line.pred_conf, send=send,
+            conf=line.pred_conf, send=send, span=span,
         )
         return send
 

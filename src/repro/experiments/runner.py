@@ -39,6 +39,8 @@ from typing import Callable, Iterable
 
 from repro.common.config import MachineConfig, scaled_config
 from repro.obs.progress import CellUpdate, MatrixProgress, RunManifest
+from repro.obs.provenance import analyze_events
+from repro.obs.tracer import Tracer
 from repro.system.system import RunResult, System
 from repro.system.techniques import configure_technique
 from repro.workloads.registry import BENCHMARKS, get_benchmark
@@ -187,20 +189,33 @@ def config_fingerprint(config: MachineConfig, jitter: int = DEFAULT_JITTER) -> s
 
 
 def run_cell(
-    config: MachineConfig, benchmark: str, scale: float, seed: int
+    config: MachineConfig,
+    benchmark: str,
+    scale: float,
+    seed: int,
+    provenance: bool = False,
 ) -> RunSummary:
     """Run one fully-configured cell and summarize it.
 
     Module-level so a :class:`ProcessPoolExecutor` can pickle it; the
     serial path uses the same function, which is what makes the
     serial-vs-worker determinism contract enforceable by test.
+
+    ``provenance`` traces the run in memory and attaches the miss-
+    provenance cell summary (attribution classes, validate fate, span
+    health) under ``summary["provenance"]``.  Spans add no scheduler
+    events, so every other summary field is identical to an untraced
+    run — cached and traced results stay comparable.
     """
     workload = get_benchmark(benchmark, scale=scale)
     start = time.perf_counter()
-    result = System(config, workload, seed=seed).run(
+    tracer = Tracer() if provenance else None
+    result = System(config, workload, seed=seed, tracer=tracer).run(
         max_cycles=500_000_000, max_events=300_000_000
     )
     summary = summarize(result, time.perf_counter() - start)
+    if tracer is not None:
+        summary["provenance"] = analyze_events(tracer.events).cell_summary()
     # Provenance over the result pipe: which process produced this
     # summary.  Host-dependent, hence in NONDETERMINISTIC_FIELDS.
     summary["worker"] = os.getpid()
@@ -320,6 +335,7 @@ class MatrixRunner:
         verbose: bool = True,
         workers: int | None = None,
         cell_timeout: float | None = DEFAULT_CELL_TIMEOUT,
+        provenance: bool = False,
     ):
         self.base_config = config or scaled_config()
         self.scale = scale
@@ -328,6 +344,9 @@ class MatrixRunner:
         self.verbose = verbose
         self.workers = workers
         self.cell_timeout = cell_timeout
+        # Trace every executed cell and attach its miss-provenance
+        # summary (cached cells keep whatever they were cached with).
+        self.provenance = provenance
         self.fingerprint = config_fingerprint(self.base_config)
         self._cache: dict[str, RunSummary] = {}
         self._cache_path = self.results_dir / f"{label}_scale{scale}.json"
@@ -429,7 +448,10 @@ class MatrixRunner:
         key = self.key(benchmark, technique, seed)
         if not force and key in self._cache:
             return self._cache[key]
-        summary = run_cell(self.cell_config(technique), benchmark, self.scale, seed)
+        summary = run_cell(
+            self.cell_config(technique), benchmark, self.scale, seed,
+            self.provenance,
+        )
         self._record(benchmark, technique, seed, summary)
         return summary
 
@@ -505,6 +527,7 @@ class MatrixRunner:
                 worker=summary.get("worker"),
                 retries=int(summary.get("retries", 0)),
                 wall_seconds=summary.get("wall_seconds"),
+                provenance=summary.get("provenance"),
             )
         return manifest
 
@@ -533,7 +556,8 @@ class MatrixRunner:
         if not pending:
             return
         jobs = [
-            (self.cell_config(technique), benchmark, self.scale, seed)
+            (self.cell_config(technique), benchmark, self.scale, seed,
+             self.provenance)
             for benchmark, technique, seed in pending
         ]
         log.log(

@@ -31,6 +31,11 @@ from pathlib import Path
 from repro.common.errors import ConfigError
 from repro.lint.engine import Finding
 
+#: The justification written by ``--update-baseline`` when none was
+#: given.  :meth:`Baseline.load` refuses entries still carrying it, so
+#: an un-filled-in baseline cannot silently pass a gate.
+PLACEHOLDER_JUSTIFICATION = "TODO: justify"
+
 
 class Baseline:
     """A set of justified suppressions, loaded from / saved to JSON."""
@@ -63,10 +68,19 @@ class Baseline:
             raise ConfigError(f"baseline {path}: expected a version-1 document")
         entries = doc.get("entries", {})
         for fp, entry in entries.items():
-            if not str(entry.get("justification", "")).strip():
+            justification = str(entry.get("justification", "")).strip()
+            if not justification:
                 raise ConfigError(
                     f"baseline {path}: entry {fp} ({entry.get('rule')}, "
                     f"{entry.get('path')}) has no justification"
+                )
+            if justification == PLACEHOLDER_JUSTIFICATION:
+                raise ConfigError(
+                    f"baseline {path}: entry {fp} ({entry.get('rule')}, "
+                    f"{entry.get('path')}) still has the "
+                    f"{PLACEHOLDER_JUSTIFICATION!r} placeholder; write a "
+                    f"real justification (or re-run --update-baseline "
+                    f"with --justification)"
                 )
         return cls(entries)
 
@@ -97,7 +111,9 @@ class Baseline:
 
     @classmethod
     def from_findings(
-        cls, findings: list[Finding], justification: str = "TODO: justify"
+        cls,
+        findings: list[Finding],
+        justification: str = PLACEHOLDER_JUSTIFICATION,
     ) -> "Baseline":
         """Build a baseline covering ``findings`` (for --update-baseline)."""
         entries = {

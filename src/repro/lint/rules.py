@@ -1,4 +1,4 @@
-"""simlint AST rules SL001–SL007.
+"""simlint AST rules SL001–SL008.
 
 Each rule is a small, self-contained AST analysis.  They are
 deliberately *heuristic* — a lint pass earns its keep by being cheap
@@ -657,6 +657,79 @@ class MetricsRegistryRule(Rule):
         return iter(())
 
 
+# ---------------------------------------------------------------------------
+# SL008 — span discipline
+# ---------------------------------------------------------------------------
+
+#: Directories where span instrumentation must keep begin/end paired.
+SPAN_SCOPE = ("coherence/", "lvp/", "sle/")
+
+
+class SpanDisciplineRule(Rule):
+    """SL008: span_begin without a kept id or a reachable span_end."""
+
+    id = "SL008"
+    title = "span begin/end discipline broken"
+    rationale = (
+        "Every tracer span must be closable: span_begin returns the id "
+        "that span_end needs, so discarding it orphans the span (it "
+        "shows open forever in the provenance report and Chrome "
+        "export).  A module that only ever opens spans has the same "
+        "problem unless its spans are closed elsewhere by design — use "
+        "the tracer.span(...) context-manager helper, keep the id on "
+        "the object that ends it, or baseline with a justification."
+    )
+
+    def check_module(self, module: ModuleSource, ctx: LintContext) -> Iterator[Finding]:
+        """Flag discarded span ids and begin-only modules in scope."""
+        if not module.rel.startswith(SPAN_SCOPE):
+            return
+        attach_parents(module.tree)
+        begins: list[ast.Call] = []
+        has_end = False
+        has_ctx_helper = False
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = self._span_call(node)
+                if name == "span_begin":
+                    begins.append(node)
+                elif name == "span_end":
+                    has_end = True
+                elif name == "span" and isinstance(
+                    parent_of(node), ast.withitem
+                ):
+                    has_ctx_helper = True
+        for call in begins:
+            if isinstance(parent_of(call), ast.Expr):
+                yield _finding(
+                    self, module, call,
+                    "span_begin's span id is discarded; nothing can "
+                    "span_end this span — keep the id (or use the "
+                    "tracer.span(...) context manager)",
+                )
+        if begins and not has_end and not has_ctx_helper:
+            yield _finding(
+                self, module, begins[0],
+                "module opens spans (span_begin) but never closes one "
+                "(no span_end, no `with ...span(...)`); spans must be "
+                "closable in the layer that owns their lifetime",
+            )
+
+    @staticmethod
+    def _span_call(call: ast.Call) -> str | None:
+        """The span-API method name when ``call`` is ``<x>.span*(...)``."""
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "span_begin", "span_end", "span",
+        ):
+            return func.attr
+        return None
+
+    def check_tree(self) -> Iterator[Finding]:
+        """No whole-tree component."""
+        return iter(())
+
+
 #: AST rule classes in id order (the engine instantiates these).
 AST_RULES = (
     NondeterminismRule,
@@ -666,4 +739,5 @@ AST_RULES = (
     HandlerDisciplineRule,
     TracerGuardRule,
     MetricsRegistryRule,
+    SpanDisciplineRule,
 )

@@ -83,13 +83,14 @@ class LVPUnit:
             self._tracer.emit(
                 "lvp.squash", node=self._node_id, base=entry.base,
                 deliveries=len(live), mismatched=len(mismatched),
+                span=entry.span,
             )
             core.lvp_mispredict(oldest.consumer)
         else:
             self._m_verified.inc(len(live))
             self._tracer.emit(
                 "lvp.verify", node=self._node_id, base=entry.base,
-                deliveries=len(live),
+                deliveries=len(live), span=entry.span,
             )
             for delivery in live:
                 core.lvp_verified(delivery.consumer)

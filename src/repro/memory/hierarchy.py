@@ -124,7 +124,7 @@ class NodeMemory:
                 self._m_lvp_predictions.inc()
                 self.tracer.emit(
                     "lvp.predict", node=self.node_id, base=base,
-                    word=widx, value=spec_value,
+                    word=widx, value=spec_value, span=entry.span,
                 )
                 return ("spec", self.config.l1.latency + self.config.l2.latency,
                         spec_value)
@@ -138,7 +138,7 @@ class NodeMemory:
             return ("hit", latency, line.data[widx])
 
         self.stats.add("l2.load_misses")
-        self._classify_miss(base, widx)
+        cls = self._classify_miss(base, widx)
         if reserve:
             # The reservation arms at request time and is broken by any
             # invalidating grant that serializes before the stcx's own
@@ -150,12 +150,15 @@ class NodeMemory:
             is_store=False,
             waiter=self._load_waiter(winop, base, widx, reserve, spec_value),
             spec=(widx, spec_value, winop) if spec_value is not None else None,
+            cls=cls,
         )
         if spec_value is not None:
             self._m_lvp_predictions.inc()
+            entry = self.mshrs.get(base)
             self.tracer.emit(
                 "lvp.predict", node=self.node_id, base=base,
                 word=widx, value=spec_value,
+                span=entry.span if entry is not None else None,
             )
             latency = self.config.l1.latency + self.config.l2.latency
             return ("spec", latency, spec_value)
@@ -229,12 +232,13 @@ class NodeMemory:
 
         # Miss (I / T / absent): ReadX, then write at the grant.
         self.stats.add("l2.store_misses")
-        self._classify_miss(base, widx)
+        cls = self._classify_miss(base, widx)
         self._miss(
             base,
             is_store=True,
             waiter=lambda data: on_done(),
             on_granted=lambda: self._grant_write(base, widx, value),
+            cls=cls,
         )
         return None
 
@@ -464,7 +468,10 @@ class NodeMemory:
     # Miss handling
     # ------------------------------------------------------------------
 
-    def _miss(self, base: int, is_store: bool, waiter, spec=None, on_granted=None) -> None:
+    def _miss(
+        self, base: int, is_store: bool, waiter, spec=None, on_granted=None,
+        cls=None,
+    ) -> None:
         entry = self.mshrs.get(base)
         if entry is not None:
             if on_granted is not None:
@@ -473,7 +480,9 @@ class NodeMemory:
                 # (can happen when a deferred store drains behind a
                 # racing load miss).
                 entry.add_waiter(
-                    lambda data: self._miss(base, is_store, waiter, spec, on_granted)
+                    lambda data: self._miss(
+                        base, is_store, waiter, spec, on_granted, cls
+                    )
                 )
                 return
             entry.add_waiter(waiter)
@@ -483,10 +492,14 @@ class NodeMemory:
         if self.mshrs.full:
             self.stats.add("mshr.stalls")
             self._deferred.append(
-                lambda: self._miss(base, is_store, waiter, spec, on_granted)
+                lambda: self._miss(base, is_store, waiter, spec, on_granted, cls)
             )
             return
         entry = self.mshrs.allocate(base, self.scheduler.now, is_store=is_store)
+        entry.cls = cls
+        entry.span = self.tracer.span_begin(
+            "miss", node=self.node_id, base=base, store=is_store, cls=cls,
+        )
         entry.add_waiter(waiter)
         if spec is not None:
             entry.record_speculation(spec[0], spec[1], spec[2])
@@ -498,7 +511,8 @@ class NodeMemory:
                 on_granted()
 
         self.ctrl.issue(
-            kind, base, lambda txn, data: self._fill(base, data), on_granted=granted
+            kind, base, lambda txn, data: self._fill(base, data),
+            on_granted=granted, parent=entry.span,
         )
 
     def _fill(self, base: int, data: list[int] | None) -> None:
@@ -506,12 +520,16 @@ class NodeMemory:
         entry = self.mshrs.release(base)
         latency = self.scheduler.now - entry.issued_at
         self._miss_hist.record(latency)
+        cause = None
+        if self.classifier is not None:
+            cause = self.classifier.on_fill(self.node_id, base, data)
         self.tracer.emit(
             "mem.miss", node=self.node_id, base=base,
             ts=entry.issued_at, dur=latency, store=entry.is_store,
+            cls=entry.cls, cause=cause, span=entry.span,
         )
-        if self.classifier is not None:
-            self.classifier.on_fill(self.node_id, base, data)
+        self.tracer.span_end(entry.span, node=self.node_id, base=base,
+                             cause=cause)
         line = self.ctrl.lookup(base)
         if line is not None:
             self._fill_l1(base, line, dirty=False)
@@ -556,9 +574,10 @@ class NodeMemory:
             l1_line.state = LineState.M
         self.l1.touch(l1_line)
 
-    def _classify_miss(self, base: int, widx: int) -> None:
+    def _classify_miss(self, base: int, widx: int) -> str | None:
         if self.classifier is not None:
-            self.classifier.on_miss(self.node_id, base, widx)
+            return self.classifier.on_miss(self.node_id, base, widx)
+        return None
 
     # ------------------------------------------------------------------
     # Controller notifications

@@ -39,6 +39,11 @@ class MSHREntry:
     # the grant, when the line has since been invalidated, would pair a
     # fresh reservation with a pre-invalidation value and break LL/SC.
     granted: bool = False
+    # Trace span id covering the MSHR lifetime (None untraced), and the
+    # miss class determined at request time ("cold"/"capacity"/"comm"),
+    # attached to the mem.miss event and span at fill.
+    span: int | None = None
+    cls: str | None = None
 
     def add_waiter(self, callback: Callable[[list[int]], None]) -> None:
         """Register a completion callback fired with the line data."""

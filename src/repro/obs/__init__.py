@@ -19,6 +19,13 @@
 * :func:`~repro.obs.report.load_trace` /
   :func:`~repro.obs.report.summarize_trace` — load (tolerantly) and
   summarize a trace file (the ``repro-sim report`` command).
+* :func:`~repro.obs.spans.collect_spans` — fold a trace's
+  ``span.begin`` / ``span.end`` events back into causal
+  :class:`~repro.obs.spans.SpanRecord` chains.
+* :func:`~repro.obs.provenance.analyze_events` — attribute every
+  communication miss to a temporal-silence provenance class and
+  reconcile the totals against the metrics registry (the
+  ``repro-sim explain`` command).
 """
 
 from repro.obs.metrics import (
@@ -36,6 +43,12 @@ from repro.obs.regress import (
     load_report,
     render_comparison,
 )
+from repro.obs.provenance import (
+    ProvenanceReport,
+    analyze_events,
+    reconcile,
+    render_provenance,
+)
 from repro.obs.report import (
     TraceLoad,
     load_trace,
@@ -43,6 +56,7 @@ from repro.obs.report import (
     render_report,
     summarize_trace,
 )
+from repro.obs.spans import SpanRecord, SpanStream, collect_spans
 from repro.obs.tracer import (
     EVENT_KINDS,
     NULL_TRACER,
@@ -71,6 +85,13 @@ __all__ = [
     "render_comparison",
     "SimProfiler",
     "Heartbeat",
+    "SpanRecord",
+    "SpanStream",
+    "collect_spans",
+    "ProvenanceReport",
+    "analyze_events",
+    "reconcile",
+    "render_provenance",
     "TraceLoad",
     "load_trace",
     "read_trace",

@@ -150,8 +150,15 @@ class RunManifest:
         worker: int | None = None,
         retries: int = 0,
         wall_seconds: float | None = None,
+        provenance: dict | None = None,
     ) -> None:
-        """Record one cell's provenance (``status``: cached / ran)."""
+        """Record one cell's provenance (``status``: cached / ran).
+
+        ``provenance`` is the optional miss-provenance summary from a
+        traced sweep (:meth:`repro.obs.provenance.ProvenanceReport.
+        cell_summary`); the key is only written when present, so
+        manifests from untraced sweeps are byte-identical to before.
+        """
         if status not in ("cached", "ran"):
             raise ValueError(f"unknown manifest status {status!r}")
         self.cells[key] = {
@@ -160,6 +167,8 @@ class RunManifest:
             "retries": retries,
             "wall_seconds": wall_seconds,
         }
+        if provenance is not None:
+            self.cells[key]["provenance"] = provenance
 
     @property
     def ran(self) -> int:

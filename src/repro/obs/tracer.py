@@ -18,16 +18,29 @@ Disabled-by-default with zero cost: components hold a tracer reference
 that defaults to :data:`NULL_TRACER`, a dedicated no-op object that
 shares no code with :class:`Tracer` — there is no ``if enabled`` branch
 or filtering logic on the default path, only an empty method.
+
+Beyond point events, the tracer carries *spans*: begin/end pairs with
+parent links that bound causal episodes (a miss's MSHR lifetime, a bus
+transaction, a validate episode, an SLE region).  Span ids are minted
+by :meth:`Tracer.span_begin` from a monotonic counter, so they are
+deterministic across runs; :mod:`repro.obs.spans` reconstructs them
+and :mod:`repro.obs.provenance` builds miss/validate attributions on
+top.  A tracer is also a context manager with an ``atexit`` safety
+net: attach a sink path and a crashed or interrupted run still writes
+the partial buffer instead of losing it.
 """
 
 from __future__ import annotations
 
+import atexit
 import json
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.common.errors import ConfigError
+from repro.obs.spans import chrome_span_records, collect_spans, spans_to_jsonl
 
 #: The closed event taxonomy.  Dotted prefixes group families.
 EVENT_KINDS = frozenset(
@@ -55,6 +68,9 @@ EVENT_KINDS = frozenset(
         "sle.fallback",       # non-retried abort: fallback acquisition
         # Memory hierarchy timing.
         "mem.miss",           # one line miss, emitted at fill with dur
+        # Causal spans (see repro.obs.spans).
+        "span.begin",         # span opened: id, name, optional parent
+        "span.end",           # span closed: id, outcome fields
     }
 )
 
@@ -149,11 +165,28 @@ class TraceFilter:
         )
 
 
+class _NullSpan:
+    """No-op span context manager returned by ``_NullTracer.span``."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        """Enter the no-op span; there is no span id."""
+        return None
+
+    def __exit__(self, exc_type, exc, tb):
+        """Leave the no-op span without suppressing exceptions."""
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
 class _NullTracer:
     """The do-nothing tracer installed by default.
 
     Deliberately *not* a :class:`Tracer` subclass: the default
-    (untraced) simulation path reaches only this empty method and
+    (untraced) simulation path reaches only these empty methods and
     shares none of the real tracer's filtering or buffering code.
     """
 
@@ -161,6 +194,18 @@ class _NullTracer:
 
     def emit(self, kind, node=None, base=None, ts=None, **fields):
         """Discard the event."""
+
+    def span_begin(self, name, node=None, base=None, parent=None, ts=None,
+                   **fields):
+        """Discard the span; the null span id is None."""
+        return None
+
+    def span_end(self, span, node=None, base=None, ts=None, **fields):
+        """Discard the span end."""
+
+    def span(self, name, node=None, base=None, parent=None, **fields):
+        """Return the shared no-op span context manager."""
+        return _NULL_SPAN
 
 
 #: Shared process-wide no-op tracer; components default to this.
@@ -174,6 +219,11 @@ class Tracer:
     :meth:`bind_clock` — :class:`repro.system.system.System` does this
     automatically).  ``ring`` bounds the buffer to the most recent N
     events (long-run flight-recorder mode); unbounded otherwise.
+
+    ``path``/``format`` attach a *sink*: the trace is written there by
+    :meth:`close` (or the context-manager exit), and — crash safety —
+    by an ``atexit`` hook if the process dies with the tracer still
+    open, so an interrupted run keeps its partial trace.
     """
 
     def __init__(
@@ -181,6 +231,8 @@ class Tracer:
         clock: Callable[[], int] | None = None,
         filter: TraceFilter | None = None,
         ring: int | None = None,
+        path=None,
+        format: str = "jsonl",
     ):
         if ring is not None and ring <= 0:
             raise ConfigError(f"trace ring size must be positive, got {ring}")
@@ -190,6 +242,12 @@ class Tracer:
         self._events: deque[TraceEvent] | list[TraceEvent]
         self._events = deque(maxlen=ring) if ring else []
         self.dropped = 0  # events rejected by the filter
+        self._span_seq = 0
+        self._sink_path = None
+        self._sink_format = "jsonl"
+        self._atexit_registered = False
+        if path is not None:
+            self.attach_sink(path, format)
 
     def bind_clock(self, scheduler) -> None:
         """Read timestamps from ``scheduler.now`` from now on."""
@@ -218,6 +276,113 @@ class Tracer:
             )
         )
 
+    # -- spans -----------------------------------------------------------
+
+    def span_begin(
+        self,
+        name: str,
+        node: int | None = None,
+        base: int | None = None,
+        parent: int | None = None,
+        ts: int | None = None,
+        **fields: Any,
+    ) -> int:
+        """Open a span; returns its id (thread it to :meth:`span_end`).
+
+        Ids come from a per-tracer monotonic counter, so they are
+        deterministic and double as creation order.  ``parent`` links
+        this span under another, forming the causal tree.
+        """
+        self._span_seq += 1
+        sid = self._span_seq
+        if parent is not None:
+            fields["parent"] = parent
+        self.emit("span.begin", node=node, base=base, ts=ts, span=sid,
+                  name=name, **fields)
+        return sid
+
+    def span_end(
+        self,
+        span: int | None,
+        node: int | None = None,
+        base: int | None = None,
+        ts: int | None = None,
+        **fields: Any,
+    ) -> None:
+        """Close a span; ``None`` (the null span id) is ignored, so
+        call sites never branch on whether tracing is enabled."""
+        if span is None:
+            return
+        self.emit("span.end", node=node, base=base, ts=ts, span=span, **fields)
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        node: int | None = None,
+        base: int | None = None,
+        parent: int | None = None,
+        **fields: Any,
+    ):
+        """Context manager bounding a span; yields the span id."""
+        sid = self.span_begin(name, node=node, base=base, parent=parent,
+                              **fields)
+        try:
+            yield sid
+        finally:
+            self.span_end(sid, node=node, base=base)
+
+    @property
+    def spans_truncated(self) -> int:
+        """Span ends whose begin was evicted from the ring buffer.
+
+        Computed on demand from the buffer (no hot-path bookkeeping);
+        non-zero means the span set is incomplete and downstream
+        analysis should treat per-span data as a sample.
+        """
+        return collect_spans(self._events).truncated
+
+    # -- crash safety ----------------------------------------------------
+
+    def attach_sink(self, path, format: str = "jsonl") -> None:
+        """Write the trace to ``path`` at close/exit (flush-on-crash).
+
+        Registers an ``atexit`` hook so the buffer survives an
+        unhandled exception or interrupt; :meth:`close` (or leaving
+        the ``with`` block) writes the file and unregisters the hook.
+        """
+        if format not in ("jsonl", "chrome", "spans"):
+            raise ConfigError(f"unknown trace format {format!r}")
+        self._sink_path = path
+        self._sink_format = format
+        if not self._atexit_registered:
+            atexit.register(self._atexit_flush)
+            self._atexit_registered = True
+
+    def _atexit_flush(self) -> None:
+        """Best-effort sink write at interpreter exit (never raises)."""
+        if self._sink_path is None:
+            return
+        try:
+            self.save(self._sink_path, format=self._sink_format)
+        except Exception:  # noqa: BLE001 - crash path must not mask exit
+            pass
+
+    def close(self) -> None:
+        """Write the attached sink (if any) and drop the atexit hook."""
+        if self._atexit_registered:
+            atexit.unregister(self._atexit_flush)
+            self._atexit_registered = False
+        if self._sink_path is not None:
+            self.save(self._sink_path, format=self._sink_format)
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
     @property
     def events(self) -> list[TraceEvent]:
         """The buffered events, oldest first."""
@@ -240,11 +405,28 @@ class Tracer:
 
         One ``tid`` track per node; events carrying a ``dur`` field
         become complete (``X``) duration events, the rest instants.
-        Events are sorted by timestamp so viewers see a monotone
-        timeline even when duration events were stamped retroactively.
+        ``span.begin``/``span.end`` become async (``b``/``e``) events
+        keyed by span id, and parent links become flow (``s``/``f``)
+        arrows from the parent's begin to the child's begin.  Events
+        are sorted by timestamp so viewers see a monotone timeline
+        even when duration events were stamped retroactively.
         """
+        events = sorted(self._events, key=lambda e: e.ts)
+        # Prescan: span id -> (name, begin ts, tid) so end events can
+        # carry the span's name and flow arrows can anchor on parents.
+        begun: dict[int, tuple[str, int, int]] = {}
+        for e in events:
+            if e.kind == "span.begin":
+                begun[e.fields.get("span")] = (
+                    e.fields.get("name", "span"),
+                    e.ts,
+                    e.node if e.node is not None else -1,
+                )
         trace_events = []
-        for e in sorted(self._events, key=lambda e: e.ts):
+        for e in events:
+            if e.kind in ("span.begin", "span.end"):
+                trace_events.extend(chrome_span_records(e, begun))
+                continue
             args = dict(e.fields)
             if e.base is not None:
                 args["base"] = f"{e.base:#x}"
@@ -267,15 +449,26 @@ class Tracer:
         return {
             "traceEvents": trace_events,
             "displayTimeUnit": "ns",
-            "metadata": {"clock": "cycles"},
+            "metadata": {
+                "clock": "cycles",
+                "spans_truncated": self.spans_truncated,
+            },
         }
 
+    def to_spans(self) -> str:
+        """Span-JSONL: one object per reconstructed span, plus a meta
+        trailer with ``count``/``open``/``truncated`` health fields."""
+        return spans_to_jsonl(self._events)
+
     def save(self, path, format: str = "jsonl") -> None:
-        """Write the trace to ``path`` as ``jsonl`` or ``chrome``."""
+        """Write the trace to ``path`` as ``jsonl``, ``chrome`` or
+        ``spans``."""
         if format == "jsonl":
             text = self.to_jsonl() + "\n"
         elif format == "chrome":
             text = json.dumps(self.to_chrome(), indent=1)
+        elif format == "spans":
+            text = self.to_spans()
         else:
             raise ConfigError(f"unknown trace format {format!r}")
         with open(path, "w") as fh:

@@ -142,6 +142,9 @@ class SLEEngine:
         self._commit_token: object | None = None
         self._pending_stores: list = []  # checkpoint-mode abort replay
         self._reexec_charge = 0
+        # Trace span covering the current elision region (None when
+        # idle/untraced); stays open across conflict retries.
+        self._span: int | None = None
         core.sle_engine = self
         node.sle_engine = self
 
@@ -258,9 +261,13 @@ class SLEEngine:
         self.restarts = 0
         self._reset_region()
         self._m_attempts.inc()
+        self._span = self.tracer.span_begin(
+            "sle.region", node=self.core.core_id, base=self.lock_base,
+            pc=self.stcx_pc,
+        )
         self.tracer.emit(
             "sle.attempt", node=self.core.core_id, base=self.lock_base,
-            pc=self.stcx_pc,
+            pc=self.stcx_pc, span=self._span,
         )
 
     def _reset_region(self) -> None:
@@ -324,8 +331,13 @@ class SLEEngine:
         self.stats.add("elided_region_ops", len(self.region_ops))
         self.tracer.emit(
             "sle.commit", node=self.core.core_id, base=self.lock_base,
-            ops=len(self.region_ops),
+            ops=len(self.region_ops), span=self._span,
         )
+        self.tracer.span_end(
+            self._span, node=self.core.core_id, base=self.lock_base,
+            outcome="commit", ops=len(self.region_ops),
+        )
+        self._span = None
         ops = self.region_ops
         self._leave()
         self.core.release_region_ops(ops)
@@ -384,7 +396,7 @@ class SLEEngine:
         self._m_aborts[reason].inc()
         self.tracer.emit(
             "sle.abort", node=self.core.core_id, base=self.lock_base,
-            reason=reason, restarts=self.restarts,
+            reason=reason, restarts=self.restarts, span=self._span,
         )
         self.confidence.on_failure(self.stcx_pc, reason)
         checkpoint = self.config.sle.checkpoint_mode
@@ -434,8 +446,14 @@ class SLEEngine:
         self.core.stall_fetch(True)
         self._m_fallbacks.inc()
         self.tracer.emit(
-            "sle.fallback", node=self.core.core_id, base=self.lock_base
+            "sle.fallback", node=self.core.core_id, base=self.lock_base,
+            span=self._span,
         )
+        self.tracer.span_end(
+            self._span, node=self.core.core_id, base=self.lock_base,
+            outcome="fallback", reason=reason,
+        )
+        self._span = None
         self._acquire(fallback, attempt=0)
 
     def _acquire(self, fallback: tuple, attempt: int) -> None:

@@ -80,7 +80,7 @@ class _ScriptedPolicy(ValidatePolicyBase):
             self.unconsumed += 1
         self.next_decision = decision
 
-    def should_validate(self, line) -> bool:
+    def should_validate(self, line, span=None) -> bool:
         """Answer with the armed decision; count unscripted queries."""
         decision = self.next_decision
         self.next_decision = None

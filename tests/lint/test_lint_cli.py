@@ -56,22 +56,56 @@ def test_lint_rule_filter(tmp_path, capsys):
 
 
 def test_lint_update_baseline_round_trip(tmp_path, capsys):
-    """--update-baseline writes suppressions that make the next run clean."""
+    """--update-baseline with --justification makes the next run clean."""
     (tmp_path / "mod.py").write_text(BAD_SOURCE)
     baseline = tmp_path / "baseline.json"
     assert main([
         "lint", str(tmp_path), "--baseline", str(baseline),
         "--update-baseline", "--no-audit",
+        "--justification", "fixture randomness is intentional",
     ]) == 0
     capsys.readouterr()
     doc = json.loads(baseline.read_text())
     assert doc["version"] == 1 and doc["entries"]
-    # The generated entries carry a TODO justification, which load()
-    # accepts (non-empty) but reviewers are expected to replace.
+    for entry in doc["entries"].values():
+        assert entry["justification"] == "fixture randomness is intentional"
     assert main([
         "lint", str(tmp_path), "--baseline", str(baseline), "--no-audit",
     ]) == 0
     assert "baselined" in capsys.readouterr().out
+
+
+def test_lint_update_baseline_without_justification_fails(tmp_path, capsys):
+    """An unjustified baseline is written for editing but exits non-zero,
+    and the placeholder entries refuse to load on the next run."""
+    (tmp_path / "mod.py").write_text(BAD_SOURCE)
+    baseline = tmp_path / "baseline.json"
+    assert main([
+        "lint", str(tmp_path), "--baseline", str(baseline),
+        "--update-baseline", "--no-audit",
+    ]) == 1
+    err = capsys.readouterr().err
+    assert "--justification" in err
+    doc = json.loads(baseline.read_text())
+    assert all(
+        e["justification"] == "TODO: justify" for e in doc["entries"].values()
+    )
+    # The placeholder file cannot pass a gate: load() refuses it.
+    assert main([
+        "lint", str(tmp_path), "--baseline", str(baseline), "--no-audit",
+    ]) == 2
+    assert "placeholder" in capsys.readouterr().err
+
+
+def test_lint_update_baseline_no_findings_needs_no_justification(tmp_path, capsys):
+    """A clean tree baselines to an empty file without --justification."""
+    (tmp_path / "mod.py").write_text('"""Fixture."""\nX = 1\n')
+    baseline = tmp_path / "baseline.json"
+    assert main([
+        "lint", str(tmp_path), "--baseline", str(baseline),
+        "--update-baseline", "--no-audit",
+    ]) == 0
+    assert json.loads(baseline.read_text())["entries"] == {}
 
 
 def test_lint_list_rules(capsys):

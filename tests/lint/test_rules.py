@@ -228,6 +228,62 @@ def test_sl007_scope_and_non_paper_counters_pass(tmp_path):
     assert run_lint(paths=[tmp_path], rules=["SL007"], audit=False).clean
 
 
+def test_sl008_flags_discarded_span_id(tmp_path):
+    source = """
+    class Controller:
+        def issue(self):
+            self.tracer.span_begin("txn", node=self.node_id)
+    """
+    _write_module(tmp_path, "coherence/ctrl.py", source)
+    result = run_lint(paths=[tmp_path], rules=["SL008"], audit=False)
+    assert result.findings, "discarded span id must be flagged"
+    assert any("discarded" in f.message for f in result.findings)
+
+
+def test_sl008_flags_begin_only_module(tmp_path):
+    source = """
+    class Engine:
+        def begin(self):
+            self._span = self.tracer.span_begin("sle.region")
+    """
+    _write_module(tmp_path, "sle/engine.py", source)
+    result = run_lint(paths=[tmp_path], rules=["SL008"], audit=False)
+    assert len(result.findings) == 1
+    assert "never closes" in result.findings[0].message
+
+
+def test_sl008_passes_disciplined_shapes(tmp_path):
+    # Kept id + span_end in the same module; the context-manager
+    # helper; and an end-only module (closing spans opened elsewhere,
+    # the interconnect's role) are all disciplined.
+    _write_module(tmp_path, "coherence/ctrl.py", """
+    class Controller:
+        def issue(self):
+            sid = self.tracer.span_begin("txn")
+            self.tracer.span_end(sid)
+    """)
+    _write_module(tmp_path, "lvp/unit.py", """
+    class Unit:
+        def resolve(self):
+            with self.tracer.span("verify"):
+                pass
+    """)
+    _write_module(tmp_path, "coherence/bus.py", """
+    class Bus:
+        def grant(self, txn):
+            self.tracer.span_end(txn.span, node=txn.requester)
+    """)
+    assert run_lint(paths=[tmp_path], rules=["SL008"], audit=False).clean
+
+
+def test_sl008_out_of_scope_passes(tmp_path):
+    _write_module(tmp_path, "experiments/sweep.py", """
+    def probe(tracer):
+        tracer.span_begin("txn")
+    """)
+    assert run_lint(paths=[tmp_path], rules=["SL008"], audit=False).clean
+
+
 def test_syntax_error_reported_as_sl000(tmp_path):
     (tmp_path / "broken.py").write_text("def oops(:\n")
     result = run_lint(paths=[tmp_path], audit=False)

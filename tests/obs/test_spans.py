@@ -1,0 +1,151 @@
+"""Spans: begin/end pairing, ring-buffer truncation, crash safety,
+Chrome flow export round-trip."""
+
+import json
+
+import pytest
+
+from repro.obs.spans import collect_spans, spans_to_jsonl
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+
+class TestSpanAPI:
+    def test_begin_end_pairs_into_one_span(self):
+        tracer = Tracer(clock=lambda: 0)
+        sid = tracer.span_begin("txn", node=1, base=0x100, ts=5, txn="Read")
+        tracer.span_end(sid, node=1, base=0x100, ts=9, shared=True)
+        stream = collect_spans(tracer.events)
+        assert stream.truncated == 0 and stream.open == 0
+        (span,) = stream.spans
+        assert span.name == "txn" and span.begin == 5 and span.end == 9
+        assert span.dur == 4
+        assert span.fields["txn"] == "Read" and span.fields["shared"] is True
+
+    def test_parent_links_children(self):
+        tracer = Tracer(clock=lambda: 0)
+        parent = tracer.span_begin("miss", ts=0)
+        child = tracer.span_begin("txn", parent=parent, ts=1)
+        tracer.span_end(child, ts=2)
+        tracer.span_end(parent, ts=3)
+        stream = collect_spans(tracer.events)
+        assert [s.span for s in stream.children(parent)] == [child]
+
+    def test_context_manager_closes_on_exception(self):
+        tracer = Tracer(clock=lambda: 7)
+        with pytest.raises(RuntimeError):
+            with tracer.span("validate", node=0):
+                raise RuntimeError("boom")
+        assert collect_spans(tracer.events).open == 0
+
+    def test_null_tracer_span_api_is_inert(self):
+        sid = NULL_TRACER.span_begin("txn", node=1)
+        assert sid is None
+        NULL_TRACER.span_end(sid)  # must not raise
+        with NULL_TRACER.span("miss"):
+            pass
+
+    def test_span_end_none_is_noop(self):
+        tracer = Tracer(clock=lambda: 0)
+        tracer.span_end(None)
+        assert len(tracer.events) == 0
+
+
+class TestRingTruncation:
+    def test_evicted_begin_counts_as_truncated(self):
+        # A ring small enough to evict span.begin events must degrade
+        # with an explicit marker, never a crash or a silent mismatch.
+        tracer = Tracer(clock=lambda: 0, ring=4)
+        sids = [tracer.span_begin("txn", ts=i) for i in range(6)]
+        for i, sid in enumerate(sids):
+            tracer.span_end(sid, ts=10 + i)
+        stream = collect_spans(tracer.events)
+        assert stream.truncated > 0
+        assert tracer.spans_truncated == stream.truncated
+
+    def test_truncation_marker_in_chrome_metadata(self):
+        tracer = Tracer(clock=lambda: 0, ring=4)
+        for i in range(6):
+            sid = tracer.span_begin("txn", ts=i)
+            if i == 0:
+                first = sid
+        tracer.span_end(first, ts=99)
+        doc = tracer.to_chrome()
+        assert doc["metadata"]["spans_truncated"] >= 1
+
+    def test_truncation_marker_in_spans_jsonl(self):
+        tracer = Tracer(clock=lambda: 0, ring=4)
+        for i in range(6):
+            sid = tracer.span_begin("txn", ts=i)
+        tracer.span_end(sid, ts=99)
+        for _ in range(3):  # push the remaining begins out of the ring
+            tracer.emit("noise", ts=100)
+        lines = [json.loads(l) for l in spans_to_jsonl(tracer.events).splitlines()]
+        meta = lines[-1]
+        assert meta["meta"] == "spans" and meta["truncated"] >= 1
+
+    def test_untruncated_ring_keeps_pairing(self):
+        tracer = Tracer(clock=lambda: 0, ring=100)
+        for i in range(10):
+            sid = tracer.span_begin("txn", ts=i)
+            tracer.span_end(sid, ts=i + 1)
+        stream = collect_spans(tracer.events)
+        assert stream.truncated == 0 and len(stream.spans) == 10
+
+
+class TestCrashSafety:
+    def test_exception_inside_context_still_writes_trace(self, tmp_path):
+        path = tmp_path / "partial.jsonl"
+        with pytest.raises(RuntimeError):
+            with Tracer(clock=lambda: 0, path=str(path)) as tracer:
+                tracer.emit("bus.grant", node=0, base=0x100)
+                raise RuntimeError("simulated crash")
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [e["kind"] for e in lines] == ["bus.grant"]
+
+    def test_close_is_idempotent_and_saves(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(clock=lambda: 0, path=str(path))
+        tracer.emit("mem.miss", node=1)
+        tracer.close()
+        tracer.close()
+        assert "mem.miss" in path.read_text()
+
+    def test_attach_sink_rejects_unknown_format(self, tmp_path):
+        tracer = Tracer(clock=lambda: 0)
+        with pytest.raises(Exception):
+            tracer.attach_sink(str(tmp_path / "t"), "xml")
+
+    def test_atexit_flush_swallows_write_errors(self, tmp_path):
+        tracer = Tracer(clock=lambda: 0, path=str(tmp_path / "d" / "t.jsonl"))
+        tracer.emit("x")
+        tracer._atexit_flush()  # missing directory: must not raise
+
+
+class TestChromeRoundTrip:
+    def _traced_tracer(self):
+        tracer = Tracer(clock=lambda: 0)
+        parent = tracer.span_begin("miss", node=0, base=0x100, ts=1)
+        child = tracer.span_begin("txn", node=0, base=0x100, ts=2, parent=parent)
+        tracer.emit("bus.grant", node=0, base=0x100, ts=3, txn="Read")
+        tracer.span_end(child, ts=4)
+        tracer.span_end(parent, ts=5, cause="cold")
+        return tracer
+
+    def test_flow_records_emitted(self):
+        doc = self._traced_tracer().to_chrome()
+        phases = [e["ph"] for e in doc["traceEvents"]]
+        assert phases.count("b") == 2 and phases.count("e") == 2
+        assert "s" in phases and "f" in phases  # parent-link flow pair
+
+    def test_round_trip_through_report(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.obs.report import load_trace
+
+        path = tmp_path / "t.json"
+        self._traced_tracer().save(str(path), format="chrome")
+        load = load_trace(path)
+        assert load.skipped == 0, "every chrome record must load back"
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        # Async span records come back under their span names.
+        assert "by kind:" in out and "txn" in out and "miss" in out

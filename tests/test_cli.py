@@ -47,8 +47,11 @@ def test_run_with_chrome_trace(tmp_path, capsys):
     ts = [e["ts"] for e in events]
     assert ts == sorted(ts), "Chrome trace timestamps must be monotonic"
     for event in events:
-        assert event["ph"] in ("i", "X")
+        # i/X are instants and durations; b/e are span async pairs and
+        # s/f their flow (parent-link) arrows.
+        assert event["ph"] in ("i", "X", "b", "e", "s", "f")
         assert isinstance(event["ts"], int)
+    assert any(e["ph"] == "b" for e in events), "span events expected"
     out = capsys.readouterr().out
     assert "trace:" in out
 
@@ -77,6 +80,46 @@ def test_report_command(tmp_path, capsys):
     assert main(["report", str(trace)]) == 0
     out = capsys.readouterr().out
     assert "by kind:" in out and "bus.grant" in out
+
+
+def test_explain_live_gates_and_reports(capsys):
+    assert main(["explain", "locks", "--technique", "emesti+lvp",
+                 "--scale", "0.1", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "miss provenance" in out and "metrics reconciliation" in out
+    assert "result: ok" in out
+
+
+def test_explain_json_reconciles(capsys):
+    assert main(["explain", "locks", "--technique", "emesti",
+                 "--scale", "0.1", "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["ok"] is True
+    assert doc["misses"]["attribution_rate"] >= 0.95
+    assert all(row["ok"] for row in doc["reconciliation"])
+
+
+def test_explain_offline_trace(tmp_path, capsys):
+    trace = tmp_path / "t.jsonl"
+    assert main(["explain", "locks", "--scale", "0.1",
+                 "--save-trace", str(trace)]) == 0
+    capsys.readouterr()
+    assert main(["explain", "--trace", str(trace)]) == 0
+    out = capsys.readouterr().out
+    # Offline there is no registry to reconcile against.
+    assert "miss provenance" in out and "metrics reconciliation" not in out
+
+
+def test_explain_line_drilldown(tmp_path, capsys):
+    assert main(["explain", "locks", "--scale", "0.1",
+                 "--line", "0x10080"]) == 0
+    out = capsys.readouterr().out
+    assert "0x10080" in out
+
+
+def test_explain_without_benchmark_or_trace_errors(capsys):
+    assert main(["explain"]) == 2
+    assert "benchmark" in capsys.readouterr().err
 
 
 def test_list_includes_extra_benchmarks(capsys):
