@@ -378,6 +378,82 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Handle ``repro-sim serve`` (the simulation service)."""
+    import asyncio
+
+    from repro.service.api import Service
+
+    async def _serve() -> int:
+        service = Service(
+            args.root, workers=args.workers, lease_ttl=args.lease_ttl,
+        )
+        host, port = await service.start(host=args.host, port=args.port)
+        print(f"repro-sim service on http://{host}:{port} "
+              f"({args.workers} workers, state in {args.root})")
+        try:
+            await service.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await service.stop()
+            if args.event_log:
+                from pathlib import Path
+
+                Path(args.event_log).write_text(service.events.to_ndjson())
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_submit(args) -> int:
+    """Handle ``repro-sim submit`` (client side of the service)."""
+    from repro.service.client import ServiceClient, ServiceError
+
+    if args.spec:
+        with open(args.spec) as handle:
+            spec = json.load(handle)
+    else:
+        if not args.benchmarks:
+            print("repro-sim: error: give benchmarks (or --spec FILE)",
+                  file=sys.stderr)
+            return 2
+        spec = {
+            "benchmarks": args.benchmarks,
+            "techniques": args.techniques,
+            "seeds": args.seeds,
+            "scale": args.scale,
+            "priority": args.priority,
+        }
+    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    try:
+        accepted = client.submit(spec)
+        print(f"job {accepted['job']} accepted "
+              f"({len(accepted['cells'])} cells)")
+        if not args.wait:
+            return 0
+        for record in client.follow(accepted["job"]):
+            if args.follow:
+                print(json.dumps(record, sort_keys=True))
+        job = client.job(accepted["job"])
+    except (ServiceError, ConnectionError, OSError) as exc:
+        print(f"repro-sim: error: {exc}", file=sys.stderr)
+        return 1
+    print(f"job {job['id']}: {job['status']}")
+    if job["status"] != "done":
+        return 1
+    for fingerprint in job["cells"]:
+        doc = client.result(fingerprint)
+        summary = doc["summary"]
+        print(f"  {doc['benchmark']:>10s}/{doc['technique']:<12s} "
+              f"seed={doc['seed']} cycles={summary['cycles']:.0f} "
+              f"ipc={summary['ipc']:.2f}  [{fingerprint}]")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser."""
     parser = argparse.ArgumentParser(
@@ -551,6 +627,82 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: a throwaway tempdir)",
     )
 
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the simulation service (async HTTP job API)",
+        description=(
+            "Expose the experiment matrix as a long-running HTTP/JSON "
+            "service: POST /jobs accepts an experiment spec, a durable "
+            "queue explodes it into fingerprint-identified cells, and "
+            "a warm worker shard runs them (serving cached cells "
+            "without simulation).  See docs/service.md."
+        ),
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--port", type=int, default=8642,
+        help="listen port (0 picks an ephemeral port)",
+    )
+    serve_p.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker tasks in the shard (each leases one cell at a time)",
+    )
+    serve_p.add_argument(
+        "--root", default="service-state", metavar="DIR",
+        help="durable state: queue + result store + fingerprint index",
+    )
+    serve_p.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS",
+        help="cell lease deadline (heartbeats renew it; default 30)",
+    )
+    serve_p.add_argument(
+        "--event-log", default=None, metavar="PATH",
+        help="write the full NDJSON event log here on shutdown",
+    )
+
+    submit_p = sub.add_parser(
+        "submit",
+        help="submit an experiment spec to a running service",
+        description=(
+            "POST a (benchmarks x techniques x seeds) spec to a "
+            "`repro-sim serve` instance, optionally follow the job's "
+            "named event stream, and print the per-cell results."
+        ),
+    )
+    submit_p.add_argument(
+        "benchmarks", nargs="*",
+        help="benchmark names (or use --spec FILE)",
+    )
+    submit_p.add_argument(
+        "--techniques", nargs="+", default=["base"], metavar="T",
+    )
+    submit_p.add_argument(
+        "--seeds", nargs="+", type=int, default=[1], metavar="N",
+    )
+    submit_p.add_argument("--scale", type=float, default=0.1)
+    submit_p.add_argument(
+        "--priority", type=int, default=0,
+        help="higher leases first",
+    )
+    submit_p.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="read the whole job spec from a JSON file instead",
+    )
+    submit_p.add_argument("--host", default="127.0.0.1")
+    submit_p.add_argument("--port", type=int, default=8642)
+    submit_p.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="client socket timeout in seconds",
+    )
+    submit_p.add_argument(
+        "--no-wait", dest="wait", action="store_false",
+        help="return after acceptance instead of following to completion",
+    )
+    submit_p.add_argument(
+        "--follow", action="store_true",
+        help="print each streamed NDJSON event while waiting",
+    )
+
     check_p = sub.add_parser(
         "check",
         help="model-check the coherence protocols exhaustively",
@@ -605,7 +757,7 @@ def build_parser() -> argparse.ArgumentParser:
         "lint",
         help="static determinism/protocol analysis (simlint)",
         description=(
-            "Run the simlint AST rules (SL001-SL008) over the repro "
+            "Run the simlint AST rules (SL001-SL009) over the repro "
             "sources and the static protocol-table audit (SL101-SL104) "
             "over the MESI/MOESI/MESTI/E-MESTI tables.  Exit 0 when "
             "clean (after baseline suppression), 1 on new findings, "
@@ -674,6 +826,8 @@ def main(argv: list[str] | None = None) -> int:
         "explain": cmd_explain,
         "experiment": cmd_experiment,
         "bench": cmd_bench,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
         "check": cmd_check,
         "lint": cmd_lint,
     }

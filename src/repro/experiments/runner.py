@@ -23,11 +23,14 @@ clobber each other's completed cells.
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
 import enum
+import gc
 import hashlib
 import json
 import logging
+import math
 import os
 import tempfile
 import time
@@ -56,6 +59,12 @@ DEFAULT_CELL_TIMEOUT = 3600.0
 
 #: Cache file format version (bumped when the on-disk layout changes).
 CACHE_FORMAT = 2
+
+#: Target dispatch chunks per worker.  Cells are submitted to the pool
+#: in contiguous chunks rather than one task per cell: large matrices
+#: pay per-task pickling/IPC once per chunk, while keeping several
+#: chunks per worker preserves load balance when cell times vary.
+DISPATCH_CHUNKS_PER_WORKER = 4
 
 #: Summary fields that measure the host, not the simulation — excluded
 #: from determinism comparisons.  ``worker`` (the producing pid) and
@@ -188,6 +197,26 @@ def config_fingerprint(config: MachineConfig, jitter: int = DEFAULT_JITTER) -> s
     return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 
+def cell_fingerprint(
+    config: MachineConfig,
+    benchmark: str,
+    scale: float,
+    seed: int,
+    jitter: int = DEFAULT_JITTER,
+) -> str:
+    """Stable identity of one fully-configured simulation cell.
+
+    Hashes the complete per-cell machine config (technique already
+    applied — the technique is part of the config, not a separate
+    coordinate) together with the workload coordinates.  Two requests
+    with equal cell fingerprints are the *same simulation*: the service
+    layer keys its result store and in-flight dedupe on this, so a
+    million identical submissions cost one run.
+    """
+    payload = f"{config_fingerprint(config, jitter)}|{benchmark}|{scale}|{seed}"
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
 def run_cell(
     config: MachineConfig,
     benchmark: str,
@@ -210,9 +239,23 @@ def run_cell(
     workload = get_benchmark(benchmark, scale=scale)
     start = time.perf_counter()
     tracer = Tracer() if provenance else None
-    result = System(config, workload, seed=seed, tracer=tracer).run(
-        max_cycles=500_000_000, max_events=300_000_000
-    )
+    # The simulator allocates heavily but creates almost no cyclic
+    # garbage a run needs collected mid-flight; cyclic-GC passes over
+    # the live System graph only add wall time that *grows* with the
+    # process's object count, making successive cells mysteriously
+    # slower.  Pausing collection for the duration of one cell keeps
+    # per-cell wall time flat (results are untouched — GC timing is
+    # invisible to the simulation).
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        result = System(config, workload, seed=seed, tracer=tracer).run(
+            max_cycles=500_000_000, max_events=300_000_000
+        )
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     summary = summarize(result, time.perf_counter() - start)
     if tracer is not None:
         summary["provenance"] = analyze_events(tracer.events).cell_summary()
@@ -221,6 +264,77 @@ def run_cell(
     summary["worker"] = os.getpid()
     summary["retries"] = 0
     return summary
+
+
+def run_cell_chunk(
+    jobs: list[tuple],
+) -> list[RunSummary]:
+    """Run a contiguous chunk of cells in one worker task.
+
+    Chunked dispatch amortizes the per-task submission cost (pickling
+    the :class:`MachineConfig`, executor queue round-trips) over
+    several cells; the summaries come back in job order.
+    """
+    return [run_cell(*job) for job in jobs]
+
+
+#: Warm persistent worker pools, keyed by worker count.  Creating a
+#: :class:`ProcessPoolExecutor` per sweep pays process startup every
+#: time; reusing one across sweeps (the bench parallel pass, a service
+#: shard's whole lifetime) amortizes it to zero.
+_WARM_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+def _shutdown_warm_pools() -> None:
+    """Best-effort atexit teardown of every warm pool."""
+    for pool in _WARM_POOLS.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+    _WARM_POOLS.clear()
+
+
+def warm_pool(workers: int, initializer=None) -> ProcessPoolExecutor:
+    """The shared persistent pool with ``workers`` processes.
+
+    Created on first use and reused for every later sweep that wants
+    the same width; registered for atexit shutdown.  A pool that broke
+    (worker crash) should be discarded with :func:`retire_pool` so the
+    next call builds a fresh one.
+
+    ``initializer`` runs once in each worker process and only takes
+    effect when this call *creates* the pool (an existing warm pool of
+    the same width is returned as-is).  The service shard uses it to
+    drop TCP fds the fork inherited — see
+    ``repro.service.workers._close_inherited_inet_sockets``.
+    """
+    pool = _WARM_POOLS.get(workers)
+    if pool is None:
+        if not _WARM_POOLS:
+            atexit.register(_shutdown_warm_pools)
+        pool = ProcessPoolExecutor(max_workers=workers, initializer=initializer)
+        _WARM_POOLS[workers] = pool
+    return pool
+
+
+def retire_pool(workers: int) -> None:
+    """Discard (and shut down) the warm pool of ``workers`` processes."""
+    pool = _WARM_POOLS.pop(workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def effective_workers(workers: int | None, n_jobs: int) -> int:
+    """Right-size a requested worker count to what can actually help.
+
+    Worker processes beyond the job count idle, and worker processes
+    beyond the machine's cores *cost* wall time (context switching and
+    pool startup with zero added parallelism — the classic way a
+    parallel run loses to a serial one on small boxes).  The result is
+    ``min(workers, n_jobs, cpu_count)``; callers treat ``<= 1`` as
+    "run serially in-process".
+    """
+    if not workers or workers <= 1:
+        return 1
+    return max(1, min(workers, n_jobs, os.cpu_count() or 1))
 
 
 def _harvest(
@@ -263,6 +377,7 @@ def _pool_map(
     timeout: float | None,
     keys: list[str] | None = None,
     on_event: Callable[[CellUpdate], None] | None = None,
+    chunksize: int | None = None,
 ):
     """Yield each job's summary in submission order from a process pool.
 
@@ -275,26 +390,42 @@ def _pool_map(
     ``start`` at submission (the cell is queued or running), ``retry``/
     ``timeout`` on a failed first attempt, ``finish`` once the summary
     is harvested (carrying worker pid, wall time, and retry count).
+
+    Dispatch is *chunked over a warm pool*: jobs are submitted in
+    contiguous chunks (:func:`run_cell_chunk`,
+    :data:`DISPATCH_CHUNKS_PER_WORKER` chunks per worker) to a shared
+    persistent :func:`warm_pool`, so neither process startup nor
+    per-cell task overhead is paid per sweep.  A failed chunk falls
+    back to retrying its cells one at a time, preserving the per-cell
+    one-retry contract; ``chunksize`` overrides the heuristic.
     """
     if keys is None:
         keys = [f"{job[1]}|scale{job[2]}|seed{job[3]}" for job in jobs]
-    with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
-        futures = []
-        for job, key in zip(jobs, keys):
-            futures.append(pool.submit(run_cell, *job))
-            if on_event is not None:
+    width = min(workers, len(jobs))
+    if chunksize is None:
+        chunksize = max(
+            1, math.ceil(len(jobs) / (width * DISPATCH_CHUNKS_PER_WORKER))
+        )
+    pool = warm_pool(width)
+    chunks = [
+        (jobs[i:i + chunksize], keys[i:i + chunksize])
+        for i in range(0, len(jobs), chunksize)
+    ]
+    futures = []
+    for chunk_jobs, chunk_keys in chunks:
+        futures.append(pool.submit(run_cell_chunk, chunk_jobs))
+        if on_event is not None:
+            for key in chunk_keys:
                 on_event(CellUpdate("start", key))
-
-        def retry_for(job):
-            def retry():
-                try:
-                    return pool.submit(run_cell, *job).result(timeout=timeout)
-                except BrokenExecutor:
-                    return run_cell(*job)
-            return retry
-
-        for future, job, key in zip(futures, jobs, keys):
-            summary = _harvest(future, retry_for(job), timeout, key, on_event)
+    for future, (chunk_jobs, chunk_keys) in zip(futures, chunks):
+        chunk_timeout = timeout * len(chunk_jobs) if timeout else timeout
+        try:
+            summaries = future.result(timeout=chunk_timeout)
+        except Exception as exc:  # noqa: BLE001 - each cell gets one retry
+            summaries = _retry_chunk(
+                pool, width, chunk_jobs, chunk_keys, exc, timeout, on_event
+            )
+        for key, summary in zip(chunk_keys, summaries):
             if on_event is not None:
                 on_event(CellUpdate(
                     "finish", key,
@@ -303,6 +434,49 @@ def _pool_map(
                     retries=int(summary.get("retries", 0)),
                 ))
             yield summary
+
+
+def _retry_chunk(
+    pool: ProcessPoolExecutor,
+    width: int,
+    chunk_jobs: list[tuple],
+    chunk_keys: list[str],
+    exc: Exception,
+    timeout: float | None,
+    on_event: Callable[[CellUpdate], None] | None,
+) -> list[RunSummary]:
+    """Re-run a failed chunk's cells one at a time (one retry each).
+
+    A chunk failure does not say which cell was at fault, so every
+    cell in the chunk is retried individually — in the pool when it is
+    still alive, in-process when the executor broke (worker death took
+    the pool down; the warm pool is retired so the next sweep gets a
+    fresh one).  A cell whose individual retry also fails propagates,
+    matching the serial path.
+    """
+    kind = (
+        "timeout"
+        if isinstance(exc, (TimeoutError, FuturesTimeoutError))
+        else "retry"
+    )
+    summaries = []
+    for job, key in zip(chunk_jobs, chunk_keys):
+        if on_event is not None:
+            on_event(CellUpdate(
+                kind, key, error=f"{type(exc).__name__}: {exc}",
+            ))
+        log.warning(
+            "chunk containing cell %s failed (%s: %s); retrying the cell",
+            key, type(exc).__name__, exc,
+        )
+        try:
+            summary = pool.submit(run_cell, *job).result(timeout=timeout)
+        except BrokenExecutor:
+            retire_pool(width)
+            summary = run_cell(*job)
+        summary["retries"] = summary.get("retries", 0) + 1
+        summaries.append(summary)
+    return summaries
 
 
 def map_cells(
@@ -314,13 +488,18 @@ def map_cells(
 
     With ``workers`` > 1 the jobs fan out over a process pool with a
     per-cell timeout and one retry; otherwise they run serially.  The
-    returned list matches ``jobs`` index for index either way, with
-    identical summaries (modulo ``wall_seconds``) — simulations are
-    pure functions of (config, benchmark, scale, seed).
+    requested width is right-sized by :func:`effective_workers` first —
+    a pool that cannot beat the serial path (more workers than cores
+    or than jobs) degrades to in-process execution instead of paying
+    dispatch overhead for nothing.  The returned list matches ``jobs``
+    index for index either way, with identical summaries (modulo
+    ``wall_seconds``) — simulations are pure functions of
+    (config, benchmark, scale, seed).
     """
-    if not workers or workers <= 1 or len(jobs) <= 1:
+    effective = effective_workers(workers, len(jobs))
+    if effective <= 1:
         return [run_cell(*job) for job in jobs]
-    return list(_pool_map(jobs, workers, timeout))
+    return list(_pool_map(jobs, effective, timeout))
 
 
 class MatrixRunner:
@@ -455,6 +634,23 @@ class MatrixRunner:
         self._record(benchmark, technique, seed, summary)
         return summary
 
+    def cached(
+        self, benchmark: str, technique: str, seed: int
+    ) -> RunSummary | None:
+        """Cache-only lookup: the cell's summary, or None (never runs).
+
+        This is the service layer's cache-hit probe — a hit means the
+        request is served without simulation.
+        """
+        return self._cache.get(self.key(benchmark, technique, seed))
+
+    def store(
+        self, benchmark: str, technique: str, seed: int, summary: RunSummary
+    ) -> None:
+        """Insert an externally-produced summary (e.g. from a service
+        worker's executor) into the cache and persist it."""
+        self._record(benchmark, technique, seed, summary)
+
     def _record(
         self, benchmark: str, technique: str, seed: int, summary: RunSummary
     ) -> None:
@@ -555,6 +751,17 @@ class MatrixRunner:
         ]
         if not pending:
             return
+        workers = effective_workers(workers, len(pending))
+        if workers <= 1:
+            # A pool cannot win here (single core, or a single cell);
+            # fall through to the serial path in run_matrix instead of
+            # paying dispatch overhead for zero parallelism.
+            log.log(
+                logging.INFO if self.verbose else logging.DEBUG,
+                "right-sized worker pool to serial for %d cell(s) "
+                "(cpu_count=%s)", len(pending), os.cpu_count(),
+            )
+            return
         jobs = [
             (self.cell_config(technique), benchmark, self.scale, seed,
              self.provenance)
@@ -562,8 +769,8 @@ class MatrixRunner:
         ]
         log.log(
             logging.INFO if self.verbose else logging.DEBUG,
-            "fanning %d cell(s) out over %d workers",
-            len(pending), min(workers, len(pending)),
+            "fanning %d cell(s) out over %d warm workers",
+            len(pending), workers,
         )
         progress = MatrixProgress(total=len(pending), label=self.label)
         try:

@@ -1,4 +1,4 @@
-"""simlint AST rules SL001–SL008.
+"""simlint AST rules SL001–SL009.
 
 Each rule is a small, self-contained AST analysis.  They are
 deliberately *heuristic* — a lint pass earns its keep by being cheap
@@ -730,6 +730,83 @@ class SpanDisciplineRule(Rule):
         return iter(())
 
 
+# ---------------------------------------------------------------------------
+# SL009 — service events come from the registry
+# ---------------------------------------------------------------------------
+
+#: Directory whose modules may only emit declared service events.
+SERVICE_SCOPE = ("service/",)
+
+#: The module that *defines* the registry (and the EventLog.emit
+#: validator itself) — exempt, or the rule would flag its own docs.
+SERVICE_EVENTS_MODULE = "service/events.py"
+
+
+class ServiceEventRegistryRule(Rule):
+    """SL009: service code emits an event the registry doesn't declare."""
+
+    id = "SL009"
+    title = "service event not declared in the event registry"
+    rationale = (
+        "The service's observability contract is its named-event "
+        "registry (repro.service.events.EVENT_SPECS): clients follow "
+        "job streams and CI smoke checks grep for these names, so an "
+        "emit of an undeclared or dynamically-built name only fails "
+        "at runtime — declare the event (name + required fields) in "
+        "EVENT_SPECS and emit the literal name."
+    )
+
+    def check_module(self, module: ModuleSource, ctx: LintContext) -> Iterator[Finding]:
+        """Flag ``<x>.emit(...)`` with undeclared or non-literal names."""
+        if not module.rel.startswith(SERVICE_SCOPE):
+            return
+        if module.rel == SERVICE_EVENTS_MODULE:
+            return
+        declared = self._declared_names()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "emit"):
+                continue
+            if not node.args:
+                yield _finding(
+                    self, module, node,
+                    "emit() without a positional event name; pass the "
+                    "declared event name as a string literal",
+                )
+                continue
+            arg = node.args[0]
+            if not (isinstance(arg, ast.Constant) and isinstance(arg.value, str)):
+                yield _finding(
+                    self, module, node,
+                    "emit() with a dynamically-built event name; the "
+                    "registry can only vouch for literal names — emit "
+                    "a string literal declared in EVENT_SPECS",
+                )
+                continue
+            if declared is not None and arg.value not in declared:
+                yield _finding(
+                    self, module, node,
+                    f"emit({arg.value!r}): not declared in "
+                    f"repro.service.events.EVENT_SPECS; declare the "
+                    f"event (name + required fields) before emitting it",
+                )
+
+    @staticmethod
+    def _declared_names() -> frozenset[str] | None:
+        """The registry's declared names (None if unimportable)."""
+        try:
+            from repro.service.events import EVENT_NAMES
+        except Exception:  # pragma: no cover - registry always importable
+            return None
+        return EVENT_NAMES
+
+    def check_tree(self) -> Iterator[Finding]:
+        """No whole-tree component."""
+        return iter(())
+
+
 #: AST rule classes in id order (the engine instantiates these).
 AST_RULES = (
     NondeterminismRule,
@@ -740,4 +817,5 @@ AST_RULES = (
     TracerGuardRule,
     MetricsRegistryRule,
     SpanDisciplineRule,
+    ServiceEventRegistryRule,
 )

@@ -18,8 +18,11 @@ every comparable number:
 * the current report's determinism check must pass.
 
 Cells are only compared when the config fingerprint and scale match;
-otherwise they are *skipped* with a note (the microbenchmarks still
-compare — they do not depend on the machine config).
+otherwise they are *skipped* with a note, a named
+``compare.cell_skipped{reason=...}`` warning is logged per cell
+(reasons: ``fingerprint_mismatch``, ``scale_mismatch``), and the
+delta-table header reports the skipped count (the microbenchmarks
+still compare — they do not depend on the machine config).
 
 ``repro-sim bench --compare BASELINE.json`` wraps
 :func:`compare_reports` + :func:`render_comparison` and exits non-zero
@@ -30,8 +33,11 @@ when :attr:`Comparison.ok` is false; CI runs it against the committed
 from __future__ import annotations
 
 import json
+import logging
 from dataclasses import dataclass, field
 from pathlib import Path
+
+log = logging.getLogger("repro.regress")
 
 #: Default relative threshold for rate/time metrics: ±50%.  Generous on
 #: purpose — wall clocks on shared CI runners are noisy, and the exact
@@ -84,11 +90,17 @@ class Comparison:
         """True when nothing fails the gate."""
         return not self.regressions
 
+    @property
+    def skipped(self) -> list[Delta]:
+        """Deltas that were not compared (mismatched cells, absences)."""
+        return [d for d in self.deltas if d.status == "skipped"]
+
     def to_json(self) -> dict:
         """JSON-safe document (CI artifact)."""
         return {
             "ok": self.ok,
             "regressions": len(self.regressions),
+            "skipped": len(self.skipped),
             "deltas": [d.to_json() for d in self.deltas],
         }
 
@@ -148,6 +160,8 @@ def _bench_entries(report: dict) -> list[tuple[str, float | None, str]]:
     matrix = report.get("matrix", {})
     rows.append(("matrix.serial_seconds",
                  matrix.get("serial_seconds"), "lower_better"))
+    if matrix.get("speedup") is not None:
+        rows.append(("matrix.speedup", matrix["speedup"], "higher_better"))
     for cell in matrix.get("cells", ()):
         key = f"{cell['benchmark']}|{cell['technique']}|{cell['seed']}"
         rows.append((f"cell[{key}].wall_seconds",
@@ -173,18 +187,29 @@ def _compare_bench(
     )
     base_matrix = baseline.get("matrix", {})
     cur_matrix = current.get("matrix", {})
-    cells_comparable = (
-        base_matrix.get("fingerprint") == cur_matrix.get("fingerprint")
-        and base_matrix.get("scale") == cur_matrix.get("scale")
-    )
+    skip_reasons = []
+    if base_matrix.get("fingerprint") != cur_matrix.get("fingerprint"):
+        skip_reasons.append("fingerprint_mismatch")
+    if base_matrix.get("scale") != cur_matrix.get("scale"):
+        skip_reasons.append("scale_mismatch")
+    cells_comparable = not skip_reasons
+    skip_reason = "+".join(skip_reasons)
     out = Comparison()
     for name in sorted(set(base_rows) | set(cur_rows)):
         base_value, direction = base_rows.get(name, (None, None))
         cur_value, cur_dir = cur_rows.get(name, (None, None))
         direction = direction or cur_dir
-        if name.startswith("cell[") and not cells_comparable:
+        if name == "matrix.speedup" and (base_value is None or cur_value is None):
             out.deltas.append(Delta(
                 name, base_value, cur_value, None, "skipped",
+                "speedup absent in one report (serial-only bench run)",
+            ))
+            continue
+        if name.startswith("cell[") and not cells_comparable:
+            log.warning("compare.cell_skipped{reason=%s} %s", skip_reason, name)
+            out.deltas.append(Delta(
+                name, base_value, cur_value, None, "skipped",
+                f"cell_skipped{{reason={skip_reason}}}: "
                 "matrix fingerprint/scale differs; cells not comparable",
             ))
             continue
@@ -293,9 +318,11 @@ def render_comparison(comparison: Comparison, verbose: bool = False) -> str:
         rows.append((d.metric, fmt(d.baseline), fmt(d.current), rel,
                      d.status.upper() if d.status in FAILING_STATUSES else d.status,
                      d.note))
+    skipped = len(comparison.skipped)
     lines = [
         f"compared {len(comparison.deltas)} metrics: "
         f"{len(comparison.regressions)} failing"
+        + (f", {skipped} skipped" if skipped else "")
         + ("" if comparison.ok else " — REGRESSION")
     ]
     if rows:

@@ -1,0 +1,307 @@
+"""Hand-rolled asyncio HTTP/JSON API over the queue + worker shard.
+
+No third-party web framework: a small HTTP/1.1 request parser on
+:func:`asyncio.start_server` (the container has stdlib only, and the
+service needs exactly six routes).  Every response closes the
+connection (``Connection: close``) — the client is a CLI, not a
+browser pool, and close-delimited bodies keep the event stream
+implementation trivial.
+
+Routes
+------
+
+``POST /jobs``
+    Body: a job spec (see :func:`repro.service.queue.validate_spec`).
+    202 with ``{"job", "cells", "status"}``; 400 on a bad spec.
+``GET /jobs/{id}``
+    Job record + per-cell states; 404 for unknown ids.
+``POST /jobs/{id}/cancel``
+    Cancel; queued exclusive cells drain, the job completes with
+    ``reason=cancelled``.
+``GET /jobs/{id}/events``
+    NDJSON stream of the job's named events, live until the job
+    reaches a terminal state (then the stream ends).  Replays events
+    emitted before the request attached, so a client can always
+    follow a job from the beginning.
+``GET /results/{fingerprint}``
+    The stored summary for one cell fingerprint; 404 if unknown.
+``GET /metrics``
+    Prometheus text exposition of the service registry (includes
+    ``repro_service_events_total{event=...}``).
+``GET /healthz``
+    Liveness: ``{"ok": true}``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+from pathlib import Path
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+
+from .events import EventLog
+from .queue import JOB_TERMINAL, JobQueue, SpecError
+from .workers import ResultStore, WorkerShard
+
+log = logging.getLogger("repro.service")
+
+#: Cap on request bodies (a job spec is tiny; anything bigger is abuse).
+MAX_BODY = 1 << 20
+
+
+class Service:
+    """The assembled service: queue, store, shard, event log, HTTP."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        workers: int = 1,
+        lease_ttl: float | None = None,
+        executor=None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.root = Path(root)
+        self.metrics = metrics or MetricsRegistry()
+        self.events = EventLog(metrics=self.metrics)
+        queue_kwargs = {} if lease_ttl is None else {"lease_ttl": lease_ttl}
+        self.queue = JobQueue(
+            self.root / "queue", events=self.events, **queue_kwargs,
+        )
+        self.store = ResultStore(self.root / "results")
+        self.shard = WorkerShard(
+            self.queue, self.store, self.events,
+            workers=workers, executor=executor,
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._wake = asyncio.Event()
+        self.events.subscribe(lambda _record: self._wake_streams())
+
+    def _wake_streams(self) -> None:
+        """Wake every pending event stream after an emit."""
+        self._wake.set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Start the shard and the HTTP listener; returns (host, port)."""
+        await self.shard.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=host, port=port,
+        )
+        sock = self._server.sockets[0]
+        bound_host, bound_port = sock.getsockname()[:2]
+        log.info("service listening on http://%s:%s", bound_host, bound_port)
+        return bound_host, bound_port
+
+    async def stop(self) -> None:
+        """Stop accepting, stop the shard, flush everything."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.shard.stop()
+
+    async def serve_forever(self) -> None:
+        """Block until cancelled (the ``repro-sim serve`` main loop)."""
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter,
+    ) -> None:
+        """Parse one request, route it, always close the connection."""
+        try:
+            request = await self._read_request(reader)
+            if request is not None:
+                await self._route(request, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as exc:  # noqa: BLE001 - one bad request, not the server
+            log.warning("request handling failed: %s", exc)
+            try:
+                await self._respond(writer, 500, {"error": str(exc)})
+            except (ConnectionError, RuntimeError):
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader) -> dict | None:
+        """Parse the request line, headers, and body (or None on EOF)."""
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return None
+        if not request_line:
+            return None
+        try:
+            method, target, _version = request_line.decode("latin1").split()
+        except ValueError:
+            return {"method": "BAD", "path": "/", "body": b""}
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _sep, value = line.decode("latin1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        body = b""
+        if 0 < length <= MAX_BODY:
+            body = await reader.readexactly(length)
+        return {"method": method.upper(), "path": target, "body": body}
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter, status: int, doc: Any,
+        content_type: str = "application/json",
+    ) -> None:
+        """Write one close-delimited response with a JSON/text body."""
+        if isinstance(doc, (dict, list)):
+            payload = (json.dumps(doc, sort_keys=True) + "\n").encode()
+        else:
+            payload = str(doc).encode()
+        reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                  404: "Not Found", 405: "Method Not Allowed",
+                  500: "Internal Server Error"}.get(status, "OK")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode() + payload)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    async def _route(
+        self, request: dict, writer: asyncio.StreamWriter,
+    ) -> None:
+        """Dispatch one parsed request to its handler."""
+        method, path = request["method"], request["path"].rstrip("/")
+        parts = [p for p in path.split("/") if p]
+        if method == "POST" and parts == ["jobs"]:
+            await self._post_job(request["body"], writer)
+        elif method == "GET" and len(parts) == 2 and parts[0] == "jobs":
+            await self._get_job(parts[1], writer)
+        elif (method == "POST" and len(parts) == 3 and parts[0] == "jobs"
+              and parts[2] == "cancel"):
+            await self._cancel_job(parts[1], writer)
+        elif (method == "GET" and len(parts) == 3 and parts[0] == "jobs"
+              and parts[2] == "events"):
+            await self._stream_events(parts[1], writer)
+        elif method == "GET" and len(parts) == 2 and parts[0] == "results":
+            await self._get_result(parts[1], writer)
+        elif method == "GET" and parts == ["metrics"]:
+            await self._respond(
+                writer, 200, self.metrics.to_prometheus(),
+                content_type="text/plain; version=0.0.4",
+            )
+        elif method == "GET" and parts == ["healthz"]:
+            await self._respond(writer, 200, {"ok": True})
+        else:
+            await self._respond(
+                writer, 404 if method in ("GET", "POST") else 405,
+                {"error": f"no route for {method} {path or '/'}"},
+            )
+
+    async def _post_job(
+        self, body: bytes, writer: asyncio.StreamWriter,
+    ) -> None:
+        """``POST /jobs``: validate, enqueue, 202."""
+        try:
+            spec = json.loads(body.decode() or "null")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            await self._respond(writer, 400, {"error": f"bad JSON: {exc}"})
+            return
+        try:
+            job = self.queue.submit(spec)
+        except SpecError as exc:
+            await self._respond(writer, 400, {"error": str(exc)})
+            return
+        await self._respond(writer, 202, {
+            "job": job["id"], "cells": job["cells"], "status": job["status"],
+        })
+
+    async def _get_job(
+        self, job_id: str, writer: asyncio.StreamWriter,
+    ) -> None:
+        """``GET /jobs/{id}``: the record + per-cell states."""
+        try:
+            doc = self.queue.job_status(job_id)
+        except KeyError:
+            await self._respond(writer, 404, {"error": f"no job {job_id}"})
+            return
+        await self._respond(writer, 200, doc)
+
+    async def _cancel_job(
+        self, job_id: str, writer: asyncio.StreamWriter,
+    ) -> None:
+        """``POST /jobs/{id}/cancel``."""
+        try:
+            job = self.queue.cancel(job_id)
+        except KeyError:
+            await self._respond(writer, 404, {"error": f"no job {job_id}"})
+            return
+        await self._respond(writer, 200, {
+            "job": job["id"], "status": job["status"],
+        })
+
+    async def _stream_events(
+        self, job_id: str, writer: asyncio.StreamWriter,
+    ) -> None:
+        """``GET /jobs/{id}/events``: replay + follow as NDJSON."""
+        if job_id not in self.queue.jobs:
+            await self._respond(writer, 404, {"error": f"no job {job_id}"})
+            return
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        sent = 0
+        while True:
+            records = self.events.for_job(job_id)
+            for record in records[sent:]:
+                writer.write(
+                    (json.dumps(record, sort_keys=True) + "\n").encode()
+                )
+            sent = len(records)
+            await writer.drain()
+            status = self.queue.jobs[job_id]["status"]
+            if status in JOB_TERMINAL:
+                break
+            self._wake.clear()
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout=1.0)
+            except asyncio.TimeoutError:
+                pass  # periodic re-check even with no event traffic
+
+    async def _get_result(
+        self, fingerprint: str, writer: asyncio.StreamWriter,
+    ) -> None:
+        """``GET /results/{fingerprint}``: coords + stored summary."""
+        doc = self.store.by_fingerprint(fingerprint)
+        if doc is None:
+            await self._respond(
+                writer, 404, {"error": f"no result for {fingerprint}"},
+            )
+            return
+        await self._respond(writer, 200, doc)

@@ -1,0 +1,118 @@
+"""Blocking HTTP client for the service (the ``repro-sim submit`` side).
+
+Deliberately stdlib-``http.client`` and synchronous: the submitting
+CLI is a separate process with nothing else to do, and a blocking
+client keeps the event-follow loop a plain generator.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Iterator
+
+from repro.common.errors import ConfigError
+
+
+class ServiceError(ConfigError):
+    """A non-2xx response from the service."""
+
+
+class ServiceClient:
+    """Thin wrapper over one host:port service endpoint."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642,
+                 timeout: float = 600.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(
+        self, method: str, path: str, body: dict | None = None,
+    ) -> tuple[int, Any]:
+        """One request/response cycle; returns (status, parsed JSON)."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout,
+        )
+        try:
+            payload = json.dumps(body) if body is not None else None
+            conn.request(
+                method, path, body=payload,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            raw = response.read().decode()
+            try:
+                doc = json.loads(raw) if raw else None
+            except json.JSONDecodeError:
+                doc = raw
+            return response.status, doc
+        finally:
+            conn.close()
+
+    def submit(self, spec: dict) -> dict:
+        """``POST /jobs``; returns the acceptance doc or raises."""
+        status, doc = self._request("POST", "/jobs", body=spec)
+        if status != 202:
+            raise ServiceError(f"submit rejected ({status}): {doc}")
+        return doc
+
+    def job(self, job_id: str) -> dict:
+        """``GET /jobs/{id}``."""
+        status, doc = self._request("GET", f"/jobs/{job_id}")
+        if status != 200:
+            raise ServiceError(f"job {job_id} lookup failed ({status}): {doc}")
+        return doc
+
+    def cancel(self, job_id: str) -> dict:
+        """``POST /jobs/{id}/cancel``."""
+        status, doc = self._request("POST", f"/jobs/{job_id}/cancel")
+        if status != 200:
+            raise ServiceError(f"cancel {job_id} failed ({status}): {doc}")
+        return doc
+
+    def result(self, fingerprint: str) -> dict:
+        """``GET /results/{fingerprint}``."""
+        status, doc = self._request("GET", f"/results/{fingerprint}")
+        if status != 200:
+            raise ServiceError(
+                f"result {fingerprint} lookup failed ({status}): {doc}"
+            )
+        return doc
+
+    def metrics(self) -> str:
+        """``GET /metrics`` (Prometheus text)."""
+        status, doc = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(f"metrics failed ({status})")
+        return doc if isinstance(doc, str) else json.dumps(doc)
+
+    def follow(self, job_id: str) -> Iterator[dict]:
+        """Stream ``GET /jobs/{id}/events`` records until the job ends."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout,
+        )
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status != 200:
+                raise ServiceError(
+                    f"event stream for {job_id} failed ({response.status})"
+                )
+            while True:
+                # readline (not read(N)) so records surface as they
+                # arrive: a bulk read would block until the server
+                # closes the close-delimited stream.
+                line = response.readline()
+                if not line:
+                    break
+                if line.strip():
+                    yield json.loads(line)
+        finally:
+            conn.close()
+
+    def submit_and_wait(self, spec: dict) -> tuple[dict, list[dict]]:
+        """Submit, follow to completion; returns (final job, events)."""
+        accepted = self.submit(spec)
+        events = list(self.follow(accepted["job"]))
+        return self.job(accepted["job"]), events

@@ -1,0 +1,168 @@
+"""The service's named event contract (VC-02 discipline).
+
+Every queue / lease / worker state transition in the service emits a
+*named, declared* event: the full vocabulary lives in
+:data:`EVENT_SPECS`, each entry stating the fields the event must
+carry.  Emission goes through :class:`EventLog`, which
+
+* rejects undeclared event names and missing required fields at emit
+  time (the contract is enforced in production, not just in tests);
+* appends the event to a global ordered log and to a per-job view
+  (``GET /jobs/{id}/events`` streams the latter as NDJSON);
+* increments a ``repro_service_events_total{event=...}`` counter on
+  the attached :class:`~repro.obs.metrics.MetricsRegistry` so the
+  Prometheus export shows event rates with zero extra wiring;
+* mirrors the event into an attached
+  :class:`~repro.obs.tracer.Tracer`, so ``repro-sim report`` works on
+  a service event log like on any simulation trace.
+
+simlint rule SL009 closes the loop statically: service modules may
+only ``.emit()`` string-literal names declared here.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracer import NULL_TRACER
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """Declaration of one named service event."""
+
+    name: str
+    description: str
+    fields: tuple[str, ...] = ()  # required payload fields
+
+
+def _registry(*specs: EventSpec) -> dict[str, EventSpec]:
+    """Build the name -> spec mapping, rejecting duplicates."""
+    out: dict[str, EventSpec] = {}
+    for spec in specs:
+        if spec.name in out:
+            raise ValueError(f"duplicate event spec: {spec.name}")
+        out[spec.name] = spec
+    return out
+
+
+#: The closed event vocabulary.  ``job.*`` events carry a ``job`` id;
+#: ``cell.*`` events carry the cell ``fingerprint`` (and ``job`` when
+#: the transition is attributable to one submission).
+EVENT_SPECS: dict[str, EventSpec] = _registry(
+    EventSpec("job.enqueued", "a submitted spec was accepted and exploded "
+              "into cells", ("job", "cells")),
+    EventSpec("job.completed", "a job reached a terminal state; reason is "
+              "done | failed | cancelled", ("job", "reason")),
+    EventSpec("cell.enqueued", "a new cell entered the queue",
+              ("job", "fingerprint")),
+    EventSpec("cell.deduped", "a submission matched an in-flight cell and "
+              "shares its run", ("job", "fingerprint")),
+    EventSpec("cell.leased", "a worker took the cell under a heartbeat "
+              "lease", ("fingerprint", "worker")),
+    EventSpec("cell.started", "a worker began simulating the cell (it was "
+              "not cached)", ("fingerprint", "worker")),
+    EventSpec("cell.cache_hit", "the cell was served from the result store "
+              "without simulation", ("fingerprint",)),
+    EventSpec("cell.finished", "the cell's summary is stored and its jobs "
+              "were credited", ("fingerprint",)),
+    EventSpec("cell.retried", "the cell was re-enqueued; reason is "
+              "lease_expired | worker_death | worker_error",
+              ("fingerprint", "reason")),
+    EventSpec("cell.failed", "the cell exhausted its retries; reason as "
+              "for cell.retried", ("fingerprint", "reason")),
+)
+
+#: Just the declared names (what SL009 checks literals against).
+EVENT_NAMES = frozenset(EVENT_SPECS)
+
+
+class EventLog:
+    """Ordered, validated, observable log of service events.
+
+    ``metrics`` and ``tracer`` default to the no-op singletons, so the
+    log costs nothing extra unless observability is attached.
+    Subscribers (see :meth:`subscribe`) are called synchronously after
+    each append — the API layer uses this to wake NDJSON streams.
+    """
+
+    def __init__(self, metrics=NULL_METRICS, tracer=NULL_TRACER):
+        self._metrics = metrics
+        self._tracer = tracer
+        self._counter = metrics.counter(
+            "repro_service_events_total",
+            "service events by declared name", labels=("event",),
+        )
+        self._seq = 0
+        self.records: list[dict[str, Any]] = []
+        self._by_job: dict[str, list[dict[str, Any]]] = defaultdict(list)
+        self._cell_jobs: dict[str, set[str]] = defaultdict(set)
+        self._subscribers: list[Callable[[dict[str, Any]], None]] = []
+
+    def emit(self, name: str, **fields: Any) -> dict[str, Any]:
+        """Record one event; raises on undeclared names/missing fields."""
+        spec = EVENT_SPECS.get(name)
+        if spec is None:
+            raise ValueError(f"undeclared service event: {name!r}")
+        missing = [f for f in spec.fields if f not in fields]
+        if missing:
+            raise ValueError(
+                f"event {name!r} is missing required fields {missing}"
+            )
+        self._seq += 1
+        record = {"seq": self._seq, "event": name, **fields}
+        self.records.append(record)
+        # Route the record into every interested job's view: the
+        # explicit ``job`` field, plus every job attached to the
+        # cell fingerprint (cell.leased/started/... carry only the
+        # fingerprint, but a job's stream must show its cells' whole
+        # lifecycle — including cells it shares with other jobs).
+        jobs = set()
+        if fields.get("job") is not None:
+            jobs.add(fields["job"])
+        fingerprint = fields.get("fingerprint")
+        if fingerprint is not None:
+            jobs |= self._cell_jobs.get(fingerprint, set())
+        for job in sorted(jobs):
+            self._by_job[job].append(record)
+        self._counter.labels(event=name).inc()
+        self._tracer.emit(name, **fields)
+        for subscriber in self._subscribers:
+            subscriber(record)
+        return record
+
+    def attach(self, fingerprint: str, job: str) -> None:
+        """Stream future events for this cell into ``job``'s view."""
+        self._cell_jobs[fingerprint].add(job)
+
+    def detach_cell(self, fingerprint: str) -> None:
+        """Forget a retired cell's job routing (the cell left the
+        live set; a later identical submission re-attaches)."""
+        self._cell_jobs.pop(fingerprint, None)
+
+    def subscribe(self, callback: Callable[[dict[str, Any]], None]) -> None:
+        """Call ``callback(record)`` after every future emit."""
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[dict[str, Any]], None]) -> None:
+        """Remove a subscriber registered with :meth:`subscribe`."""
+        if callback in self._subscribers:
+            self._subscribers.remove(callback)
+
+    def for_job(self, job_id: str) -> list[dict[str, Any]]:
+        """The events attributed to one job, in emission order."""
+        return list(self._by_job.get(job_id, ()))
+
+    def named(self, name: str) -> list[dict[str, Any]]:
+        """Every record of one declared event name."""
+        return [r for r in self.records if r["event"] == name]
+
+    def to_ndjson(self) -> str:
+        """The whole log, one JSON object per line (the CI artifact)."""
+        import json
+
+        return "".join(json.dumps(r, sort_keys=True) + "\n"
+                       for r in self.records)

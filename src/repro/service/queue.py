@@ -1,0 +1,409 @@
+"""Durable on-disk job queue for the simulation service.
+
+A *job* is one submitted experiment spec; the queue explodes it into
+(benchmark × technique × seed) *cells*, each identified by its
+:func:`~repro.experiments.runner.cell_fingerprint` — the stable hash
+of the fully-configured simulation.  Cells, not jobs, are the unit of
+scheduling:
+
+* **dedupe** — a submission whose cell fingerprint matches a live
+  (queued or leased) cell joins that cell instead of enqueuing a
+  duplicate (``cell.deduped``); a million identical submissions cost
+  one simulation.  Finished cells leave the live set — later
+  identical submissions re-enqueue and are then served from the
+  result store without simulation (``cell.cache_hit``).
+* **priorities** — higher job priority leases first; FIFO within a
+  priority.
+* **leases** — a worker takes a cell under a deadline
+  (``lease_ttl`` seconds on the injected monotonic clock) and renews
+  it by heartbeat; an expired or explicitly failed lease re-enqueues
+  the cell exactly once per retry budget (``cell.retried{reason}``)
+  before it fails for good (``cell.failed{reason}``).
+* **cancellation** — cancelling a job drops its not-yet-leased cells
+  (unless another job shares them) and completes the job with
+  ``reason=cancelled``; an in-flight leased cell is left to finish so
+  its result still lands in the store.
+
+Durability: every mutation rewrites ``state.json`` atomically
+(temp file + ``os.replace``).  On load, cells found *leased* are
+returned to *queued* — the lease holder died with the process, and a
+re-run of a deterministic cell is always safe.
+
+All timestamps come from the injected ``clock`` (default
+:func:`time.perf_counter`) and ids from a persisted sequence counter,
+keeping the service inside the repo's determinism lint (SL001): no
+wall clocks, no randomness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from repro.common.config import MachineConfig, scaled_config
+from repro.common.errors import ConfigError
+from repro.experiments.runner import DEFAULT_JITTER, cell_fingerprint
+from repro.system.techniques import ALL_TECHNIQUES, configure_technique
+from repro.workloads.registry import BENCHMARKS, EXTRA_BENCHMARKS
+
+from .events import EventLog
+
+#: Lease deadline, in seconds of the queue's monotonic clock.
+DEFAULT_LEASE_TTL = 30.0
+
+#: How many times a cell is re-enqueued after lease loss before it
+#: fails for good ("exactly once" is the tested contract).
+DEFAULT_MAX_RETRIES = 1
+
+#: Terminal job states.
+JOB_TERMINAL = ("done", "failed", "cancelled")
+
+
+class SpecError(ConfigError):
+    """A submitted job spec failed validation (HTTP 400)."""
+
+
+def validate_spec(spec: dict) -> dict:
+    """Normalize and validate a job spec; raises :class:`SpecError`.
+
+    Required: ``benchmarks`` (known names), ``techniques`` (known
+    names), ``seeds`` (ints).  Optional: ``scale`` (positive float,
+    default 0.1) and ``priority`` (int, default 0).
+    """
+    if not isinstance(spec, dict):
+        raise SpecError(f"job spec must be an object, got {type(spec).__name__}")
+    known = set(BENCHMARKS) | set(EXTRA_BENCHMARKS)
+    benchmarks = list(spec.get("benchmarks") or ())
+    techniques = list(spec.get("techniques") or ())
+    seeds = list(spec.get("seeds") or ())
+    if not benchmarks or not techniques or not seeds:
+        raise SpecError(
+            "job spec needs non-empty 'benchmarks', 'techniques', 'seeds'"
+        )
+    for benchmark in benchmarks:
+        if benchmark not in known:
+            raise SpecError(f"unknown benchmark {benchmark!r}")
+    for technique in techniques:
+        if technique not in ALL_TECHNIQUES:
+            raise SpecError(f"unknown technique {technique!r}")
+    if not all(isinstance(seed, int) for seed in seeds):
+        raise SpecError("'seeds' must be integers")
+    scale = spec.get("scale", 0.1)
+    if not isinstance(scale, (int, float)) or scale <= 0:
+        raise SpecError(f"'scale' must be a positive number, got {scale!r}")
+    priority = spec.get("priority", 0)
+    if not isinstance(priority, int):
+        raise SpecError(f"'priority' must be an integer, got {priority!r}")
+    return {
+        "benchmarks": benchmarks,
+        "techniques": techniques,
+        "seeds": seeds,
+        "scale": float(scale),
+        "priority": priority,
+    }
+
+
+def cell_identity(
+    benchmark: str, technique: str, seed: int, scale: float,
+    config: MachineConfig | None = None,
+) -> str:
+    """The service-wide fingerprint of one fully-configured cell."""
+    base = config or scaled_config()
+    return cell_fingerprint(
+        configure_technique(base, technique), benchmark, scale, seed,
+        jitter=DEFAULT_JITTER,
+    )
+
+
+class JobQueue:
+    """The durable cell queue described in the module docstring."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        events: EventLog | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        config: MachineConfig | None = None,
+    ):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.events = events or EventLog()
+        self.clock = clock
+        self.lease_ttl = lease_ttl
+        self.max_retries = max_retries
+        self.config = config or scaled_config()
+        self._state_path = self.root / "state.json"
+        self._seq = 0
+        self.jobs: dict[str, dict[str, Any]] = {}
+        self.cells: dict[str, dict[str, Any]] = {}
+        self._load()
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def _load(self) -> None:
+        """Recover persisted state; leased cells return to queued."""
+        if not self._state_path.exists():
+            return
+        doc = json.loads(self._state_path.read_text())
+        self._seq = doc.get("seq", 0)
+        self.jobs = doc.get("jobs", {})
+        self.cells = doc.get("cells", {})
+        for cell in self.cells.values():
+            if cell["state"] == "leased":
+                # The lease holder died with the previous process;
+                # deterministic cells are always safe to re-run.
+                cell["state"] = "queued"
+                cell["lease"] = None
+
+    def _save(self) -> None:
+        """Atomically rewrite ``state.json`` (temp + rename)."""
+        doc = {"seq": self._seq, "jobs": self.jobs, "cells": self.cells}
+        tmp = self._state_path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(doc, indent=1, sort_keys=True))
+        os.replace(tmp, self._state_path)
+
+    def _next_id(self, prefix: str) -> str:
+        """Mint an id from the persisted sequence counter."""
+        self._seq += 1
+        return f"{prefix}-{self._seq:06d}"
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(self, spec: dict) -> dict[str, Any]:
+        """Accept a spec; returns the job record (raises SpecError)."""
+        spec = validate_spec(spec)
+        job_id = self._next_id("job")
+        fingerprints: list[str] = []
+        deduped: list[str] = []
+        for benchmark in spec["benchmarks"]:
+            for technique in spec["techniques"]:
+                for seed in spec["seeds"]:
+                    fingerprint = cell_identity(
+                        benchmark, technique, seed, spec["scale"], self.config,
+                    )
+                    fingerprints.append(fingerprint)
+                    self.events.attach(fingerprint, job_id)
+                    live = self.cells.get(fingerprint)
+                    if live is not None and live["state"] in ("queued", "leased"):
+                        live["jobs"].append(job_id)
+                        deduped.append(fingerprint)
+                        self.events.emit(
+                            "cell.deduped", job=job_id, fingerprint=fingerprint,
+                        )
+                        continue
+                    self.cells[fingerprint] = {
+                        "fingerprint": fingerprint,
+                        "benchmark": benchmark,
+                        "technique": technique,
+                        "seed": seed,
+                        "scale": spec["scale"],
+                        "state": "queued",
+                        "jobs": [job_id],
+                        "lease": None,
+                        "retries": 0,
+                        "order": self._seq,
+                    }
+                    self.events.emit(
+                        "cell.enqueued", job=job_id, fingerprint=fingerprint,
+                    )
+        job = {
+            "id": job_id,
+            "spec": spec,
+            "priority": spec["priority"],
+            "cells": fingerprints,
+            "status": "queued",
+            "reason": None,
+        }
+        self.jobs[job_id] = job
+        self.events.emit("job.enqueued", job=job_id, cells=len(fingerprints))
+        self._save()
+        return job
+
+    # ------------------------------------------------------------------
+    # Leasing
+    # ------------------------------------------------------------------
+
+    def _priority(self, cell: dict[str, Any]) -> int:
+        """A cell leases at the highest priority of its live jobs."""
+        priorities = [
+            self.jobs[job_id]["priority"]
+            for job_id in cell["jobs"]
+            if job_id in self.jobs
+            and self.jobs[job_id]["status"] not in JOB_TERMINAL
+        ]
+        return max(priorities, default=0)
+
+    def lease(self, worker: str) -> dict[str, Any] | None:
+        """Take the best queued cell under a heartbeat lease, if any."""
+        queued = [c for c in self.cells.values() if c["state"] == "queued"]
+        if not queued:
+            return None
+        cell = min(queued, key=lambda c: (-self._priority(c), c["order"]))
+        cell["state"] = "leased"
+        cell["lease"] = {
+            "worker": worker,
+            "deadline": self.clock() + self.lease_ttl,
+        }
+        self.events.emit(
+            "cell.leased", fingerprint=cell["fingerprint"], worker=worker,
+        )
+        self._save()
+        return dict(cell)
+
+    def heartbeat(self, fingerprint: str, worker: str) -> bool:
+        """Renew a live lease; False if the lease is no longer held."""
+        cell = self.cells.get(fingerprint)
+        if (
+            cell is None or cell["state"] != "leased"
+            or not cell["lease"] or cell["lease"]["worker"] != worker
+        ):
+            return False
+        cell["lease"]["deadline"] = self.clock() + self.lease_ttl
+        self._save()
+        return True
+
+    def expire_leases(self) -> list[str]:
+        """Re-enqueue (or fail) every cell whose lease deadline passed."""
+        now = self.clock()
+        expired = [
+            c["fingerprint"] for c in self.cells.values()
+            if c["state"] == "leased" and c["lease"]
+            and c["lease"]["deadline"] < now
+        ]
+        for fingerprint in expired:
+            self._bounce(fingerprint, "lease_expired")
+        return expired
+
+    def fail(self, fingerprint: str, reason: str) -> None:
+        """A worker reported the cell's run died; retry or fail it."""
+        self._bounce(fingerprint, reason)
+
+    def _bounce(self, fingerprint: str, reason: str) -> None:
+        """Shared retry-or-fail transition for lost leases."""
+        cell = self.cells.get(fingerprint)
+        if cell is None or cell["state"] != "leased":
+            return
+        cell["lease"] = None
+        if cell["retries"] < self.max_retries:
+            cell["retries"] += 1
+            cell["state"] = "queued"
+            self.events.emit(
+                "cell.retried", fingerprint=fingerprint, reason=reason,
+            )
+        else:
+            cell["state"] = "failed"
+            self.events.emit(
+                "cell.failed", fingerprint=fingerprint, reason=reason,
+            )
+            for job_id in list(cell["jobs"]):
+                self._finish_job(job_id, "failed")
+        self._save()
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+
+    def complete(self, fingerprint: str) -> None:
+        """Mark a cell done (its summary is in the store) and credit jobs."""
+        cell = self.cells.get(fingerprint)
+        if cell is None or cell["state"] in ("done", "failed"):
+            return
+        cell["state"] = "done"
+        cell["lease"] = None
+        self.events.emit("cell.finished", fingerprint=fingerprint)
+        for job_id in list(cell["jobs"]):
+            job = self.jobs.get(job_id)
+            if job is None or job["status"] in JOB_TERMINAL:
+                continue
+            if all(
+                self.cells.get(f, {}).get("state") == "done"
+                for f in job["cells"]
+            ):
+                self._finish_job(job_id, "done")
+        self._gc_cells()
+        self._save()
+
+    def _finish_job(self, job_id: str, reason: str) -> None:
+        """Move a job to a terminal state and emit ``job.completed``."""
+        job = self.jobs.get(job_id)
+        if job is None or job["status"] in JOB_TERMINAL:
+            return
+        job["status"] = reason
+        job["reason"] = reason
+        self.events.emit("job.completed", job=job_id, reason=reason)
+
+    def _gc_cells(self) -> None:
+        """Drop done cells whose every referencing job is terminal.
+
+        This is what makes an identical re-submission take the
+        enqueue -> lease -> ``cell.cache_hit`` path: the live set only
+        dedupes *in-flight* work; finished results live in the result
+        store, not the queue.
+        """
+        dead = [
+            f for f, cell in self.cells.items()
+            if cell["state"] == "done" and all(
+                self.jobs.get(j, {}).get("status") in JOB_TERMINAL
+                for j in cell["jobs"]
+            )
+        ]
+        for fingerprint in dead:
+            del self.cells[fingerprint]
+            self.events.detach_cell(fingerprint)
+
+    # ------------------------------------------------------------------
+    # Cancellation / inspection
+    # ------------------------------------------------------------------
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        """Cancel a job; drains its exclusively-held queued cells."""
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise KeyError(job_id)
+        if job["status"] in JOB_TERMINAL:
+            return dict(job)
+        self._finish_job(job_id, "cancelled")
+        for fingerprint in job["cells"]:
+            cell = self.cells.get(fingerprint)
+            if cell is None:
+                continue
+            others = [
+                j for j in cell["jobs"]
+                if j != job_id
+                and self.jobs.get(j, {}).get("status") not in JOB_TERMINAL
+            ]
+            if cell["state"] == "queued" and not others:
+                # Nobody else wants it and no worker holds it: drop.
+                del self.cells[fingerprint]
+                self.events.detach_cell(fingerprint)
+            # A leased cell finishes its run (the result is still
+            # stored); the cancelled job just no longer waits on it.
+        self._gc_cells()
+        self._save()
+        return dict(job)
+
+    def job_status(self, job_id: str) -> dict[str, Any]:
+        """The job record plus per-cell states (raises KeyError)."""
+        job = self.jobs[job_id]
+        gone = "dropped" if job["status"] == "cancelled" else "done"
+        cells = {}
+        for fingerprint in job["cells"]:
+            cell = self.cells.get(fingerprint)
+            cells[fingerprint] = cell["state"] if cell else gone
+        return {**job, "cell_states": cells}
+
+    def pending(self) -> Iterable[dict[str, Any]]:
+        """Every live (queued or leased) cell, for inspection."""
+        return [
+            dict(c) for c in self.cells.values()
+            if c["state"] in ("queued", "leased")
+        ]

@@ -1,0 +1,278 @@
+"""Warm worker-pool shard: leases cells, runs them, stores results.
+
+The shard is a set of asyncio worker tasks over one process pool (the
+runner's :func:`~repro.experiments.runner.warm_pool`, so pool startup
+is paid once per service lifetime, not per job) plus a lease *reaper*.
+Each worker loops:
+
+1. lease the best queued cell (``cell.leased``);
+2. probe the :class:`ResultStore` — a hit is served without
+   simulation (``cell.cache_hit``) and completed immediately;
+3. otherwise simulate via the existing
+   :func:`~repro.experiments.runner.run_cell` in the executor,
+   renewing the lease by heartbeat while the future is pending
+   (``cell.started`` ... ``cell.finished``);
+4. on executor death or a raising cell, report the lease lost
+   (``cell.retried{reason}`` / ``cell.failed{reason}`` come from the
+   queue's retry budget) and, for a broken pool, retire it so the
+   next lease gets a fresh one.
+
+The reaper periodically calls
+:meth:`~repro.service.queue.JobQueue.expire_leases`, which is what
+recovers cells whose worker died *without* reporting (process kill):
+the heartbeat stops, the deadline passes, the cell re-enqueues.
+
+:class:`ResultStore` wraps per-scale
+:class:`~repro.experiments.runner.MatrixRunner` caches (format v2,
+fingerprint-checked, crash-safe flush) under one directory, plus a
+``service_index.json`` mapping cell fingerprint -> coordinates so
+``GET /results/{fingerprint}`` resolves without knowing the spec.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import os
+from concurrent.futures import BrokenExecutor, Executor
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.runner import (
+    MatrixRunner,
+    RunSummary,
+    retire_pool,
+    run_cell,
+    warm_pool,
+)
+
+from .events import EventLog
+from .queue import JobQueue
+
+log = logging.getLogger("repro.service")
+
+#: Idle worker poll cadence (seconds) when the queue is empty.
+IDLE_POLL = 0.05
+
+
+def _close_inherited_inet_sockets() -> None:
+    """Pool-worker initializer: drop TCP fds inherited over fork.
+
+    A forked pool worker inherits every open fd, including the HTTP
+    listener and any client connections accepted before the fork.  An
+    inherited connection fd is fatal to event streaming: the server's
+    ``close()`` cannot send FIN while a long-lived worker still holds
+    a duplicate, so the client never sees end-of-stream and blocks
+    forever.  Closing only AF_INET/AF_INET6 sockets leaves the pool's
+    own plumbing (pipes, AF_UNIX pairs) untouched.
+    """
+    import socket
+    import stat
+
+    try:
+        fds = [int(name) for name in os.listdir("/proc/self/fd")]
+    except (FileNotFoundError, NotADirectoryError):  # non-procfs platforms
+        fds = list(range(3, 4096))
+    for fd in fds:
+        try:
+            if not stat.S_ISSOCK(os.fstat(fd).st_mode):
+                continue
+            probe = socket.socket(fileno=os.dup(fd))
+            family = probe.family
+            probe.close()
+            if family in (socket.AF_INET, socket.AF_INET6):
+                os.close(fd)
+        except OSError:
+            continue
+
+
+class ResultStore:
+    """Fingerprint-addressable store over MatrixRunner caches."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._runners: dict[float, MatrixRunner] = {}
+        self._index_path = self.root / "service_index.json"
+        self._index: dict[str, dict[str, Any]] = {}
+        if self._index_path.exists():
+            self._index = json.loads(self._index_path.read_text())
+
+    def runner(self, scale: float) -> MatrixRunner:
+        """The (cached) MatrixRunner for one scale."""
+        runner = self._runners.get(scale)
+        if runner is None:
+            runner = MatrixRunner(
+                scale=scale, results_dir=self.root, label="service",
+                verbose=False,
+            )
+            self._runners[scale] = runner
+        return runner
+
+    def lookup(self, cell: dict[str, Any]) -> RunSummary | None:
+        """The cached summary for a queue cell record, or None."""
+        return self.runner(cell["scale"]).cached(
+            cell["benchmark"], cell["technique"], cell["seed"],
+        )
+
+    def store(self, cell: dict[str, Any], summary: RunSummary) -> None:
+        """Persist a summary and index it by cell fingerprint."""
+        self.runner(cell["scale"]).store(
+            cell["benchmark"], cell["technique"], cell["seed"], summary,
+        )
+        self._index[cell["fingerprint"]] = {
+            "benchmark": cell["benchmark"],
+            "technique": cell["technique"],
+            "seed": cell["seed"],
+            "scale": cell["scale"],
+        }
+        self._save_index()
+
+    def by_fingerprint(self, fingerprint: str) -> dict[str, Any] | None:
+        """Resolve ``GET /results/{fingerprint}``: coords + summary."""
+        coords = self._index.get(fingerprint)
+        if coords is None:
+            return None
+        summary = self.runner(coords["scale"]).cached(
+            coords["benchmark"], coords["technique"], coords["seed"],
+        )
+        if summary is None:
+            return None
+        return {"fingerprint": fingerprint, **coords, "summary": summary}
+
+    def _save_index(self) -> None:
+        """Atomically rewrite the fingerprint index."""
+        tmp = self._index_path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(self._index, indent=1, sort_keys=True))
+        os.replace(tmp, self._index_path)
+
+    def close(self) -> None:
+        """Flush every scale's cache."""
+        for runner in self._runners.values():
+            runner.close()
+
+
+class WorkerShard:
+    """N async workers + a lease reaper over one executor."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        store: ResultStore,
+        events: EventLog,
+        workers: int = 1,
+        executor: Executor | None = None,
+        name: str = "shard0",
+    ):
+        self.queue = queue
+        self.store = store
+        self.events = events
+        self.workers = max(1, workers)
+        self._executor = executor
+        self.name = name
+        self._tasks: list[asyncio.Task] = []
+        self._stopping = False
+        #: Count of cells actually simulated (not cache-served) —
+        #: the smoke test's "zero new simulations" probe.
+        self.simulated = 0
+
+    def executor(self) -> Executor:
+        """The shard's executor (warm process pool by default)."""
+        if self._executor is None:
+            self._executor = warm_pool(
+                self.workers, initializer=_close_inherited_inet_sockets,
+            )
+        return self._executor
+
+    async def start(self) -> None:
+        """Spawn the worker tasks and the lease reaper."""
+        self._stopping = False
+        for i in range(self.workers):
+            worker_id = f"{self.name}/w{i}"
+            self._tasks.append(
+                asyncio.create_task(self._worker(worker_id))
+            )
+        self._tasks.append(asyncio.create_task(self._reaper()))
+
+    async def stop(self) -> None:
+        """Cancel every task and flush the store."""
+        self._stopping = True
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+        self.store.close()
+
+    async def _reaper(self) -> None:
+        """Periodically expire dead leases (crashed/silent workers)."""
+        period = max(self.queue.lease_ttl / 4, IDLE_POLL)
+        while not self._stopping:
+            await asyncio.sleep(period)
+            expired = self.queue.expire_leases()
+            for fingerprint in expired:
+                log.warning("lease expired on cell %s; re-enqueued",
+                            fingerprint)
+
+    async def _worker(self, worker_id: str) -> None:
+        """One worker's lease -> serve/run -> complete loop."""
+        while not self._stopping:
+            cell = self.queue.lease(worker_id)
+            if cell is None:
+                await asyncio.sleep(IDLE_POLL)
+                continue
+            await self._process(worker_id, cell)
+
+    async def _process(self, worker_id: str, cell: dict[str, Any]) -> None:
+        """Serve one leased cell (cache first, simulation second)."""
+        fingerprint = cell["fingerprint"]
+        cached = self.store.lookup(cell)
+        if cached is not None:
+            self.events.emit("cell.cache_hit", fingerprint=fingerprint)
+            # Ensure the fingerprint index covers cache entries that
+            # predate this service instance.
+            self.store.store(cell, cached)
+            self.queue.complete(fingerprint)
+            return
+        self.events.emit(
+            "cell.started", fingerprint=fingerprint, worker=worker_id,
+        )
+        # The *exact* config a serial MatrixRunner would use for this
+        # cell — byte-identical summaries are the service's contract.
+        cell_config = self.store.runner(cell["scale"]).cell_config(
+            cell["technique"]
+        )
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(
+            self.executor(), run_cell,
+            cell_config, cell["benchmark"], cell["scale"], cell["seed"],
+        )
+        heartbeat = max(self.queue.lease_ttl / 3, IDLE_POLL)
+        try:
+            while True:
+                done, _pending = await asyncio.wait(
+                    {future}, timeout=heartbeat,
+                )
+                if done:
+                    summary = future.result()
+                    break
+                # Still running: renew the lease and keep waiting.
+                self.queue.heartbeat(fingerprint, worker_id)
+        except BrokenExecutor:
+            # The worker process died mid-cell.  Retire the broken
+            # pool (the next lease builds a fresh one) and hand the
+            # cell back to the queue's retry budget.
+            if self._executor is not None:
+                retire_pool(self.workers)
+                self._executor = None
+            self.queue.fail(fingerprint, "worker_death")
+            return
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - any cell error retries
+            log.warning("cell %s raised %s", fingerprint, exc)
+            self.queue.fail(fingerprint, "worker_error")
+            return
+        self.simulated += 1
+        self.store.store(cell, summary)
+        self.queue.complete(fingerprint)

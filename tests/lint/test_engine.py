@@ -84,7 +84,7 @@ def test_rule_registry_is_stable():
     """The documented rule set: eight AST rules + four audit rules."""
     assert sorted(ALL_RULES) == [
         "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007",
-        "SL008", "SL101", "SL102", "SL103", "SL104",
+        "SL008", "SL009", "SL101", "SL102", "SL103", "SL104",
     ]
     for rule_id, cls in ALL_RULES.items():
         rule = cls()

@@ -284,6 +284,71 @@ def test_sl008_out_of_scope_passes(tmp_path):
     assert run_lint(paths=[tmp_path], rules=["SL008"], audit=False).clean
 
 
+def test_sl009_flags_undeclared_event_name(tmp_path):
+    source = """
+    class Shard:
+        def serve(self, fingerprint):
+            self.events.emit("cell.vibes", fingerprint=fingerprint)
+    """
+    _write_module(tmp_path, "service/workers.py", source)
+    result = run_lint(paths=[tmp_path], rules=["SL009"], audit=False)
+    assert [f.path for f in result.findings] == ["service/workers.py"]
+    assert "EVENT_SPECS" in result.findings[0].message
+
+
+def test_sl009_flags_dynamic_event_name(tmp_path):
+    source = """
+    class Shard:
+        def finish(self, phase, fingerprint):
+            self.events.emit(f"cell.{phase}", fingerprint=fingerprint)
+    """
+    _write_module(tmp_path, "service/workers.py", source)
+    result = run_lint(paths=[tmp_path], rules=["SL009"], audit=False)
+    assert len(result.findings) == 1
+    assert "dynamically-built" in result.findings[0].message
+
+
+def test_sl009_passes_declared_names(tmp_path):
+    source = """
+    class Shard:
+        def serve(self, fingerprint):
+            self.events.emit("cell.cache_hit", fingerprint=fingerprint)
+            self.events.emit("cell.finished", fingerprint=fingerprint)
+    """
+    _write_module(tmp_path, "service/workers.py", source)
+    assert run_lint(paths=[tmp_path], rules=["SL009"], audit=False).clean
+
+
+def test_sl009_exempts_the_registry_module(tmp_path):
+    # events.py forwards every record to the tracer with a dynamic
+    # name by design — it *is* the validation layer.
+    source = """
+    class EventLog:
+        def emit(self, name, **fields):
+            self._tracer.emit(name, **fields)
+    """
+    _write_module(tmp_path, "service/events.py", source)
+    assert run_lint(paths=[tmp_path], rules=["SL009"], audit=False).clean
+
+
+def test_sl009_out_of_scope_passes(tmp_path):
+    _write_module(tmp_path, "coherence/ctrl.py", """
+    def snapshot(tracer):
+        tracer.emit("made.up.event", detail=1)
+    """)
+    assert run_lint(paths=[tmp_path], rules=["SL009"], audit=False).clean
+
+
+def test_sl009_service_source_tree_is_clean():
+    """The real service package only emits declared events."""
+    import repro.service.api as api_mod
+    from pathlib import Path
+
+    package_dir = Path(api_mod.__file__).parent.parent
+    result = run_lint(paths=[package_dir], rules=["SL009"], audit=False)
+    assert result.clean, [f.message for f in result.findings]
+
+
 def test_syntax_error_reported_as_sl000(tmp_path):
     (tmp_path / "broken.py").write_text("def oops(:\n")
     result = run_lint(paths=[tmp_path], audit=False)

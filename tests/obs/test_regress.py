@@ -130,6 +130,36 @@ class TestCompareBench:
             "scheduler.events_per_sec"
         ]
 
+    def test_skipped_cells_log_named_event_with_reason(self, caplog):
+        base = bench_report()
+        cur = bench_report()
+        cur["matrix"]["fingerprint"] = "ffff0000"
+        with caplog.at_level("WARNING", logger="repro.regress"):
+            cmp_ = compare_reports(base, cur)
+        skip_lines = [
+            r.getMessage() for r in caplog.records
+            if "compare.cell_skipped" in r.getMessage()
+        ]
+        assert len(skip_lines) == len(cmp_.skipped) == 6
+        assert all("reason=fingerprint_mismatch" in line for line in skip_lines)
+        assert all(
+            "cell_skipped{reason=fingerprint_mismatch}" in d.note
+            for d in cmp_.skipped
+        )
+
+    def test_scale_mismatch_reason_is_named(self, caplog):
+        base = bench_report()
+        cur = bench_report()
+        cur["matrix"]["scale"] = 0.1
+        with caplog.at_level("WARNING", logger="repro.regress"):
+            cmp_ = compare_reports(base, cur)
+        assert cmp_.skipped
+        assert all(
+            "reason=scale_mismatch" in r.getMessage()
+            for r in caplog.records
+            if "compare.cell_skipped" in r.getMessage()
+        )
+
     def test_missing_cell_in_current_fails(self):
         base = bench_report()
         cur = bench_report()
@@ -198,13 +228,22 @@ class TestRendering:
         assert "0 failing" in text
         assert "REGRESSION" not in text
 
+    def test_render_reports_skipped_count(self):
+        base = bench_report()
+        cur = bench_report()
+        cur["matrix"]["fingerprint"] = "ffff0000"
+        text = render_comparison(compare_reports(base, cur))
+        assert "6 skipped" in text.splitlines()[0]
+
     def test_to_json_shape(self):
         cmp_ = Comparison(deltas=[
             Delta("m", 1.0, 2.0, 1.0, "changed", "note"),
+            Delta("s", None, 2.0, None, "skipped", "absent in baseline"),
         ])
         doc = cmp_.to_json()
         assert doc["ok"] is False
         assert doc["regressions"] == 1
+        assert doc["skipped"] == 1
         assert doc["deltas"][0]["metric"] == "m"
         json.dumps(doc)
 

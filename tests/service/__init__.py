@@ -1,0 +1,1 @@
+"""Tests for the simulation service (queue, shard, HTTP API)."""

@@ -1,0 +1,66 @@
+"""Test harness: a Service event loop in a daemon thread.
+
+The blocking :class:`~repro.service.client.ServiceClient` (what the
+CLI uses) needs the server's asyncio loop running elsewhere; tests get
+a real TCP round-trip on an ephemeral port without subprocesses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.service.api import Service
+
+
+class ServiceHarness:
+    """Start a :class:`Service` on an ephemeral port; join on shutdown."""
+
+    def __init__(self, root, **service_kwargs):
+        self.root = root
+        self._service_kwargs = service_kwargs
+        self.service: Service | None = None
+        self.host: str | None = None
+        self.port: int | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("service did not start within 30s")
+        if self._error is not None:
+            raise self._error
+
+    def _run(self) -> None:
+        """Thread body: own loop, start service, park until shutdown."""
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 - surfaced to the test
+            self._error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        """Start the service and wait for the shutdown signal."""
+        self.service = Service(self.root, **self._service_kwargs)
+        self.host, self.port = await self.service.start(port=0)
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._ready.set()
+        await self._stop.wait()
+        await self.service.stop()
+
+    def shutdown(self) -> None:
+        """Stop the service and join the thread."""
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)
+
+    def __enter__(self) -> "ServiceHarness":
+        """Context-manager entry."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Shut the service down on context exit."""
+        self.shutdown()
