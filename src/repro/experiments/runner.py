@@ -278,11 +278,14 @@ def run_cell_chunk(
     return [run_cell(*job) for job in jobs]
 
 
-#: Warm persistent worker pools, keyed by worker count.  Creating a
-#: :class:`ProcessPoolExecutor` per sweep pays process startup every
-#: time; reusing one across sweeps (the bench parallel pass, a service
-#: shard's whole lifetime) amortizes it to zero.
-_WARM_POOLS: dict[int, ProcessPoolExecutor] = {}
+#: Warm persistent worker pools, keyed by (worker count, initializer).
+#: Creating a :class:`ProcessPoolExecutor` per sweep pays process
+#: startup every time; reusing one across sweeps (the bench parallel
+#: pass, a service shard's whole lifetime) amortizes it to zero.
+#: Keying on the initializer keeps differently-initialized pools of
+#: the same width apart: a shard pool whose workers dropped inherited
+#: TCP fds must never be handed to — or retired by — a plain sweep.
+_WARM_POOLS: dict[tuple[int, Callable | None], ProcessPoolExecutor] = {}
 
 
 def _shutdown_warm_pools() -> None:
@@ -296,28 +299,36 @@ def warm_pool(workers: int, initializer=None) -> ProcessPoolExecutor:
     """The shared persistent pool with ``workers`` processes.
 
     Created on first use and reused for every later sweep that wants
-    the same width; registered for atexit shutdown.  A pool that broke
-    (worker crash) should be discarded with :func:`retire_pool` so the
-    next call builds a fresh one.
+    the same width *and* the same ``initializer``; registered for
+    atexit shutdown.  A pool that broke (worker crash) should be
+    discarded with :func:`retire_pool` so the next call builds a
+    fresh one.
 
-    ``initializer`` runs once in each worker process and only takes
-    effect when this call *creates* the pool (an existing warm pool of
-    the same width is returned as-is).  The service shard uses it to
-    drop TCP fds the fork inherited — see
-    ``repro.service.workers._close_inherited_inet_sockets``.
+    ``initializer`` runs once in each worker process and is part of
+    the pool key, so a caller that needs initialized workers (the
+    service shard dropping fork-inherited TCP fds — see
+    ``repro.service.workers._close_inherited_inet_sockets``) never
+    silently receives a same-width pool created without it.
     """
-    pool = _WARM_POOLS.get(workers)
+    key = (workers, initializer)
+    pool = _WARM_POOLS.get(key)
     if pool is None:
         if not _WARM_POOLS:
             atexit.register(_shutdown_warm_pools)
         pool = ProcessPoolExecutor(max_workers=workers, initializer=initializer)
-        _WARM_POOLS[workers] = pool
+        _WARM_POOLS[key] = pool
     return pool
 
 
-def retire_pool(workers: int) -> None:
-    """Discard (and shut down) the warm pool of ``workers`` processes."""
-    pool = _WARM_POOLS.pop(workers, None)
+def retire_pool(workers: int, initializer=None) -> None:
+    """Discard (and shut down) one warm pool.
+
+    Keyed like :func:`warm_pool`: only the pool with this exact
+    (``workers``, ``initializer``) pair is torn down, so a component
+    retiring its own broken pool can never shut down an unrelated
+    same-width pool owned by another component in the same process.
+    """
+    pool = _WARM_POOLS.pop((workers, initializer), None)
     if pool is not None:
         pool.shutdown(wait=False, cancel_futures=True)
 
@@ -398,6 +409,15 @@ def _pool_map(
     per-cell task overhead is paid per sweep.  A failed chunk falls
     back to retrying its cells one at a time, preserving the per-cell
     one-retry contract; ``chunksize`` overrides the heuristic.
+
+    Chunking coarsens the *first attempt's* timeout to ``timeout``
+    times the chunk length (a cell inside a running chunk task cannot
+    be interrupted individually); the individual retries are each
+    bounded by the per-cell ``timeout`` again, and they run in a
+    fresh dedicated pool so a wedged first attempt — which keeps
+    occupying its warm-pool worker — cannot starve them.  After a
+    sweep that saw any chunk time out, the warm pool is retired so
+    the hung worker does not shrink later sweeps' effective width.
     """
     if keys is None:
         keys = [f"{job[1]}|scale{job[2]}|seed{job[3]}" for job in jobs]
@@ -417,23 +437,34 @@ def _pool_map(
         if on_event is not None:
             for key in chunk_keys:
                 on_event(CellUpdate("start", key))
-    for future, (chunk_jobs, chunk_keys) in zip(futures, chunks):
-        chunk_timeout = timeout * len(chunk_jobs) if timeout else timeout
-        try:
-            summaries = future.result(timeout=chunk_timeout)
-        except Exception as exc:  # noqa: BLE001 - each cell gets one retry
-            summaries = _retry_chunk(
-                pool, width, chunk_jobs, chunk_keys, exc, timeout, on_event
-            )
-        for key, summary in zip(chunk_keys, summaries):
-            if on_event is not None:
-                on_event(CellUpdate(
-                    "finish", key,
-                    worker=summary.get("worker"),
-                    wall_seconds=summary.get("wall_seconds"),
-                    retries=int(summary.get("retries", 0)),
-                ))
-            yield summary
+    timed_out = False
+    try:
+        for future, (chunk_jobs, chunk_keys) in zip(futures, chunks):
+            chunk_timeout = timeout * len(chunk_jobs) if timeout else timeout
+            try:
+                summaries = future.result(timeout=chunk_timeout)
+            except Exception as exc:  # noqa: BLE001 - each cell gets one retry
+                if isinstance(exc, (TimeoutError, FuturesTimeoutError)):
+                    timed_out = True
+                summaries = _retry_chunk(
+                    pool, width, chunk_jobs, chunk_keys, exc, timeout, on_event
+                )
+            for key, summary in zip(chunk_keys, summaries):
+                if on_event is not None:
+                    on_event(CellUpdate(
+                        "finish", key,
+                        worker=summary.get("worker"),
+                        wall_seconds=summary.get("wall_seconds"),
+                        retries=int(summary.get("retries", 0)),
+                    ))
+                yield summary
+    finally:
+        if timed_out:
+            # A timed-out chunk's first attempt may still be wedged in
+            # a pool worker (a running pool task cannot be killed);
+            # retiring the pool keeps the hung process from occupying
+            # a slot in every later sweep of this width.
+            retire_pool(width)
 
 
 def _retry_chunk(
@@ -448,34 +479,50 @@ def _retry_chunk(
     """Re-run a failed chunk's cells one at a time (one retry each).
 
     A chunk failure does not say which cell was at fault, so every
-    cell in the chunk is retried individually — in the pool when it is
-    still alive, in-process when the executor broke (worker death took
-    the pool down; the warm pool is retired so the next sweep gets a
-    fresh one).  A cell whose individual retry also fails propagates,
-    matching the serial path.
+    cell in the chunk is retried individually, each under the
+    per-cell ``timeout`` — in the pool when it is still alive, in a
+    fresh dedicated pool when the chunk *timed out* (the wedged first
+    attempt still occupies a warm-pool worker, so a healthy cell's
+    retry queued behind it would time out too), or in-process when
+    the executor broke (worker death took the pool down; the warm
+    pool is retired so the next sweep gets a fresh one).  A cell
+    whose individual retry also fails propagates, matching the
+    serial path.
     """
     kind = (
         "timeout"
         if isinstance(exc, (TimeoutError, FuturesTimeoutError))
         else "retry"
     )
-    summaries = []
-    for job, key in zip(chunk_jobs, chunk_keys):
-        if on_event is not None:
-            on_event(CellUpdate(
-                kind, key, error=f"{type(exc).__name__}: {exc}",
-            ))
-        log.warning(
-            "chunk containing cell %s failed (%s: %s); retrying the cell",
-            key, type(exc).__name__, exc,
+    retry_pool = pool
+    if kind == "timeout":
+        retry_pool = ProcessPoolExecutor(
+            max_workers=min(width, len(chunk_jobs))
         )
-        try:
-            summary = pool.submit(run_cell, *job).result(timeout=timeout)
-        except BrokenExecutor:
-            retire_pool(width)
-            summary = run_cell(*job)
-        summary["retries"] = summary.get("retries", 0) + 1
-        summaries.append(summary)
+    summaries = []
+    try:
+        for job, key in zip(chunk_jobs, chunk_keys):
+            if on_event is not None:
+                on_event(CellUpdate(
+                    kind, key, error=f"{type(exc).__name__}: {exc}",
+                ))
+            log.warning(
+                "chunk containing cell %s failed (%s: %s); retrying the cell",
+                key, type(exc).__name__, exc,
+            )
+            try:
+                summary = retry_pool.submit(
+                    run_cell, *job
+                ).result(timeout=timeout)
+            except BrokenExecutor:
+                if retry_pool is pool:
+                    retire_pool(width)
+                summary = run_cell(*job)
+            summary["retries"] = summary.get("retries", 0) + 1
+            summaries.append(summary)
+    finally:
+        if retry_pool is not pool:
+            retry_pool.shutdown(wait=False, cancel_futures=True)
     return summaries
 
 

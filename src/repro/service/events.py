@@ -22,12 +22,23 @@ only ``.emit()`` string-literal names declared here.
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import defaultdict, deque
 from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
+
+#: Ring cap on the in-memory global log: only the newest this-many
+#: records are retained (the NDJSON dump covers at most this window).
+#: A long-running ``repro-sim serve`` would otherwise leak memory
+#: proportional to every event it ever emitted.
+DEFAULT_MAX_RECORDS = 100_000
+
+#: How many *terminal* jobs keep their per-job event view, so
+#: ``GET /jobs/{id}/events`` can still replay a recently finished
+#: job's history.  Older terminal jobs' views are dropped.
+DEFAULT_RETAIN_TERMINAL = 256
 
 
 @dataclass(frozen=True)
@@ -87,9 +98,22 @@ class EventLog:
     log costs nothing extra unless observability is attached.
     Subscribers (see :meth:`subscribe`) are called synchronously after
     each append — the API layer uses this to wake NDJSON streams.
+
+    Memory is bounded for long-running services: the global log keeps
+    only the newest ``max_records`` records (a ring buffer), and the
+    per-job views of jobs long past their ``job.completed`` event are
+    pruned once more than ``retain_terminal`` jobs have finished
+    after them.  Pass ``None`` for either to keep everything (the
+    pure state-machine tests do).
     """
 
-    def __init__(self, metrics=NULL_METRICS, tracer=NULL_TRACER):
+    def __init__(
+        self,
+        metrics=NULL_METRICS,
+        tracer=NULL_TRACER,
+        max_records: int | None = DEFAULT_MAX_RECORDS,
+        retain_terminal: int | None = DEFAULT_RETAIN_TERMINAL,
+    ):
         self._metrics = metrics
         self._tracer = tracer
         self._counter = metrics.counter(
@@ -97,9 +121,11 @@ class EventLog:
             "service events by declared name", labels=("event",),
         )
         self._seq = 0
-        self.records: list[dict[str, Any]] = []
+        self.retain_terminal = retain_terminal
+        self.records: deque[dict[str, Any]] = deque(maxlen=max_records)
         self._by_job: dict[str, list[dict[str, Any]]] = defaultdict(list)
         self._cell_jobs: dict[str, set[str]] = defaultdict(set)
+        self._terminal_jobs: deque[str] = deque()
         self._subscribers: list[Callable[[dict[str, Any]], None]] = []
 
     def emit(self, name: str, **fields: Any) -> dict[str, Any]:
@@ -128,11 +154,31 @@ class EventLog:
             jobs |= self._cell_jobs.get(fingerprint, set())
         for job in sorted(jobs):
             self._by_job[job].append(record)
+        if name == "job.completed":
+            self._retire_job_view(fields.get("job"))
         self._counter.labels(event=name).inc()
         self._tracer.emit(name, **fields)
         for subscriber in self._subscribers:
             subscriber(record)
         return record
+
+    def _retire_job_view(self, job: str | None) -> None:
+        """Queue a now-terminal job for retention-based view pruning.
+
+        The view survives the next ``retain_terminal`` job
+        completions, so recently finished jobs still replay their
+        full history to late-attaching event streams.
+        """
+        if job is None or self.retain_terminal is None:
+            return
+        self._terminal_jobs.append(job)
+        while len(self._terminal_jobs) > self.retain_terminal:
+            self.prune_job(self._terminal_jobs.popleft())
+
+    def prune_job(self, job_id: str) -> None:
+        """Drop one job's per-job view (the shared records stay in
+        the global ring until they age out)."""
+        self._by_job.pop(job_id, None)
 
     def attach(self, fingerprint: str, job: str) -> None:
         """Stream future events for this cell into ``job``'s view."""
@@ -161,7 +207,8 @@ class EventLog:
         return [r for r in self.records if r["event"] == name]
 
     def to_ndjson(self) -> str:
-        """The whole log, one JSON object per line (the CI artifact)."""
+        """The retained log (newest ``max_records`` records), one
+        JSON object per line (the CI artifact)."""
         import json
 
         return "".join(json.dumps(r, sort_keys=True) + "\n"

@@ -70,8 +70,11 @@ def validate_spec(spec: dict) -> dict:
     """Normalize and validate a job spec; raises :class:`SpecError`.
 
     Required: ``benchmarks`` (known names), ``techniques`` (known
-    names), ``seeds`` (ints).  Optional: ``scale`` (positive float,
-    default 0.1) and ``priority`` (int, default 0).
+    names), ``seeds`` (ints; booleans rejected).  Optional: ``scale``
+    (positive float, default 0.1) and ``priority`` (int, default 0).
+    Each axis is deduplicated preserving first-seen order — a repeated
+    value would mint the same cell fingerprint twice within one job
+    (double-credited cells, duplicate result rows).
     """
     if not isinstance(spec, dict):
         raise SpecError(f"job spec must be an object, got {type(spec).__name__}")
@@ -89,8 +92,14 @@ def validate_spec(spec: dict) -> dict:
     for technique in techniques:
         if technique not in ALL_TECHNIQUES:
             raise SpecError(f"unknown technique {technique!r}")
-    if not all(isinstance(seed, int) for seed in seeds):
-        raise SpecError("'seeds' must be integers")
+    if not all(
+        isinstance(seed, int) and not isinstance(seed, bool)
+        for seed in seeds
+    ):
+        raise SpecError("'seeds' must be integers (booleans rejected)")
+    benchmarks = list(dict.fromkeys(benchmarks))
+    techniques = list(dict.fromkeys(techniques))
+    seeds = list(dict.fromkeys(seeds))
     scale = spec.get("scale", 0.1)
     if not isinstance(scale, (int, float)) or scale <= 0:
         raise SpecError(f"'scale' must be a positive number, got {scale!r}")
@@ -200,6 +209,17 @@ class JobQueue:
                             "cell.deduped", job=job_id, fingerprint=fingerprint,
                         )
                         continue
+                    # Replacing a finished (done/failed) record: jobs
+                    # still waiting on their *other* cells reference
+                    # this fingerprint, and must carry over into the
+                    # fresh cell — otherwise the re-run's completion
+                    # would never credit them and they would stay
+                    # non-terminal forever.
+                    carried = [
+                        j for j in (live["jobs"] if live else ())
+                        if j in self.jobs
+                        and self.jobs[j]["status"] not in JOB_TERMINAL
+                    ]
                     self.cells[fingerprint] = {
                         "fingerprint": fingerprint,
                         "benchmark": benchmark,
@@ -207,7 +227,7 @@ class JobQueue:
                         "seed": seed,
                         "scale": spec["scale"],
                         "state": "queued",
-                        "jobs": [job_id],
+                        "jobs": carried + [job_id],
                         "lease": None,
                         "retries": 0,
                         "order": self._seq,

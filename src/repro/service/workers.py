@@ -170,6 +170,9 @@ class WorkerShard:
         self.events = events
         self.workers = max(1, workers)
         self._executor = executor
+        # Whether _executor came from warm_pool (ours to retire) or
+        # was injected by the caller (theirs to shut down).
+        self._owns_pool = False
         self.name = name
         self._tasks: list[asyncio.Task] = []
         self._stopping = False
@@ -183,6 +186,7 @@ class WorkerShard:
             self._executor = warm_pool(
                 self.workers, initializer=_close_inherited_inet_sockets,
             )
+            self._owns_pool = True
         return self._executor
 
     async def start(self) -> None:
@@ -260,11 +264,25 @@ class WorkerShard:
                 self.queue.heartbeat(fingerprint, worker_id)
         except BrokenExecutor:
             # The worker process died mid-cell.  Retire the broken
-            # pool (the next lease builds a fresh one) and hand the
-            # cell back to the queue's retry budget.
-            if self._executor is not None:
-                retire_pool(self.workers)
-                self._executor = None
+            # pool — but only when this shard created it via
+            # warm_pool, keyed with its own initializer, so an
+            # unrelated same-width pool (e.g. a bench sweep's) in
+            # this process is never torn down; an injected executor
+            # is the caller's to shut down.  Either way the next
+            # lease builds a fresh warm pool, and the cell goes back
+            # to the queue's retry budget.
+            if self._owns_pool:
+                retire_pool(
+                    self.workers,
+                    initializer=_close_inherited_inet_sockets,
+                )
+            elif self._executor is not None:
+                log.warning(
+                    "injected executor for shard %s broke; replacing "
+                    "it with a warm pool on the next lease", self.name,
+                )
+            self._executor = None
+            self._owns_pool = False
             self.queue.fail(fingerprint, "worker_death")
             return
         except asyncio.CancelledError:

@@ -94,3 +94,34 @@ class TestRouting:
         log.emit("job.enqueued", job="job-1", cells=3)
         lines = log.to_ndjson().strip().splitlines()
         assert [json.loads(line)["event"] for line in lines] == ["job.enqueued"]
+
+
+class TestBoundedMemory:
+    def test_global_log_is_ring_capped(self):
+        log = EventLog(max_records=3)
+        for i in range(5):
+            log.emit("cell.finished", fingerprint=f"f{i}")
+        assert [r["fingerprint"] for r in log.records] == ["f2", "f3", "f4"]
+        assert [r["seq"] for r in log.records] == [3, 4, 5]
+
+    def test_terminal_job_views_prune_beyond_retention(self):
+        log = EventLog(retain_terminal=2)
+        for i in range(4):
+            job = f"job-{i}"
+            log.emit("job.enqueued", job=job, cells=1)
+            log.emit("job.completed", job=job, reason="done")
+        # The two most recent terminal jobs still replay...
+        assert len(log.for_job("job-2")) == 2
+        assert len(log.for_job("job-3")) == 2
+        # ...older ones were pruned.
+        assert log.for_job("job-0") == []
+        assert log.for_job("job-1") == []
+
+    def test_unbounded_when_caps_are_none(self):
+        log = EventLog(max_records=None, retain_terminal=None)
+        for i in range(4):
+            job = f"job-{i}"
+            log.emit("job.enqueued", job=job, cells=1)
+            log.emit("job.completed", job=job, reason="done")
+        assert len(log.records) == 8
+        assert len(log.for_job("job-0")) == 2

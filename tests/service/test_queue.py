@@ -77,6 +77,19 @@ class TestSpecValidation:
         assert spec["scale"] == 0.1
         assert spec["priority"] == 0
 
+    def test_repeated_axis_values_are_deduped(self):
+        spec = validate_spec({
+            **SPEC,
+            "benchmarks": ["radiosity", "radiosity"],
+            "seeds": [1, 2, 1],
+        })
+        assert spec["benchmarks"] == ["radiosity"]
+        assert spec["seeds"] == [1, 2]
+
+    def test_boolean_seed_rejected(self):
+        with pytest.raises(SpecError, match="seeds"):
+            validate_spec({**SPEC, "seeds": [True]})
+
 
 class TestSubmitAndDedupe:
     def test_submit_explodes_matrix_into_cells(self, tmp_path):
@@ -114,6 +127,38 @@ class TestSubmitAndDedupe:
         queue.submit(SPEC)
         assert names(events).count("cell.enqueued") == 4
         assert names(events).count("cell.deduped") == 0
+
+    def test_duplicate_seed_submission_yields_unique_cells(self, tmp_path):
+        queue, _events, _clock = make_queue(tmp_path)
+        job = queue.submit({**SPEC, "seeds": [1, 1]})
+        assert len(job["cells"]) == len(set(job["cells"])) == 2
+        for fingerprint in job["cells"]:
+            assert queue.cells[fingerprint]["jobs"] == [job["id"]]
+
+    def test_resubmitted_done_cell_still_credits_the_waiting_job(
+        self, tmp_path,
+    ):
+        # Job A (2 cells) has one cell done; job B re-submits that
+        # cell while A still waits on its sibling.  The fresh queued
+        # cell must carry A's reference, or A's completion check
+        # never fires again and A stays queued forever (its event
+        # stream would never terminate).
+        queue, _events, _clock = make_queue(tmp_path)
+        job_a = queue.submit(SPEC)  # base + emesti cells
+        shared = job_a["cells"][0]
+        queue.lease("w0")
+        queue.complete(shared)
+        job_b = queue.submit({**SPEC, "techniques": ["base"]})
+        assert job_b["cells"] == [shared]
+        assert set(queue.cells[shared]["jobs"]) == {
+            job_a["id"], job_b["id"],
+        }
+        queue.lease("w1")
+        queue.complete(shared)
+        assert queue.jobs[job_b["id"]]["status"] == "done"
+        queue.lease("w2")
+        queue.complete(job_a["cells"][1])
+        assert queue.jobs[job_a["id"]]["status"] == "done"
 
 
 class TestLeasing:

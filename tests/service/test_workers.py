@@ -81,7 +81,8 @@ class TestCrashRecovery:
         replacement = ThreadPoolExecutor(max_workers=1)
         monkeypatch.setattr(workers_module, "warm_pool",
                             lambda _n, **_kw: replacement)
-        monkeypatch.setattr(workers_module, "retire_pool", lambda _n: None)
+        monkeypatch.setattr(workers_module, "retire_pool",
+                            lambda *_a, **_kw: None)
 
         async def scenario():
             events, queue, store, shard = build(
@@ -107,7 +108,8 @@ class TestCrashRecovery:
         crasher = CrashingExecutor(crashes=99)
         monkeypatch.setattr(workers_module, "warm_pool",
                             lambda _n, **_kw: crasher)
-        monkeypatch.setattr(workers_module, "retire_pool", lambda _n: None)
+        monkeypatch.setattr(workers_module, "retire_pool",
+                            lambda *_a, **_kw: None)
 
         async def scenario():
             events, queue, _store, shard = build(tmp_path, crasher)
@@ -118,6 +120,32 @@ class TestCrashRecovery:
             assert names.count("cell.failed") == 1
             completed = events.named("job.completed")
             assert completed[-1]["reason"] == "failed"
+
+        asyncio.run(scenario())
+
+    def test_broken_injected_executor_never_retires_warm_pools(
+        self, tmp_path, monkeypatch,
+    ):
+        # The shard did not create its executor, so it must not tear
+        # down a warm pool — retire_pool is keyed by (width,
+        # initializer) and a same-width pool could belong to another
+        # component (e.g. a bench sweep) in this process.
+        from repro.service import workers as workers_module
+
+        retired: list = []
+        replacement = ThreadPoolExecutor(max_workers=1)
+        monkeypatch.setattr(workers_module, "warm_pool",
+                            lambda *_a, **_kw: replacement)
+        monkeypatch.setattr(workers_module, "retire_pool",
+                            lambda *a, **kw: retired.append((a, kw)))
+
+        async def scenario():
+            _events, queue, _store, shard = build(
+                tmp_path, CrashingExecutor(crashes=1),
+            )
+            job = await run_job(queue, shard, SPEC)
+            assert job["status"] == "done"
+            assert retired == []
 
         asyncio.run(scenario())
 
