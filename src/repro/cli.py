@@ -279,6 +279,15 @@ def cmd_lint(args) -> int:
         for rule_id, cls in sorted(ALL_RULES.items()):
             print(f"{rule_id}  {cls.title}")
         return 0
+    rules = list(args.rule or [])
+    for prefix in args.select or []:
+        matched = sorted(r for r in ALL_RULES if r.startswith(prefix))
+        if not matched:
+            print(f"repro-sim: error: --select {prefix} matches no rule "
+                  f"(known: {', '.join(sorted(ALL_RULES))})",
+                  file=sys.stderr)
+            return 2
+        rules.extend(m for m in matched if m not in rules)
     baseline = None
     if args.baseline != "none" and not args.update_baseline:
         path = Baseline.default_path() if args.baseline is None else args.baseline
@@ -290,7 +299,7 @@ def cmd_lint(args) -> int:
     try:
         result = run_lint(
             paths=args.paths or None,
-            rules=args.rule or None,
+            rules=rules or None,
             baseline=baseline,
             audit=not args.no_audit,
         )
@@ -320,7 +329,7 @@ def cmd_lint(args) -> int:
     if args.format == "json":
         print(render_json(result, audit=not args.no_audit))
     else:
-        print(render_text(result, verbose=args.verbose))
+        print(render_text(result, verbose=args.verbose, stats=args.stats))
     return 0 if result.clean else 1
 
 
@@ -757,11 +766,12 @@ def build_parser() -> argparse.ArgumentParser:
         "lint",
         help="static determinism/protocol analysis (simlint)",
         description=(
-            "Run the simlint AST rules (SL001-SL009) over the repro "
-            "sources and the static protocol-table audit (SL101-SL104) "
-            "over the MESI/MOESI/MESTI/E-MESTI tables.  Exit 0 when "
-            "clean (after baseline suppression), 1 on new findings, "
-            "2 on bad arguments."
+            "Run the simlint AST rules (SL001-SL009), the whole-program "
+            "concurrency/contract analysis (SL201-SL205), and the static "
+            "protocol-table audit (SL101-SL104) over the "
+            "MESI/MOESI/MESTI/E-MESTI tables.  Exit 0 when clean (after "
+            "baseline suppression), 1 on new findings, 2 on bad "
+            "arguments."
         ),
     )
     lint_p.add_argument(
@@ -775,6 +785,17 @@ def build_parser() -> argparse.ArgumentParser:
     lint_p.add_argument(
         "--rule", action="append", metavar="ID",
         help="only run this rule id (repeatable)",
+    )
+    lint_p.add_argument(
+        "--select", action="append", metavar="PREFIX",
+        help="only run rules whose id starts with PREFIX, e.g. "
+             "--select SL2 for the whole-program layer (repeatable, "
+             "combines with --rule)",
+    )
+    lint_p.add_argument(
+        "--stats", action="store_true",
+        help="append an analysis summary (findings per rule, call-graph "
+             "size) to the text report",
     )
     lint_p.add_argument(
         "--baseline", default=None, metavar="PATH",

@@ -36,6 +36,11 @@ from repro.lint.engine import Finding
 #: an un-filled-in baseline cannot silently pass a gate.
 PLACEHOLDER_JUSTIFICATION = "TODO: justify"
 
+#: A justification shorter than this is a grunt, not an explanation
+#: ("ok", "fine", "wip" all fit in 9 characters); :meth:`Baseline.load`
+#: rejects it just like the placeholder.
+MIN_JUSTIFICATION_CHARS = 10
+
 
 class Baseline:
     """A set of justified suppressions, loaded from / saved to JSON."""
@@ -53,9 +58,10 @@ class Baseline:
         """Read and validate a baseline file.
 
         Raises :class:`~repro.common.errors.ConfigError` on a missing
-        file, bad JSON, an unknown version, or an entry without a
-        justification — a baseline that cannot explain itself is worse
-        than none.
+        file, bad JSON, an unknown version, or an entry whose
+        justification is absent, whitespace, the placeholder, or
+        shorter than :data:`MIN_JUSTIFICATION_CHARS` — a baseline that
+        cannot explain itself is worse than none.
         """
         path = Path(path)
         try:
@@ -81,6 +87,14 @@ class Baseline:
                     f"{PLACEHOLDER_JUSTIFICATION!r} placeholder; write a "
                     f"real justification (or re-run --update-baseline "
                     f"with --justification)"
+                )
+            if len(justification) < MIN_JUSTIFICATION_CHARS:
+                raise ConfigError(
+                    f"baseline {path}: entry {fp} ({entry.get('rule')}, "
+                    f"{entry.get('path')}) justification "
+                    f"{justification!r} is too short (need at least "
+                    f"{MIN_JUSTIFICATION_CHARS} characters explaining "
+                    f"why the finding is intentional)"
                 )
         return cls(entries)
 

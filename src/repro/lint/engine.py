@@ -77,6 +77,17 @@ class LintContext:
     # anywhere in the scanned tree (SL002 uses these to recognize
     # `entry.sharers`-style iterables without type inference).
     set_attrs: frozenset[str] = frozenset()
+    # Every parsed module, for whole-program (check_project) rules.
+    modules: tuple[ModuleSource, ...] = ()
+    _project: object = field(default=None, repr=False)
+
+    def project(self):
+        """The (lazily built, cached) whole-program call graph."""
+        if self._project is None:
+            from repro.lint.callgraph import build_project
+
+            self._project = build_project(self.modules)
+        return self._project
 
 
 class Rule:
@@ -109,6 +120,16 @@ class Rule:
         """Yield whole-tree findings (table-audit rules)."""
         return iter(())
 
+    def check_project(self, ctx: LintContext) -> Iterator[Finding]:
+        """Yield whole-program findings (call-graph / dataflow rules).
+
+        Runs once per invocation with every parsed module available in
+        ``ctx.modules`` and the call graph via ``ctx.project()``.
+        Implementations must honour :meth:`is_exempt` per finding
+        module themselves.
+        """
+        return iter(())
+
 
 @dataclass
 class LintResult:
@@ -119,6 +140,7 @@ class LintResult:
     unused_baseline: list[str]       # fingerprints that matched nothing
     files_scanned: int
     rules: list[str]
+    stats: dict = field(default_factory=dict)
 
     @property
     def clean(self) -> bool:
@@ -135,6 +157,7 @@ class LintResult:
             "findings": [f.to_json() for f in self.findings],
             "suppressed": [f.to_json() for f in self.suppressed],
             "unused_baseline": sorted(self.unused_baseline),
+            "stats": self.stats,
         }
 
 
@@ -232,10 +255,15 @@ def default_target() -> Path:
 
 def all_rules() -> "list[Rule]":
     """Fresh instances of every registered rule, audit rules last."""
+    from repro.lint.concurrency import CONCURRENCY_RULES
+    from repro.lint.contracts import CONTRACT_RULES
     from repro.lint.rules import AST_RULES
     from repro.lint.table_audit import AUDIT_RULES
 
-    return [cls() for cls in AST_RULES + AUDIT_RULES]
+    return [
+        cls()
+        for cls in AST_RULES + CONCURRENCY_RULES + CONTRACT_RULES + AUDIT_RULES
+    ]
 
 
 #: Registry of every rule class, in rule-id order.
@@ -323,24 +351,46 @@ def run_lint(
             lines=text.splitlines(),
         ))
 
-    ctx = LintContext(set_attrs=_collect_set_attrs(m.tree for m in modules))
+    ctx = LintContext(
+        set_attrs=_collect_set_attrs(m.tree for m in modules),
+        modules=tuple(modules),
+    )
     for rule in selected:
         for module in modules:
             if rule.is_exempt(module.rel):
                 continue
             findings.extend(rule.check_module(module, ctx))
         findings.extend(rule.check_tree())
+        findings.extend(rule.check_project(ctx))
 
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     new, suppressed, unused = findings, [], []
     if baseline is not None:
         new, suppressed, unused = baseline.partition(findings)
+
+    stats: dict = {
+        "files_scanned": len(modules),
+        "rules_run": len(selected),
+        "findings_per_rule": {},
+    }
+    per_rule: dict[str, int] = {}
+    for finding in findings:
+        per_rule[finding.rule] = per_rule.get(finding.rule, 0) + 1
+    stats["findings_per_rule"] = dict(sorted(per_rule.items()))
+    if ctx._project is not None:
+        project = ctx.project()
+        stats["callgraph"] = {
+            "functions": len(project.functions),
+            "classes": sum(len(v) for v in project.classes.values()),
+            "edges": project.edge_count,
+        }
     return LintResult(
         findings=new,
         suppressed=suppressed,
         unused_baseline=unused,
         files_scanned=len(modules),
         rules=[r.id for r in selected],
+        stats=stats,
     )
 
 

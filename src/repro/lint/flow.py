@@ -1,0 +1,313 @@
+"""Lightweight intraprocedural CFG + forward dataflow.
+
+The SL204/SL205 contract rules need to answer "can a value produced
+*here* reach this expression?" inside one function — classic forward
+dataflow.  Soundness-for-lint means we approximate in the quiet
+direction: the CFG joins branches with set-union, loops run to a
+fixpoint, and anything we cannot model (``exec``, attribute stores,
+globals) simply doesn't propagate taint, so unknown constructs never
+*create* findings.
+
+Two layers:
+
+* :func:`build_cfg` — basic blocks of simple statements with
+  successor edges; ``if``/``while``/``for``/``try`` are approximated
+  by join edges (both arms reachable, loop bodies re-entered), which
+  is exact enough for may-reach questions.
+* :func:`taint` — the worklist fixpoint specialized to
+  variable-name taint: a caller-supplied predicate decides which
+  expressions *introduce* taint, assignments propagate it, and the
+  result maps every statement to the set of names tainted on entry.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class Block:
+    """A basic block: straight-line simple statements + successors."""
+
+    index: int
+    statements: list[ast.stmt] = field(default_factory=list)
+    successors: list[int] = field(default_factory=list)
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one function body."""
+
+    blocks: list[Block]
+    entry: int = 0
+
+    def predecessors(self) -> dict[int, list[int]]:
+        """Reverse edge map (block index -> predecessor indexes)."""
+        preds: dict[int, list[int]] = {b.index: [] for b in self.blocks}
+        for block in self.blocks:
+            for succ in block.successors:
+                preds[succ].append(block.index)
+        return preds
+
+
+class _Builder:
+    """Builds a CFG from a statement list, one block at a time."""
+
+    def __init__(self) -> None:
+        self.blocks: list[Block] = []
+        self.current = self._new_block()
+
+    def _new_block(self) -> Block:
+        block = Block(index=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def _link(self, src: Block, dst: Block) -> None:
+        if dst.index not in src.successors:
+            src.successors.append(dst.index)
+
+    def add_body(self, body: list[ast.stmt]) -> None:
+        """Append a statement list to the block under construction."""
+        for stmt in body:
+            self.add_statement(stmt)
+
+    def add_statement(self, stmt: ast.stmt) -> None:
+        """Append one statement, splitting blocks at control flow."""
+        if isinstance(stmt, (ast.If,)):
+            self._add_branch(stmt.body, stmt.orelse, condition=stmt)
+        elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            self._add_loop(stmt)
+        elif isinstance(stmt, (ast.Try,)):
+            self._add_try(stmt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            # A with-block always runs its body; keep it inline but
+            # record the With itself first (the SL202 guard scanner
+            # keys on the statement).
+            self.current.statements.append(stmt)
+            self.add_body(stmt.body)
+        elif isinstance(stmt, (ast.Return, ast.Raise, ast.Break,
+                               ast.Continue)):
+            self.current.statements.append(stmt)
+            # Control leaves; start a fresh unreachable-ish block so
+            # later statements don't inherit this block's edges.
+            self.current = self._new_block()
+        else:
+            self.current.statements.append(stmt)
+
+    def _add_branch(
+        self,
+        body: list[ast.stmt],
+        orelse: list[ast.stmt],
+        condition: ast.stmt,
+    ) -> None:
+        head = self.current
+        head.statements.append(condition)
+        then_block = self._new_block()
+        self._link(head, then_block)
+        self.current = then_block
+        self.add_body(body)
+        then_exit = self.current
+        else_exit = head
+        if orelse:
+            else_block = self._new_block()
+            self._link(head, else_block)
+            self.current = else_block
+            self.add_body(orelse)
+            else_exit = self.current
+        join = self._new_block()
+        self._link(then_exit, join)
+        self._link(else_exit, join)
+        self.current = join
+
+    def _add_loop(self, stmt: ast.stmt) -> None:
+        head = self._new_block()
+        self._link(self.current, head)
+        head.statements.append(stmt)
+        body_block = self._new_block()
+        self._link(head, body_block)
+        self.current = body_block
+        self.add_body(stmt.body)  # type: ignore[attr-defined]
+        self._link(self.current, head)  # back edge
+        exit_block = self._new_block()
+        self._link(head, exit_block)
+        orelse = getattr(stmt, "orelse", [])
+        if orelse:
+            self.current = exit_block
+            self.add_body(orelse)
+            exit_block = self.current
+        self.current = exit_block
+
+    def _add_try(self, stmt: ast.Try) -> None:
+        head = self.current
+        body_block = self._new_block()
+        self._link(head, body_block)
+        self.current = body_block
+        self.add_body(stmt.body)
+        body_exit = self.current
+        exits = [body_exit]
+        for handler in stmt.handlers:
+            handler_block = self._new_block()
+            # A handler can run after any prefix of the body; edging
+            # from both head and body-exit over-approximates safely.
+            self._link(head, handler_block)
+            self._link(body_exit, handler_block)
+            self.current = handler_block
+            self.add_body(handler.body)
+            exits.append(self.current)
+        if stmt.orelse:
+            else_block = self._new_block()
+            self._link(body_exit, else_block)
+            self.current = else_block
+            self.add_body(stmt.orelse)
+            exits[0] = self.current
+        join = self._new_block()
+        for block in exits:
+            self._link(block, join)
+        self.current = join
+        if stmt.finalbody:
+            self.add_body(stmt.finalbody)
+
+
+def build_cfg(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """The CFG of one function's body (nested defs are opaque)."""
+    builder = _Builder()
+    builder.add_body(fn.body)
+    return CFG(blocks=builder.blocks)
+
+
+# ----------------------------------------------------------------------
+# Forward dataflow: variable-name taint
+# ----------------------------------------------------------------------
+
+#: Predicate deciding whether an expression *introduces* taint.
+SourcePredicate = Callable[[ast.expr], bool]
+
+
+def expr_tainted(
+    expr: ast.expr | None,
+    tainted: frozenset[str],
+    is_source: SourcePredicate,
+) -> bool:
+    """Whether an expression's value may carry taint.
+
+    True when any sub-expression is a taint source or a read of a
+    tainted name.  f-strings, arithmetic, comprehensions, dict/list
+    displays, and calls all propagate through their operands — a call
+    with a tainted argument is assumed to return taint (quietly
+    over-tainting inside the function keeps the *source* judgement
+    conservative, and sinks only fire on literal field matches).
+    """
+    if expr is None:
+        return False
+    for node in ast.walk(expr):
+        if isinstance(node, ast.expr) and is_source(node):
+            return True
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            if node.id in tainted:
+                return True
+    return False
+
+
+def _assigned_names(target: ast.expr) -> list[str]:
+    """Plain local names bound by an assignment target."""
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: list[str] = []
+        for elt in target.elts:
+            names.extend(_assigned_names(elt))
+        return names
+    if isinstance(target, ast.Starred):
+        return _assigned_names(target.value)
+    return []
+
+
+def _transfer(
+    stmt: ast.stmt,
+    tainted: frozenset[str],
+    is_source: SourcePredicate,
+) -> frozenset[str]:
+    """State after one simple statement.
+
+    Only the statement's *own* binding effect is applied; compound
+    statements reached here are branch/loop heads whose bodies live in
+    other blocks, so just their test/iter expressions matter (and
+    those bind nothing except for-loop targets).
+    """
+    out = set(tainted)
+    if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        targets = (
+            stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        )
+        value = stmt.value
+        names = [n for t in targets for n in _assigned_names(t)]
+        if isinstance(stmt, ast.AugAssign):
+            # `x += src` taints x; `x += clean` keeps x's status.
+            if expr_tainted(value, tainted, is_source):
+                out.update(names)
+        elif expr_tainted(value, tainted, is_source):
+            out.update(names)
+        else:
+            out.difference_update(names)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        if expr_tainted(stmt.iter, tainted, is_source):
+            out.update(_assigned_names(stmt.target))
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None and expr_tainted(
+                item.context_expr, tainted, is_source
+            ):
+                out.update(_assigned_names(item.optional_vars))
+    return frozenset(out)
+
+
+def taint(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    is_source: SourcePredicate,
+    initial: frozenset[str] = frozenset(),
+) -> dict[ast.stmt, frozenset[str]]:
+    """Which names are tainted on entry to each statement.
+
+    Runs the forward worklist fixpoint over :func:`build_cfg`'s graph
+    with set-union join.  The result maps each statement node (every
+    simple statement and compound-statement head in the CFG, keyed by
+    identity) to the tainted-name set holding immediately *before* it
+    executes; query an expression inside the statement with
+    :func:`expr_tainted`.
+    """
+    cfg = build_cfg(fn)
+    preds = cfg.predecessors()
+    block_in: dict[int, frozenset[str]] = {
+        b.index: frozenset() for b in cfg.blocks
+    }
+    block_in[cfg.entry] = initial
+    block_out: dict[int, frozenset[str]] = dict(block_in)
+    worklist = [b.index for b in cfg.blocks]
+    while worklist:
+        index = worklist.pop(0)
+        block = cfg.blocks[index]
+        state = frozenset(block_in[index])
+        merged: set[str] = set(state)
+        for pred in preds[index]:
+            merged |= block_out[pred]
+        if index == cfg.entry:
+            merged |= initial
+        state = frozenset(merged)
+        block_in[index] = state
+        for stmt in block.statements:
+            state = _transfer(stmt, state, is_source)
+        if state != block_out[index]:
+            block_out[index] = state
+            for succ in block.successors:
+                if succ not in worklist:
+                    worklist.append(succ)
+    # Replay each block to record the per-statement entry states.
+    entry_states: dict[ast.stmt, frozenset[str]] = {}
+    for block in cfg.blocks:
+        state = block_in[block.index]
+        for stmt in block.statements:
+            entry_states[stmt] = state
+            state = _transfer(stmt, state, is_source)
+    return entry_states

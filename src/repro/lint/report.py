@@ -13,7 +13,9 @@ import json
 from repro.lint.engine import LintResult
 
 
-def render_text(result: LintResult, verbose: bool = False) -> str:
+def render_text(
+    result: LintResult, verbose: bool = False, stats: bool = False,
+) -> str:
     """Human-readable findings listing with a one-line verdict."""
     lines: list[str] = []
     for finding in result.findings:
@@ -37,6 +39,18 @@ def render_text(result: LintResult, verbose: bool = False) -> str:
         f"({result.files_scanned} files, {len(result.rules)} rules, "
         f"{len(result.suppressed)} baselined)"
     )
+    if stats and result.stats:
+        per_rule = result.stats.get("findings_per_rule") or {}
+        counts = " ".join(
+            f"{rule}={count}" for rule, count in sorted(per_rule.items())
+        ) or "none"
+        lines.append(f"stats: new findings by rule: {counts}")
+        graph = result.stats.get("callgraph")
+        if graph:
+            lines.append(
+                f"stats: call graph: {graph['functions']} functions, "
+                f"{graph['classes']} classes, {graph['edges']} edges"
+            )
     return "\n".join(lines)
 
 

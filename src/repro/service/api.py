@@ -77,11 +77,22 @@ class Service:
         )
         self._server: asyncio.AbstractServer | None = None
         self._wake = asyncio.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
         self.events.subscribe(lambda _record: self._wake_streams())
 
     def _wake_streams(self) -> None:
-        """Wake every pending event stream after an emit."""
-        self._wake.set()
+        """Wake every pending event stream after an emit.
+
+        Emits now happen on executor threads (queue/store calls are
+        offloaded), and ``asyncio.Event.set`` is not thread-safe —
+        marshal onto the captured loop.  Before :meth:`start` there is
+        no loop (synchronous state-machine tests): set directly.
+        """
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            loop.call_soon_threadsafe(self._wake.set)
+        else:
+            self._wake.set()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -89,6 +100,7 @@ class Service:
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
         """Start the shard and the HTTP listener; returns (host, port)."""
+        self._loop = asyncio.get_running_loop()
         await self.shard.start()
         self._server = await asyncio.start_server(
             self._handle_connection, host=host, port=port,
@@ -231,8 +243,11 @@ class Service:
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             await self._respond(writer, 400, {"error": f"bad JSON: {exc}"})
             return
+        loop = asyncio.get_running_loop()
         try:
-            job = self.queue.submit(spec)
+            # submit() rewrites state.json under the queue lock; off
+            # the loop so a slow disk cannot stall other requests.
+            job = await loop.run_in_executor(None, self.queue.submit, spec)
         except SpecError as exc:
             await self._respond(writer, 400, {"error": str(exc)})
             return
@@ -244,8 +259,11 @@ class Service:
         self, job_id: str, writer: asyncio.StreamWriter,
     ) -> None:
         """``GET /jobs/{id}``: the record + per-cell states."""
+        loop = asyncio.get_running_loop()
         try:
-            doc = self.queue.job_status(job_id)
+            doc = await loop.run_in_executor(
+                None, self.queue.job_status, job_id,
+            )
         except KeyError:
             await self._respond(writer, 404, {"error": f"no job {job_id}"})
             return
@@ -255,8 +273,9 @@ class Service:
         self, job_id: str, writer: asyncio.StreamWriter,
     ) -> None:
         """``POST /jobs/{id}/cancel``."""
+        loop = asyncio.get_running_loop()
         try:
-            job = self.queue.cancel(job_id)
+            job = await loop.run_in_executor(None, self.queue.cancel, job_id)
         except KeyError:
             await self._respond(writer, 404, {"error": f"no job {job_id}"})
             return
@@ -267,8 +286,14 @@ class Service:
     async def _stream_events(
         self, job_id: str, writer: asyncio.StreamWriter,
     ) -> None:
-        """``GET /jobs/{id}/events``: replay + follow as NDJSON."""
-        if job_id not in self.queue.jobs:
+        """``GET /jobs/{id}/events``: replay + follow as NDJSON.
+
+        Queue state is read through the locked accessors — the
+        ``jobs`` dict is mutated by executor threads under the queue
+        lock, so a direct read here would race them (simlint SL202).
+        """
+        loop = asyncio.get_running_loop()
+        if not await loop.run_in_executor(None, self.queue.has_job, job_id):
             await self._respond(writer, 404, {"error": f"no job {job_id}"})
             return
         writer.write(
@@ -285,7 +310,9 @@ class Service:
                 )
             sent = len(records)
             await writer.drain()
-            status = self.queue.jobs[job_id]["status"]
+            status = await loop.run_in_executor(
+                None, self.queue.status, job_id,
+            )
             if status in JOB_TERMINAL:
                 break
             self._wake.clear()
@@ -298,7 +325,10 @@ class Service:
         self, fingerprint: str, writer: asyncio.StreamWriter,
     ) -> None:
         """``GET /results/{fingerprint}``: coords + stored summary."""
-        doc = self.store.by_fingerprint(fingerprint)
+        loop = asyncio.get_running_loop()
+        doc = await loop.run_in_executor(
+            None, self.store.by_fingerprint, fingerprint,
+        )
         if doc is None:
             await self._respond(
                 writer, 404, {"error": f"no result for {fingerprint}"},

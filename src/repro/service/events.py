@@ -22,6 +22,7 @@ only ``.emit()`` string-literal names declared here.
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict, deque
 from dataclasses import dataclass
 from typing import Any, Callable
@@ -105,6 +106,13 @@ class EventLog:
     pruned once more than ``retain_terminal`` jobs have finished
     after them.  Pass ``None`` for either to keep everything (the
     pure state-machine tests do).
+
+    Thread-safety: the service emits from executor threads (queue and
+    store calls are offloaded so their file I/O stays off the event
+    loop), so all log state is serialized on one reentrant lock.
+    Subscribers are called *outside* the lock — a subscriber that
+    re-enters the log or wakes the loop must not be able to deadlock
+    against a concurrent emitter.
     """
 
     def __init__(
@@ -122,6 +130,7 @@ class EventLog:
         )
         self._seq = 0
         self.retain_terminal = retain_terminal
+        self._lock = threading.RLock()
         self.records: deque[dict[str, Any]] = deque(maxlen=max_records)
         self._by_job: dict[str, list[dict[str, Any]]] = defaultdict(list)
         self._cell_jobs: dict[str, set[str]] = defaultdict(set)
@@ -138,27 +147,30 @@ class EventLog:
             raise ValueError(
                 f"event {name!r} is missing required fields {missing}"
             )
-        self._seq += 1
-        record = {"seq": self._seq, "event": name, **fields}
-        self.records.append(record)
-        # Route the record into every interested job's view: the
-        # explicit ``job`` field, plus every job attached to the
-        # cell fingerprint (cell.leased/started/... carry only the
-        # fingerprint, but a job's stream must show its cells' whole
-        # lifecycle — including cells it shares with other jobs).
-        jobs = set()
-        if fields.get("job") is not None:
-            jobs.add(fields["job"])
-        fingerprint = fields.get("fingerprint")
-        if fingerprint is not None:
-            jobs |= self._cell_jobs.get(fingerprint, set())
-        for job in sorted(jobs):
-            self._by_job[job].append(record)
-        if name == "job.completed":
-            self._retire_job_view(fields.get("job"))
-        self._counter.labels(event=name).inc()
-        self._tracer.emit(name, **fields)
-        for subscriber in self._subscribers:
+        with self._lock:
+            self._seq += 1
+            record = {"seq": self._seq, "event": name, **fields}
+            self.records.append(record)
+            # Route the record into every interested job's view: the
+            # explicit ``job`` field, plus every job attached to the
+            # cell fingerprint (cell.leased/started/... carry only the
+            # fingerprint, but a job's stream must show its cells'
+            # whole lifecycle — including cells it shares with other
+            # jobs).
+            jobs = set()
+            if fields.get("job") is not None:
+                jobs.add(fields["job"])
+            fingerprint = fields.get("fingerprint")
+            if fingerprint is not None:
+                jobs |= self._cell_jobs.get(fingerprint, set())
+            for job in sorted(jobs):
+                self._by_job[job].append(record)
+            if name == "job.completed":
+                self._retire_job_view(fields.get("job"))
+            self._counter.labels(event=name).inc()
+            self._tracer.emit(name, **fields)
+            subscribers = list(self._subscribers)
+        for subscriber in subscribers:
             subscriber(record)
         return record
 
@@ -178,38 +190,46 @@ class EventLog:
     def prune_job(self, job_id: str) -> None:
         """Drop one job's per-job view (the shared records stay in
         the global ring until they age out)."""
-        self._by_job.pop(job_id, None)
+        with self._lock:
+            self._by_job.pop(job_id, None)
 
     def attach(self, fingerprint: str, job: str) -> None:
         """Stream future events for this cell into ``job``'s view."""
-        self._cell_jobs[fingerprint].add(job)
+        with self._lock:
+            self._cell_jobs[fingerprint].add(job)
 
     def detach_cell(self, fingerprint: str) -> None:
         """Forget a retired cell's job routing (the cell left the
         live set; a later identical submission re-attaches)."""
-        self._cell_jobs.pop(fingerprint, None)
+        with self._lock:
+            self._cell_jobs.pop(fingerprint, None)
 
     def subscribe(self, callback: Callable[[dict[str, Any]], None]) -> None:
         """Call ``callback(record)`` after every future emit."""
-        self._subscribers.append(callback)
+        with self._lock:
+            self._subscribers.append(callback)
 
     def unsubscribe(self, callback: Callable[[dict[str, Any]], None]) -> None:
         """Remove a subscriber registered with :meth:`subscribe`."""
-        if callback in self._subscribers:
-            self._subscribers.remove(callback)
+        with self._lock:
+            if callback in self._subscribers:
+                self._subscribers.remove(callback)
 
     def for_job(self, job_id: str) -> list[dict[str, Any]]:
         """The events attributed to one job, in emission order."""
-        return list(self._by_job.get(job_id, ()))
+        with self._lock:
+            return list(self._by_job.get(job_id, ()))
 
     def named(self, name: str) -> list[dict[str, Any]]:
         """Every record of one declared event name."""
-        return [r for r in self.records if r["event"] == name]
+        with self._lock:
+            return [r for r in self.records if r["event"] == name]
 
     def to_ndjson(self) -> str:
         """The retained log (newest ``max_records`` records), one
         JSON object per line (the CI artifact)."""
         import json
 
-        return "".join(json.dumps(r, sort_keys=True) + "\n"
-                       for r in self.records)
+        with self._lock:
+            return "".join(json.dumps(r, sort_keys=True) + "\n"
+                           for r in self.records)

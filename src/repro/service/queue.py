@@ -29,6 +29,13 @@ Durability: every mutation rewrites ``state.json`` atomically
 returned to *queued* — the lease holder died with the process, and a
 re-run of a deterministic cell is always safe.
 
+Thread-safety: the service offloads queue calls to executor threads
+(the ``state.json`` rewrite must not block the event loop — simlint
+SL201), so every public method serializes on one reentrant lock and
+``jobs``/``cells``/``_seq`` must only be touched with it held
+(simlint SL202 enforces this statically).  Async callers read state
+through the locked :meth:`has_job`/:meth:`status` accessors.
+
 All timestamps come from the injected ``clock`` (default
 :func:`time.perf_counter`) and ids from a persisted sequence counter,
 keeping the service inside the repo's determinism lint (SL001): no
@@ -39,6 +46,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from pathlib import Path
 from typing import Any, Callable, Iterable
@@ -147,6 +155,9 @@ class JobQueue:
         self.max_retries = max_retries
         self.config = config or scaled_config()
         self._state_path = self.root / "state.json"
+        # Reentrant: public methods take it and call helpers that
+        # assume it is held; queue -> events is the only lock order.
+        self._lock = threading.RLock()
         self._seq = 0
         self.jobs: dict[str, dict[str, Any]] = {}
         self.cells: dict[str, dict[str, Any]] = {}
@@ -190,122 +201,142 @@ class JobQueue:
     def submit(self, spec: dict) -> dict[str, Any]:
         """Accept a spec; returns the job record (raises SpecError)."""
         spec = validate_spec(spec)
-        job_id = self._next_id("job")
-        fingerprints: list[str] = []
-        deduped: list[str] = []
-        for benchmark in spec["benchmarks"]:
-            for technique in spec["techniques"]:
-                for seed in spec["seeds"]:
-                    fingerprint = cell_identity(
-                        benchmark, technique, seed, spec["scale"], self.config,
-                    )
-                    fingerprints.append(fingerprint)
-                    self.events.attach(fingerprint, job_id)
-                    live = self.cells.get(fingerprint)
-                    if live is not None and live["state"] in ("queued", "leased"):
-                        live["jobs"].append(job_id)
-                        deduped.append(fingerprint)
-                        self.events.emit(
-                            "cell.deduped", job=job_id, fingerprint=fingerprint,
+        with self._lock:
+            job_id = self._next_id("job")
+            fingerprints: list[str] = []
+            deduped: list[str] = []
+            for benchmark in spec["benchmarks"]:
+                for technique in spec["techniques"]:
+                    for seed in spec["seeds"]:
+                        fingerprint = cell_identity(
+                            benchmark, technique, seed, spec["scale"],
+                            self.config,
                         )
-                        continue
-                    # Replacing a finished (done/failed) record: jobs
-                    # still waiting on their *other* cells reference
-                    # this fingerprint, and must carry over into the
-                    # fresh cell — otherwise the re-run's completion
-                    # would never credit them and they would stay
-                    # non-terminal forever.
-                    carried = [
-                        j for j in (live["jobs"] if live else ())
-                        if j in self.jobs
-                        and self.jobs[j]["status"] not in JOB_TERMINAL
-                    ]
-                    self.cells[fingerprint] = {
-                        "fingerprint": fingerprint,
-                        "benchmark": benchmark,
-                        "technique": technique,
-                        "seed": seed,
-                        "scale": spec["scale"],
-                        "state": "queued",
-                        "jobs": carried + [job_id],
-                        "lease": None,
-                        "retries": 0,
-                        "order": self._seq,
-                    }
-                    self.events.emit(
-                        "cell.enqueued", job=job_id, fingerprint=fingerprint,
-                    )
-        job = {
-            "id": job_id,
-            "spec": spec,
-            "priority": spec["priority"],
-            "cells": fingerprints,
-            "status": "queued",
-            "reason": None,
-        }
-        self.jobs[job_id] = job
-        self.events.emit("job.enqueued", job=job_id, cells=len(fingerprints))
-        self._save()
-        return job
+                        fingerprints.append(fingerprint)
+                        self.events.attach(fingerprint, job_id)
+                        live = self.cells.get(fingerprint)
+                        if live is not None and live["state"] in (
+                            "queued", "leased",
+                        ):
+                            live["jobs"].append(job_id)
+                            deduped.append(fingerprint)
+                            self.events.emit(
+                                "cell.deduped", job=job_id,
+                                fingerprint=fingerprint,
+                            )
+                            continue
+                        # Replacing a finished (done/failed) record:
+                        # jobs still waiting on their *other* cells
+                        # reference this fingerprint, and must carry
+                        # over into the fresh cell — otherwise the
+                        # re-run's completion would never credit them
+                        # and they would stay non-terminal forever.
+                        carried = [
+                            j for j in (live["jobs"] if live else ())
+                            if j in self.jobs
+                            and self.jobs[j]["status"] not in JOB_TERMINAL
+                        ]
+                        self.cells[fingerprint] = {
+                            "fingerprint": fingerprint,
+                            "benchmark": benchmark,
+                            "technique": technique,
+                            "seed": seed,
+                            "scale": spec["scale"],
+                            "state": "queued",
+                            "jobs": carried + [job_id],
+                            "lease": None,
+                            "retries": 0,
+                            "order": self._seq,
+                        }
+                        self.events.emit(
+                            "cell.enqueued", job=job_id,
+                            fingerprint=fingerprint,
+                        )
+            job = {
+                "id": job_id,
+                "spec": spec,
+                "priority": spec["priority"],
+                "cells": fingerprints,
+                "status": "queued",
+                "reason": None,
+            }
+            self.jobs[job_id] = job
+            self.events.emit(
+                "job.enqueued", job=job_id, cells=len(fingerprints),
+            )
+            self._save()
+            return job
 
     # ------------------------------------------------------------------
     # Leasing
     # ------------------------------------------------------------------
 
     def _priority(self, cell: dict[str, Any]) -> int:
-        """A cell leases at the highest priority of its live jobs."""
-        priorities = [
-            self.jobs[job_id]["priority"]
-            for job_id in cell["jobs"]
-            if job_id in self.jobs
-            and self.jobs[job_id]["status"] not in JOB_TERMINAL
-        ]
-        return max(priorities, default=0)
+        """A cell leases at the highest priority of its live jobs.
+
+        Takes the (reentrant) lock itself: it is invoked through
+        ``lease``'s sort-key lambda, which the static call graph
+        cannot follow into, so it cannot be proven lock-held.
+        """
+        with self._lock:
+            priorities = [
+                self.jobs[job_id]["priority"]
+                for job_id in cell["jobs"]
+                if job_id in self.jobs
+                and self.jobs[job_id]["status"] not in JOB_TERMINAL
+            ]
+            return max(priorities, default=0)
 
     def lease(self, worker: str) -> dict[str, Any] | None:
         """Take the best queued cell under a heartbeat lease, if any."""
-        queued = [c for c in self.cells.values() if c["state"] == "queued"]
-        if not queued:
-            return None
-        cell = min(queued, key=lambda c: (-self._priority(c), c["order"]))
-        cell["state"] = "leased"
-        cell["lease"] = {
-            "worker": worker,
-            "deadline": self.clock() + self.lease_ttl,
-        }
-        self.events.emit(
-            "cell.leased", fingerprint=cell["fingerprint"], worker=worker,
-        )
-        self._save()
-        return dict(cell)
+        with self._lock:
+            queued = [
+                c for c in self.cells.values() if c["state"] == "queued"
+            ]
+            if not queued:
+                return None
+            cell = min(queued, key=lambda c: (-self._priority(c), c["order"]))
+            cell["state"] = "leased"
+            cell["lease"] = {
+                "worker": worker,
+                "deadline": self.clock() + self.lease_ttl,
+            }
+            self.events.emit(
+                "cell.leased", fingerprint=cell["fingerprint"], worker=worker,
+            )
+            self._save()
+            return dict(cell)
 
     def heartbeat(self, fingerprint: str, worker: str) -> bool:
         """Renew a live lease; False if the lease is no longer held."""
-        cell = self.cells.get(fingerprint)
-        if (
-            cell is None or cell["state"] != "leased"
-            or not cell["lease"] or cell["lease"]["worker"] != worker
-        ):
-            return False
-        cell["lease"]["deadline"] = self.clock() + self.lease_ttl
-        self._save()
-        return True
+        with self._lock:
+            cell = self.cells.get(fingerprint)
+            if (
+                cell is None or cell["state"] != "leased"
+                or not cell["lease"] or cell["lease"]["worker"] != worker
+            ):
+                return False
+            cell["lease"]["deadline"] = self.clock() + self.lease_ttl
+            self._save()
+            return True
 
     def expire_leases(self) -> list[str]:
         """Re-enqueue (or fail) every cell whose lease deadline passed."""
-        now = self.clock()
-        expired = [
-            c["fingerprint"] for c in self.cells.values()
-            if c["state"] == "leased" and c["lease"]
-            and c["lease"]["deadline"] < now
-        ]
-        for fingerprint in expired:
-            self._bounce(fingerprint, "lease_expired")
-        return expired
+        with self._lock:
+            now = self.clock()
+            expired = [
+                c["fingerprint"] for c in self.cells.values()
+                if c["state"] == "leased" and c["lease"]
+                and c["lease"]["deadline"] < now
+            ]
+            for fingerprint in expired:
+                self._bounce(fingerprint, "lease_expired")
+            return expired
 
     def fail(self, fingerprint: str, reason: str) -> None:
         """A worker reported the cell's run died; retry or fail it."""
-        self._bounce(fingerprint, reason)
+        with self._lock:
+            self._bounce(fingerprint, reason)
 
     def _bounce(self, fingerprint: str, reason: str) -> None:
         """Shared retry-or-fail transition for lost leases."""
@@ -334,23 +365,24 @@ class JobQueue:
 
     def complete(self, fingerprint: str) -> None:
         """Mark a cell done (its summary is in the store) and credit jobs."""
-        cell = self.cells.get(fingerprint)
-        if cell is None or cell["state"] in ("done", "failed"):
-            return
-        cell["state"] = "done"
-        cell["lease"] = None
-        self.events.emit("cell.finished", fingerprint=fingerprint)
-        for job_id in list(cell["jobs"]):
-            job = self.jobs.get(job_id)
-            if job is None or job["status"] in JOB_TERMINAL:
-                continue
-            if all(
-                self.cells.get(f, {}).get("state") == "done"
-                for f in job["cells"]
-            ):
-                self._finish_job(job_id, "done")
-        self._gc_cells()
-        self._save()
+        with self._lock:
+            cell = self.cells.get(fingerprint)
+            if cell is None or cell["state"] in ("done", "failed"):
+                return
+            cell["state"] = "done"
+            cell["lease"] = None
+            self.events.emit("cell.finished", fingerprint=fingerprint)
+            for job_id in list(cell["jobs"]):
+                job = self.jobs.get(job_id)
+                if job is None or job["status"] in JOB_TERMINAL:
+                    continue
+                if all(
+                    self.cells.get(f, {}).get("state") == "done"
+                    for f in job["cells"]
+                ):
+                    self._finish_job(job_id, "done")
+            self._gc_cells()
+            self._save()
 
     def _finish_job(self, job_id: str, reason: str) -> None:
         """Move a job to a terminal state and emit ``job.completed``."""
@@ -386,44 +418,58 @@ class JobQueue:
 
     def cancel(self, job_id: str) -> dict[str, Any]:
         """Cancel a job; drains its exclusively-held queued cells."""
-        job = self.jobs.get(job_id)
-        if job is None:
-            raise KeyError(job_id)
-        if job["status"] in JOB_TERMINAL:
+        with self._lock:
+            job = self.jobs.get(job_id)
+            if job is None:
+                raise KeyError(job_id)
+            if job["status"] in JOB_TERMINAL:
+                return dict(job)
+            self._finish_job(job_id, "cancelled")
+            for fingerprint in job["cells"]:
+                cell = self.cells.get(fingerprint)
+                if cell is None:
+                    continue
+                others = [
+                    j for j in cell["jobs"]
+                    if j != job_id
+                    and self.jobs.get(j, {}).get("status") not in JOB_TERMINAL
+                ]
+                if cell["state"] == "queued" and not others:
+                    # Nobody else wants it and no worker holds it: drop.
+                    del self.cells[fingerprint]
+                    self.events.detach_cell(fingerprint)
+                # A leased cell finishes its run (the result is still
+                # stored); the cancelled job just no longer waits on it.
+            self._gc_cells()
+            self._save()
             return dict(job)
-        self._finish_job(job_id, "cancelled")
-        for fingerprint in job["cells"]:
-            cell = self.cells.get(fingerprint)
-            if cell is None:
-                continue
-            others = [
-                j for j in cell["jobs"]
-                if j != job_id
-                and self.jobs.get(j, {}).get("status") not in JOB_TERMINAL
-            ]
-            if cell["state"] == "queued" and not others:
-                # Nobody else wants it and no worker holds it: drop.
-                del self.cells[fingerprint]
-                self.events.detach_cell(fingerprint)
-            # A leased cell finishes its run (the result is still
-            # stored); the cancelled job just no longer waits on it.
-        self._gc_cells()
-        self._save()
-        return dict(job)
 
     def job_status(self, job_id: str) -> dict[str, Any]:
         """The job record plus per-cell states (raises KeyError)."""
-        job = self.jobs[job_id]
-        gone = "dropped" if job["status"] == "cancelled" else "done"
-        cells = {}
-        for fingerprint in job["cells"]:
-            cell = self.cells.get(fingerprint)
-            cells[fingerprint] = cell["state"] if cell else gone
-        return {**job, "cell_states": cells}
+        with self._lock:
+            job = self.jobs[job_id]
+            gone = "dropped" if job["status"] == "cancelled" else "done"
+            cells = {}
+            for fingerprint in job["cells"]:
+                cell = self.cells.get(fingerprint)
+                cells[fingerprint] = cell["state"] if cell else gone
+            return {**job, "cell_states": cells}
+
+    def has_job(self, job_id: str) -> bool:
+        """Locked existence probe (async callers must not touch
+        ``jobs`` directly — simlint SL202)."""
+        with self._lock:
+            return job_id in self.jobs
+
+    def status(self, job_id: str) -> str:
+        """A job's current status string (raises KeyError)."""
+        with self._lock:
+            return self.jobs[job_id]["status"]
 
     def pending(self) -> Iterable[dict[str, Any]]:
         """Every live (queued or leased) cell, for inspection."""
-        return [
-            dict(c) for c in self.cells.values()
-            if c["state"] in ("queued", "leased")
-        ]
+        with self._lock:
+            return [
+                dict(c) for c in self.cells.values()
+                if c["state"] in ("queued", "leased")
+            ]

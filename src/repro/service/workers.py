@@ -35,6 +35,7 @@ import asyncio
 import json
 import logging
 import os
+import threading
 from concurrent.futures import BrokenExecutor, Executor
 from pathlib import Path
 from typing import Any
@@ -88,11 +89,19 @@ def _close_inherited_inet_sockets() -> None:
 
 
 class ResultStore:
-    """Fingerprint-addressable store over MatrixRunner caches."""
+    """Fingerprint-addressable store over MatrixRunner caches.
+
+    Thread-safe: the shard offloads store calls to executor threads
+    (cache reads/writes are file I/O that must stay off the event loop
+    — simlint SL201), so every public method serializes on one
+    reentrant lock; the wrapped MatrixRunners are only ever touched
+    with it held (SL202 polices the attributes).
+    """
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
         self._runners: dict[float, MatrixRunner] = {}
         self._index_path = self.root / "service_index.json"
         self._index: dict[str, dict[str, Any]] = {}
@@ -101,45 +110,59 @@ class ResultStore:
 
     def runner(self, scale: float) -> MatrixRunner:
         """The (cached) MatrixRunner for one scale."""
-        runner = self._runners.get(scale)
-        if runner is None:
-            runner = MatrixRunner(
-                scale=scale, results_dir=self.root, label="service",
-                verbose=False,
-            )
-            self._runners[scale] = runner
-        return runner
+        with self._lock:
+            runner = self._runners.get(scale)
+            if runner is None:
+                runner = MatrixRunner(
+                    scale=scale, results_dir=self.root, label="service",
+                    verbose=False,
+                )
+                self._runners[scale] = runner
+            return runner
 
     def lookup(self, cell: dict[str, Any]) -> RunSummary | None:
         """The cached summary for a queue cell record, or None."""
-        return self.runner(cell["scale"]).cached(
-            cell["benchmark"], cell["technique"], cell["seed"],
-        )
+        with self._lock:
+            return self.runner(cell["scale"]).cached(
+                cell["benchmark"], cell["technique"], cell["seed"],
+            )
+
+    def cell_config(self, cell: dict[str, Any]):
+        """The exact per-technique config a serial run would use.
+
+        A locked accessor so workers need not chain
+        ``store.runner(...).cell_config(...)`` from the event loop
+        (constructing a MatrixRunner reads its cache file).
+        """
+        with self._lock:
+            return self.runner(cell["scale"]).cell_config(cell["technique"])
 
     def store(self, cell: dict[str, Any], summary: RunSummary) -> None:
         """Persist a summary and index it by cell fingerprint."""
-        self.runner(cell["scale"]).store(
-            cell["benchmark"], cell["technique"], cell["seed"], summary,
-        )
-        self._index[cell["fingerprint"]] = {
-            "benchmark": cell["benchmark"],
-            "technique": cell["technique"],
-            "seed": cell["seed"],
-            "scale": cell["scale"],
-        }
-        self._save_index()
+        with self._lock:
+            self.runner(cell["scale"]).store(
+                cell["benchmark"], cell["technique"], cell["seed"], summary,
+            )
+            self._index[cell["fingerprint"]] = {
+                "benchmark": cell["benchmark"],
+                "technique": cell["technique"],
+                "seed": cell["seed"],
+                "scale": cell["scale"],
+            }
+            self._save_index()
 
     def by_fingerprint(self, fingerprint: str) -> dict[str, Any] | None:
         """Resolve ``GET /results/{fingerprint}``: coords + summary."""
-        coords = self._index.get(fingerprint)
-        if coords is None:
-            return None
-        summary = self.runner(coords["scale"]).cached(
-            coords["benchmark"], coords["technique"], coords["seed"],
-        )
-        if summary is None:
-            return None
-        return {"fingerprint": fingerprint, **coords, "summary": summary}
+        with self._lock:
+            coords = self._index.get(fingerprint)
+            if coords is None:
+                return None
+            summary = self.runner(coords["scale"]).cached(
+                coords["benchmark"], coords["technique"], coords["seed"],
+            )
+            if summary is None:
+                return None
+            return {"fingerprint": fingerprint, **coords, "summary": summary}
 
     def _save_index(self) -> None:
         """Atomically rewrite the fingerprint index."""
@@ -149,8 +172,9 @@ class ResultStore:
 
     def close(self) -> None:
         """Flush every scale's cache."""
-        for runner in self._runners.values():
-            runner.close()
+        with self._lock:
+            for runner in self._runners.values():
+                runner.close()
 
 
 class WorkerShard:
@@ -200,28 +224,47 @@ class WorkerShard:
         self._tasks.append(asyncio.create_task(self._reaper()))
 
     async def stop(self) -> None:
-        """Cancel every task and flush the store."""
+        """Cancel every task and flush the store.
+
+        The store flush rewrites every scale's cache under its merge
+        lock (file I/O plus lock-file polling), so it runs in a
+        thread — a wedged flush must not freeze streams that are
+        draining their final events.
+        """
         self._stopping = True
         for task in self._tasks:
             task.cancel()
         await asyncio.gather(*self._tasks, return_exceptions=True)
         self._tasks.clear()
-        self.store.close()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.store.close)
 
     async def _reaper(self) -> None:
         """Periodically expire dead leases (crashed/silent workers)."""
         period = max(self.queue.lease_ttl / 4, IDLE_POLL)
+        loop = asyncio.get_running_loop()
         while not self._stopping:
             await asyncio.sleep(period)
-            expired = self.queue.expire_leases()
+            expired = await loop.run_in_executor(
+                None, self.queue.expire_leases,
+            )
             for fingerprint in expired:
                 log.warning("lease expired on cell %s; re-enqueued",
                             fingerprint)
 
     async def _worker(self, worker_id: str) -> None:
-        """One worker's lease -> serve/run -> complete loop."""
+        """One worker's lease -> serve/run -> complete loop.
+
+        Queue calls rewrite ``state.json``; they run in the default
+        thread pool so the event loop never blocks on disk (simlint
+        SL201 — the callable is *passed* to run_in_executor, keeping
+        it out of the coroutine's call graph).
+        """
+        loop = asyncio.get_running_loop()
         while not self._stopping:
-            cell = self.queue.lease(worker_id)
+            cell = await loop.run_in_executor(
+                None, self.queue.lease, worker_id,
+            )
             if cell is None:
                 await asyncio.sleep(IDLE_POLL)
                 continue
@@ -230,23 +273,23 @@ class WorkerShard:
     async def _process(self, worker_id: str, cell: dict[str, Any]) -> None:
         """Serve one leased cell (cache first, simulation second)."""
         fingerprint = cell["fingerprint"]
-        cached = self.store.lookup(cell)
+        loop = asyncio.get_running_loop()
+        cached = await loop.run_in_executor(None, self.store.lookup, cell)
         if cached is not None:
             self.events.emit("cell.cache_hit", fingerprint=fingerprint)
             # Ensure the fingerprint index covers cache entries that
             # predate this service instance.
-            self.store.store(cell, cached)
-            self.queue.complete(fingerprint)
+            await loop.run_in_executor(None, self.store.store, cell, cached)
+            await loop.run_in_executor(None, self.queue.complete, fingerprint)
             return
         self.events.emit(
             "cell.started", fingerprint=fingerprint, worker=worker_id,
         )
         # The *exact* config a serial MatrixRunner would use for this
         # cell — byte-identical summaries are the service's contract.
-        cell_config = self.store.runner(cell["scale"]).cell_config(
-            cell["technique"]
+        cell_config = await loop.run_in_executor(
+            None, self.store.cell_config, cell,
         )
-        loop = asyncio.get_running_loop()
         future = loop.run_in_executor(
             self.executor(), run_cell,
             cell_config, cell["benchmark"], cell["scale"], cell["seed"],
@@ -261,7 +304,9 @@ class WorkerShard:
                     summary = future.result()
                     break
                 # Still running: renew the lease and keep waiting.
-                self.queue.heartbeat(fingerprint, worker_id)
+                await loop.run_in_executor(
+                    None, self.queue.heartbeat, fingerprint, worker_id,
+                )
         except BrokenExecutor:
             # The worker process died mid-cell.  Retire the broken
             # pool — but only when this shard created it via
@@ -283,14 +328,18 @@ class WorkerShard:
                 )
             self._executor = None
             self._owns_pool = False
-            self.queue.fail(fingerprint, "worker_death")
+            await loop.run_in_executor(
+                None, self.queue.fail, fingerprint, "worker_death",
+            )
             return
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # noqa: BLE001 - any cell error retries
             log.warning("cell %s raised %s", fingerprint, exc)
-            self.queue.fail(fingerprint, "worker_error")
+            await loop.run_in_executor(
+                None, self.queue.fail, fingerprint, "worker_error",
+            )
             return
         self.simulated += 1
-        self.store.store(cell, summary)
-        self.queue.complete(fingerprint)
+        await loop.run_in_executor(None, self.store.store, cell, summary)
+        await loop.run_in_executor(None, self.queue.complete, fingerprint)

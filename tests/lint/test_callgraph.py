@@ -1,0 +1,188 @@
+"""The whole-program layer's foundation: symbol table + call graph."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.lint.callgraph import build_project, walk_executed
+from repro.lint.engine import ModuleSource
+
+
+def _project(tmp_path, files: dict[str, str]):
+    """Build a Project from {rel: source} the way the engine would."""
+    modules = []
+    for rel, src in files.items():
+        text = '"""Fixture."""\n' + textwrap.dedent(src)
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        modules.append(ModuleSource(
+            path=path, rel=rel, text=text,
+            tree=ast.parse(text), lines=text.splitlines(),
+        ))
+    return build_project(modules)
+
+
+def _fn(project, label: str):
+    matches = [f for f in project.functions if f.label == label]
+    assert matches, f"no function labelled {label}"
+    return matches[0]
+
+
+def test_collects_functions_and_classes(tmp_path):
+    project = _project(tmp_path, {"service/queue.py": """
+        class JobQueue:
+            def submit(self, spec):
+                return spec
+
+        def helper():
+            return 1
+    """})
+    labels = {f.label for f in project.functions}
+    assert labels == {"JobQueue.submit", "helper"}
+    submit = _fn(project, "JobQueue.submit")
+    assert submit.qualname == "service/queue.py::JobQueue.submit"
+    assert project.class_named("JobQueue", "service/queue.py") is not None
+
+
+def test_constructor_assignment_types_attribute(tmp_path):
+    """`self.queue = JobQueue(...)` types the attr; calls resolve."""
+    project = _project(tmp_path, {"service/mod.py": """
+        class JobQueue:
+            def submit(self, spec):
+                return spec
+
+        class Api:
+            def __init__(self):
+                self.queue = JobQueue()
+
+            def post(self, spec):
+                return self.queue.submit(spec)
+    """})
+    api = project.class_named("Api", "service/mod.py")
+    assert api.attr_types.get("queue") == "JobQueue"
+    post = _fn(project, "Api.post")
+    targets = [e.target.label for e in post.calls if e.target]
+    assert "JobQueue.submit" in targets
+
+
+def test_annotated_param_assignment_types_attribute(tmp_path):
+    """The DI idiom: `def __init__(self, queue: JobQueue): self.queue
+    = queue` must type the attribute through the parameter annotation
+    (this is how the service wires every collaborator)."""
+    project = _project(tmp_path, {"service/mod.py": """
+        class JobQueue:
+            def lease(self, worker):
+                return None
+
+        class Shard:
+            def __init__(self, queue: JobQueue):
+                self.queue = queue
+
+            def step(self):
+                return self.queue.lease("w0")
+    """})
+    shard = project.class_named("Shard", "service/mod.py")
+    assert shard.attr_types.get("queue") == "JobQueue"
+    step = _fn(project, "Shard.step")
+    targets = [e.target.label for e in step.calls if e.target]
+    assert targets == ["JobQueue.lease"]
+
+
+def test_external_calls_carry_dotted_origin(tmp_path):
+    project = _project(tmp_path, {"service/mod.py": """
+        import time
+        from urllib.request import urlopen
+
+
+        def slow():
+            time.sleep(1)
+            urlopen("http://example.invalid")
+    """})
+    slow = _fn(project, "slow")
+    externals = {e.external for e in slow.calls if e.external}
+    assert "time.sleep" in externals
+    assert "urllib.request.urlopen" in externals
+
+
+def test_return_annotation_chains_method_resolution(tmp_path):
+    """`self.store().save()` resolves through the return annotation."""
+    project = _project(tmp_path, {"service/mod.py": """
+        class Store:
+            def save(self):
+                return None
+
+        class Owner:
+            def store(self) -> Store:
+                return Store()
+
+            def flush(self):
+                return self.store().save()
+    """})
+    flush = _fn(project, "Owner.flush")
+    targets = [e.target.label for e in flush.calls if e.target]
+    assert "Store.save" in targets
+
+
+def test_lock_attrs_detected(tmp_path):
+    project = _project(tmp_path, {"service/mod.py": """
+        import threading
+
+
+        class Guarded:
+            def __init__(self):
+                self._lock = threading.RLock()
+                self.items = []
+    """})
+    cls = project.class_named("Guarded", "service/mod.py")
+    assert cls.lock_attrs == {"_lock"}
+
+
+def test_walk_executed_skips_deferred_bodies():
+    """Nested def and lambda bodies are *defined*, not executed, so
+    their calls must not appear — the property that lets
+    `run_in_executor(None, fn)` offloading silence SL201."""
+    tree = ast.parse(textwrap.dedent("""
+        def outer():
+            def inner():
+                time.sleep(1)
+            key = lambda x: id(x)
+            direct()
+    """))
+    fn = tree.body[0]
+    calls = [n for n in walk_executed(fn) if isinstance(n, ast.Call)]
+    names = {getattr(c.func, "id", getattr(c.func, "attr", None))
+             for c in calls}
+    assert names == {"direct"}
+
+
+def test_nested_def_calls_do_not_taint_the_enclosing_function(tmp_path):
+    """A call inside a nested def is not an edge of the outer fn."""
+    project = _project(tmp_path, {"service/mod.py": """
+        import time
+
+
+        def outer():
+            def inner():
+                time.sleep(1)
+            return inner
+    """})
+    outer = _fn(project, "outer")
+    assert not [e for e in outer.calls if e.external == "time.sleep"]
+
+
+def test_edge_count_counts_resolved_internal_edges(tmp_path):
+    project = _project(tmp_path, {"service/mod.py": """
+        import time
+
+
+        def a():
+            time.sleep(1)
+
+
+        def b():
+            a()
+    """})
+    # b -> a resolves; a -> time.sleep is external and not counted.
+    assert project.edge_count == 1

@@ -50,6 +50,34 @@ def test_baseline_requires_justification(tmp_path):
         Baseline.load(path)
 
 
+@pytest.mark.parametrize("justification", ["   \t  ", "ok", "wip", "fine now"])
+def test_baseline_rejects_vacuous_justifications(tmp_path, justification):
+    """Whitespace-only and sub-10-character grunts are not
+    explanations; load() refuses them like the placeholder."""
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({
+        "version": 1,
+        "entries": {"deadbeef": {
+            "rule": "SL001", "path": "x.py",
+            "justification": justification,
+        }},
+    }))
+    with pytest.raises(ConfigError, match="justification|too short"):
+        Baseline.load(path)
+
+
+def test_baseline_accepts_minimal_real_justification(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({
+        "version": 1,
+        "entries": {"deadbeef": {
+            "rule": "SL001", "path": "x.py",
+            "justification": "seeded rng in a demo script",
+        }},
+    }))
+    assert "deadbeef" in Baseline.load(path).entries
+
+
 def test_baseline_rejects_bad_documents(tmp_path):
     missing = tmp_path / "nope.json"
     with pytest.raises(ConfigError, match="not found"):
@@ -81,10 +109,12 @@ def test_unknown_rule_id_raises():
 
 
 def test_rule_registry_is_stable():
-    """The documented rule set: eight AST rules + four audit rules."""
+    """The documented rule set: AST + whole-program + audit rules."""
     assert sorted(ALL_RULES) == [
         "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007",
-        "SL008", "SL009", "SL101", "SL102", "SL103", "SL104",
+        "SL008", "SL009",
+        "SL101", "SL102", "SL103", "SL104",
+        "SL201", "SL202", "SL203", "SL204", "SL205",
     ]
     for rule_id, cls in ALL_RULES.items():
         rule = cls()
@@ -101,9 +131,10 @@ def test_json_schema(tmp_path):
     doc = json.loads(render_json(result, audit=False))
     assert set(doc) == {
         "version", "clean", "files_scanned", "rules",
-        "findings", "suppressed", "unused_baseline",
+        "findings", "suppressed", "unused_baseline", "stats",
     }
     assert doc["version"] == 1 and doc["clean"] is False
+    assert doc["stats"]["files_scanned"] == doc["files_scanned"]
     for finding in doc["findings"]:
         assert set(finding) == {
             "rule", "path", "line", "message", "snippet", "fingerprint",

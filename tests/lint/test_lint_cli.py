@@ -113,3 +113,94 @@ def test_lint_list_rules(capsys):
     out = capsys.readouterr().out
     for rule_id in ("SL001", "SL006", "SL101", "SL104"):
         assert rule_id in out
+
+
+# ---------------------------------------------------------------------------
+# --select / --stats and the SL2xx baseline interaction
+# ---------------------------------------------------------------------------
+
+SL201_SOURCE = (
+    '"""Fixture."""\n'
+    "import time\n\n\n"
+    "async def handler():\n"
+    "    time.sleep(1)\n"
+)
+
+
+def _write_service_fixture(tmp_path):
+    service = tmp_path / "service"
+    service.mkdir()
+    (service / "api.py").write_text(SL201_SOURCE)
+
+
+def test_lint_select_runs_only_matching_rules(tmp_path, capsys):
+    """--select SL2 runs the whole-program layer and nothing else:
+    the SL001-triggering randomness in the same tree stays silent."""
+    _write_service_fixture(tmp_path)
+    (tmp_path / "mod.py").write_text(BAD_SOURCE)
+    assert main([
+        "lint", str(tmp_path), "--baseline", "none",
+        "--select", "SL2", "--no-audit",
+    ]) == 1
+    out = capsys.readouterr().out
+    assert "SL201" in out and "SL001" not in out
+
+
+def test_lint_select_unknown_prefix_exits_two(capsys):
+    assert main(["lint", "--select", "SLX"]) == 2
+    assert "matches no rule" in capsys.readouterr().err
+
+
+def test_lint_stats_summary(tmp_path, capsys):
+    _write_service_fixture(tmp_path)
+    assert main([
+        "lint", str(tmp_path), "--baseline", "none",
+        "--select", "SL2", "--no-audit", "--stats",
+    ]) == 1
+    out = capsys.readouterr().out
+    assert "new findings by rule: SL201=1" in out
+    assert "call graph:" in out
+
+
+def test_lint_sl2xx_baseline_round_trip(tmp_path, capsys):
+    """A whole-program finding baselines and suppresses like any
+    other: --update-baseline --justification, then a clean gate."""
+    _write_service_fixture(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert main([
+        "lint", str(tmp_path), "--baseline", str(baseline),
+        "--update-baseline", "--no-audit",
+        "--justification", "demo sleep in a fixture coroutine",
+    ]) == 0
+    capsys.readouterr()
+    doc = json.loads(baseline.read_text())
+    assert [e["rule"] for e in doc["entries"].values()] == ["SL201"]
+    assert main([
+        "lint", str(tmp_path), "--baseline", str(baseline), "--no-audit",
+    ]) == 0
+    assert "baselined" in capsys.readouterr().out
+
+
+def test_lint_upgraded_rule_id_is_not_silently_suppressed(tmp_path, capsys):
+    """The fingerprint keys on the rule id: an entry baselined under
+    one rule must not swallow the same line resurfacing under a new
+    (e.g. upgraded whole-program) rule — and the stale entry is
+    reported as unused."""
+    from repro.lint import Baseline, Finding
+
+    _write_service_fixture(tmp_path)
+    old = Finding(
+        rule="SL001", path="service/api.py", line=6,
+        message="old-rule finding", snippet="time.sleep(1)",
+    )
+    baseline = tmp_path / "baseline.json"
+    Baseline.from_findings(
+        [old], justification="suppressed under the old rule id",
+    ).save(baseline)
+    assert main([
+        "lint", str(tmp_path), "--baseline", str(baseline),
+        "--select", "SL2", "--no-audit",
+    ]) == 1
+    out = capsys.readouterr().out
+    assert "SL201" in out
+    assert "matched nothing" in out  # the SL001 entry is stale
