@@ -198,6 +198,7 @@ def cmd_explain(args) -> int:
 
 def cmd_check(args) -> int:
     """Handle ``repro-sim check`` (protocol verification)."""
+    from repro.fuzz.report import mutation_record, render_mutation
     from repro.verify.checker import ModelChecker
     from repro.verify.litmus import LitmusRunner
     from repro.verify.model import AbstractMachine, ProtocolSpec
@@ -223,17 +224,30 @@ def cmd_check(args) -> int:
                 from repro.verify.mutations import apply_mutation
 
                 try:
-                    apply_mutation(logic, args.mutate)
+                    logic = apply_mutation(logic, args.mutate)
                 except ValueError as exc:
                     print(f"repro-sim: error: {exc}", file=sys.stderr)
                     return 2
             machine = AbstractMachine(
                 logic, n_nodes=args.nodes, interconnect=interconnect
             )
-            result = ModelChecker(
-                machine, max_depth=args.depth, max_states=args.max_states
-            ).run()
+            try:
+                checker = ModelChecker(
+                    machine, max_depth=args.depth, max_states=args.max_states
+                )
+            except ValueError as exc:  # symmetry cap at large node counts
+                print(f"repro-sim: error: {exc}", file=sys.stderr)
+                return 2
+            result = checker.run()
             run = result.to_json()
+            if args.mutate:
+                run["mutation"] = mutation_record(args.mutate, result)
+                if text:
+                    print(render_mutation(run["mutation"]))
+                if result.ok:
+                    # An undetected seeded bug is itself a failure of
+                    # the verification loop (a mutation escape).
+                    failed = True
             if text:
                 print(render_check(result))
             # Coverage gaps only count against a complete clean run;
@@ -454,13 +468,59 @@ def cmd_submit(args) -> int:
     print(f"job {job['id']}: {job['status']}")
     if job["status"] != "done":
         return 1
+    findings = 0
     for fingerprint in job["cells"]:
         doc = client.result(fingerprint)
+        if doc.get("fuzz"):
+            mut = doc["mutations"]
+            status = (
+                "clean" if doc["ok"]
+                else f"{len(doc['findings'])} FINDINGS"
+            )
+            findings += len(doc["findings"])
+            print(f"  fuzz seed={doc['seed']} budget={doc['budget']} "
+                  f"rows={doc['rows_covered']} "
+                  f"mutants={mut['detected']}/{mut['attempted']} "
+                  f"{status}  [{fingerprint}]")
+            continue
         summary = doc["summary"]
         print(f"  {doc['benchmark']:>10s}/{doc['technique']:<12s} "
               f"seed={doc['seed']} cycles={summary['cycles']:.0f} "
               f"ipc={summary['ipc']:.2f}  [{fingerprint}]")
-    return 0
+    return 1 if findings else 0
+
+
+def cmd_fuzz(args) -> int:
+    """Handle ``repro-sim fuzz`` (coverage-guided protocol fuzzing)."""
+    from repro.fuzz.campaign import FuzzOptions, run_campaign
+    from repro.fuzz.report import render_fuzz
+
+    if args.budget < 1:
+        print("repro-sim: error: --budget must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers < 0:
+        print("repro-sim: error: --workers must be >= 0", file=sys.stderr)
+        return 2
+    options = FuzzOptions(
+        seed=args.seed,
+        budget=args.budget,
+        protocols=tuple(dict.fromkeys(args.protocols)),
+        interconnect=args.interconnect,
+        workers=args.workers,
+        replay_witnesses=not args.no_replay,
+        minimize=not args.no_minimize,
+    )
+    report = run_campaign(options)
+    doc = report.to_json()
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(doc, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+    if args.format == "text":
+        print(render_fuzz(doc))
+    else:
+        print(json.dumps(doc, indent=1, sort_keys=True))
+    return 0 if doc["ok"] else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -733,8 +793,10 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("bus", "directory", "both"),
     )
     check_p.add_argument(
-        "--nodes", type=int, default=3, choices=(2, 3, 4),
-        help="abstract system size (state space grows steeply)",
+        "--nodes", type=int, default=3, choices=tuple(range(2, 17)),
+        metavar="N",
+        help="abstract system size, 2-16 (state space grows steeply; "
+             "directory symmetry reduction caps at 6 nodes)",
     )
     check_p.add_argument(
         "--depth", type=int, default=None, metavar="N",
@@ -760,6 +822,58 @@ def build_parser() -> argparse.ArgumentParser:
     check_p.add_argument(
         "--no-replay", action="store_true",
         help="do not replay counterexamples on the concrete system",
+    )
+
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="coverage-guided protocol fuzzing campaign",
+        description=(
+            "Generate randomized litmus tests with allowed-outcome "
+            "oracles derived from the reference-protocol enumeration, "
+            "run each workload differentially across protocols "
+            "(agreement per the data-value invariant), and interleave "
+            "protocol-table mutation checks — all guided by "
+            "transition-table coverage, with failing inputs minimized "
+            "and replayed on the concrete simulator.  Deterministic "
+            "per --seed and --budget, serial or parallel.  Exit 0 when "
+            "clean, 1 on any finding, 2 on bad arguments."
+        ),
+    )
+    fuzz_p.add_argument("--seed", type=int, default=0)
+    fuzz_p.add_argument(
+        "--budget", type=int, default=200, metavar="N",
+        help="total iterations (every 4th checks a protocol mutant)",
+    )
+    fuzz_p.add_argument(
+        "--protocols", nargs="+",
+        default=["mesi", "mesti", "emesti"],
+        choices=("mesi", "moesi", "mesti", "moesti", "emesti"),
+        metavar="P",
+        help="protocols run differentially (default: mesi mesti emesti)",
+    )
+    fuzz_p.add_argument(
+        "--interconnect", default="bus", choices=("bus", "directory"),
+    )
+    fuzz_p.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="process-pool size (0 = serial; the report is identical "
+             "either way)",
+    )
+    fuzz_p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="json emits the full campaign report",
+    )
+    fuzz_p.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also write the JSON report to PATH (CI artifact)",
+    )
+    fuzz_p.add_argument(
+        "--no-minimize", action="store_true",
+        help="skip counterexample minimization",
+    )
+    fuzz_p.add_argument(
+        "--no-replay", action="store_true",
+        help="skip concrete-simulator witness replays",
     )
 
     lint_p = sub.add_parser(
@@ -850,6 +964,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": cmd_serve,
         "submit": cmd_submit,
         "check": cmd_check,
+        "fuzz": cmd_fuzz,
         "lint": cmd_lint,
     }
     try:

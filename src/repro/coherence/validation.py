@@ -10,7 +10,13 @@ atomic-grant model promises consistency:
 * **dirty conservation**: if nobody holds the line dirty, memory holds
   the same value as any valid copy;
 * **T-copy discipline** (MESTI): every T copy of a line agrees with
-  every other T copy (single saved value).
+  every other T copy (single saved value), and — on the bus, where
+  every T copy observes every visibility event — the saved value is
+  the line's last *globally visible* value (the dirty owner's
+  published shadow, or memory when nothing is dirty).  The fuzz
+  campaign found the second half missing: a lone rotten T copy has no
+  peer to disagree with, so the mutual-agreement check alone let
+  ``t-ignores-flush`` counterexamples replay clean.
 
 The checker costs a full scan per transaction, so it is a *debugging*
 tool: enable it in tests or when chasing a protocol bug, not in
@@ -104,6 +110,26 @@ class CoherenceChecker:
                 f"{base:#x}: T copies saved different values: "
                 f"{[(n, l.data) for n, l in t_copies]}"
             )
+        if t_copies and self._t_copies_globally_consistent:
+            # The model's full t-discipline predicate: a T copy saved
+            # the last globally visible value.  At a grant point that
+            # is the dirty owner's ``visible`` shadow (set when it
+            # last published a value) or, with no dirty copy, memory.
+            expected = None
+            if dirty:
+                owner_visible = dirty[0][1].visible
+                if owner_visible is not None:
+                    expected = tuple(owner_visible)
+            else:
+                expected = tuple(self.system.memory.read_line(base))
+            if expected is not None:
+                for n, line in t_copies:
+                    if tuple(line.data) != expected:
+                        raise ProtocolError(
+                            f"{base:#x}: P{n} saved {line.data} in T but "
+                            f"the last globally visible value is "
+                            f"{list(expected)}"
+                        )
 
     def check_all(self) -> None:
         """Audit every line resident anywhere (end-of-run sweep)."""

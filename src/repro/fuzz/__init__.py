@@ -1,0 +1,45 @@
+"""Coverage-guided protocol fuzzing over the verify subsystem.
+
+ROADMAP item 5: generalize the seeded mutations of PR 2 into a
+continuous campaign.  The package composes three loops on top of
+:mod:`repro.verify`:
+
+* :mod:`repro.fuzz.generator` — randomized litmus tests and schedules,
+  seeded via :class:`repro.common.rng.SplitRng` (deterministic per
+  seed, byte-identical reports for a fixed budget);
+* :mod:`repro.fuzz.oracle` — allowed-outcome sets *derived* from the
+  model checker's exhaustive enumeration on the reference protocol,
+  never hand-written;
+* :mod:`repro.fuzz.differential` — the same generated workload run
+  base vs MESTI vs E-MESTI, abstractly and concretely (through
+  :mod:`repro.verify.replay`), with final-memory agreement checked
+  per the data-value invariant;
+* :mod:`repro.fuzz.mutator` — random protocol-table / validate-policy
+  mutations (plus the seeded ``MUTATIONS``) that the bounded checker
+  must catch, with transition-table coverage as the feedback signal;
+* :mod:`repro.fuzz.campaign` — the budgeted round loop, the corpus of
+  (seed, mutation, schedule) triples that reached new coverage rows,
+  and counterexample minimization;
+* :mod:`repro.fuzz.report` — the JSON/text report shared with
+  ``repro-sim check --mutate``.
+
+Surface: ``repro-sim fuzz`` (see :mod:`repro.cli`) and the service's
+``kind="fuzz"`` job spec (see :mod:`repro.service.queue`).
+"""
+
+from repro.fuzz.campaign import FuzzOptions, run_campaign, run_fuzz_cell
+from repro.fuzz.generator import generate_test, make_schedule
+from repro.fuzz.oracle import enumerate_outcomes
+from repro.fuzz.report import mutation_record, render_fuzz, render_mutation
+
+__all__ = [
+    "FuzzOptions",
+    "enumerate_outcomes",
+    "generate_test",
+    "make_schedule",
+    "mutation_record",
+    "render_fuzz",
+    "render_mutation",
+    "run_campaign",
+    "run_fuzz_cell",
+]

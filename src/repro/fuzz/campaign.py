@@ -1,0 +1,503 @@
+"""The budgeted, coverage-guided fuzzing campaign loop.
+
+One campaign interleaves two iteration kinds under a single budget:
+
+* **generated** iterations (3 of every 4) build a random litmus test,
+  derive its allowed-outcome set from the reference-protocol
+  enumeration (:mod:`repro.fuzz.oracle`), enumerate every protocol
+  under test against it, and run one random schedule differentially
+  (:mod:`repro.fuzz.differential`);
+* **mutation** iterations (every 4th) build a protocol mutant
+  (:mod:`repro.fuzz.mutator`) — walking the hand-seeded plan first,
+  then sampling randomly — and require the bounded model checker to
+  flag it.
+
+Coverage feedback: every iteration reports the transition-table rows
+it exercised, namespaced per protocol; an iteration that reaches rows
+no earlier iteration reached earns a corpus entry (its seed index,
+mutation descriptor, and schedule), and later generated tests splice
+from that corpus.  Failing generated tests are shrunk to 1-minimal
+counterexamples (:mod:`repro.fuzz.minimize`), and every finding is
+replayed on the concrete simulator for a witness.
+
+Determinism contract: each iteration derives its own RNG stream from
+``(campaign seed, iteration index)`` and reads only the corpus
+*snapshot* taken at the start of its round (rounds are
+:data:`ROUND_SIZE` iterations, merged in index order).  A campaign is
+therefore a pure function of ``(seed, budget, options)`` — byte-equal
+reports whether it runs serially or on a worker pool, which the test
+suite asserts.  Nothing here reads the clock.
+
+:func:`run_fuzz_cell` is the service entry point: the module-level,
+picklable function a :class:`~repro.service.workers.WorkerShard` pool
+executes for a ``kind="fuzz"`` job cell.  It always runs serially —
+it already lives inside a pool worker process.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.common.config import InterconnectKind
+from repro.common.rng import SplitRng
+from repro.fuzz.differential import DEFAULT_PROTOCOLS, run_differential
+from repro.fuzz.generator import generate_test, make_schedule
+from repro.fuzz.minimize import minimize_test
+from repro.fuzz.mutator import (
+    apply_descriptor,
+    descriptor_name,
+    random_descriptor,
+    seeded_plan,
+)
+from repro.fuzz.oracle import (
+    REFERENCE_PROTOCOL,
+    derive_allowed,
+    enumerate_outcomes,
+)
+from repro.verify.checker import ModelChecker
+from repro.verify.model import AbstractMachine, ProtocolSpec
+from repro.verify.mutations import MUTATIONS
+from repro.verify.replay import ConcreteReplayer
+
+#: Every ``MUTATION_STRIDE``-th iteration checks a protocol mutant.
+MUTATION_STRIDE = 4
+
+#: Iterations per batch-synchronous round (one corpus snapshot each).
+ROUND_SIZE = 8
+
+#: Visited-state bound for mutation-iteration model checks.  Seeded
+#: mutations have counterexamples within a handful of BFS levels, so a
+#: bounded run still catches them while keeping iterations cheap.
+MUTATION_MAX_STATES = 4000
+
+
+@dataclass(frozen=True)
+class FuzzOptions:
+    """Campaign parameters; hashable and picklable for pool workers."""
+
+    seed: int = 0
+    budget: int = 200
+    protocols: tuple[str, ...] = DEFAULT_PROTOCOLS
+    interconnect: str = "bus"
+    workers: int = 0
+    oracle_max_states: int = 20_000
+    mutation_max_states: int = MUTATION_MAX_STATES
+    replay_witnesses: bool = True
+    minimize: bool = True
+
+
+def _interconnect(options: FuzzOptions) -> InterconnectKind:
+    return (
+        InterconnectKind.DIRECTORY
+        if options.interconnect == "directory"
+        else InterconnectKind.BUS
+    )
+
+
+def _rows(protocol: str, keys) -> set[str]:
+    """Namespace transition-table row keys per protocol."""
+    return {f"{protocol}:{side}:{pre}:{event}" for side, pre, event in keys}
+
+
+def _trace_json(trace) -> list:
+    return [list(event) for event in trace]
+
+
+def _witness(spec_name, test, trace, interconnect, mutate=None) -> dict:
+    """Concrete-simulator replay of an abstract trace (the witness)."""
+    replayer = ConcreteReplayer(
+        ProtocolSpec(spec_name), n_nodes=test.n_nodes,
+        interconnect=interconnect, mutate=mutate,
+    )
+    doc = replayer.replay(trace).to_json()
+    doc["protocol"] = spec_name
+    return doc
+
+
+# ----------------------------------------------------------------------
+# One iteration (module-level: runs in pool workers)
+# ----------------------------------------------------------------------
+
+
+def _mutation_iteration(options: FuzzOptions, index: int,
+                        rng: SplitRng) -> dict:
+    """Check one protocol mutant with the bounded model checker."""
+    interconnect = _interconnect(options)
+    plan = seeded_plan()
+    plan_index = index // MUTATION_STRIDE
+    if plan_index < len(plan):
+        proto_name, descriptor = plan[plan_index]
+    else:
+        proto_name = rng.choice(tuple(options.protocols))
+        descriptor = random_descriptor(
+            rng.split("descriptor"), ProtocolSpec(proto_name)
+        )
+    spec = ProtocolSpec(proto_name)
+    logic = apply_descriptor(spec, descriptor)
+    machine = AbstractMachine(logic, n_nodes=3, interconnect=interconnect)
+    result = ModelChecker(
+        machine, max_states=options.mutation_max_states
+    ).run()
+    detected = not result.ok
+    record = {
+        "descriptor": list(descriptor),
+        "name": descriptor_name(descriptor),
+        "protocol": proto_name,
+        "seeded": descriptor[0] == "seeded",
+        "detected": detected,
+        "caught_as": result.violations[0].kind if detected else None,
+        "trace_len": (
+            len(result.violations[0].trace) if detected else None
+        ),
+        "states": result.states,
+        "rows_reached": len(result.coverage.get("exercised", ())),
+    }
+    findings: list[dict] = []
+    if record["seeded"] and not detected:
+        findings.append({
+            "kind": "mutation-escape",
+            "test": None,
+            "protocol": proto_name,
+            "detail": (
+                f"seeded mutation {descriptor[1]!r} escaped the bounded "
+                f"checker ({result.states} states explored)"
+            ),
+            "mutation": record["name"],
+            "trace": [],
+            "witness": None,
+        })
+    if record["seeded"] and detected and options.replay_witnesses:
+        # Close the loop: the abstract counterexample must fail on the
+        # concrete simulator carrying the same mutation.
+        trace = result.violations[0].trace
+        test_shim = _MutantShim(n_nodes=3)
+        witness = _witness(
+            proto_name, test_shim, trace, interconnect,
+            mutate=descriptor[1],
+        )
+        record["witness"] = witness
+        if witness["ok"]:
+            findings.append({
+                "kind": "replay-divergence",
+                "test": None,
+                "protocol": proto_name,
+                "detail": (
+                    f"abstract checker caught {descriptor[1]!r} as "
+                    f"{record['caught_as']} but the concrete replay of "
+                    f"its counterexample passed"
+                ),
+                "mutation": record["name"],
+                "trace": _trace_json(trace),
+                "witness": witness,
+            })
+    rows = _rows(
+        proto_name,
+        (tuple(e["row"]) for e in result.coverage.get("exercised", ())),
+    )
+    entry = {
+        "iteration": index,
+        "seed": options.seed,
+        "mutation": list(descriptor),
+        "protocol": proto_name,
+    }
+    return {
+        "index": index,
+        "kind": "mutation",
+        "rows": sorted(rows),
+        "findings": findings,
+        "record": record,
+        "entry": entry,
+    }
+
+
+@dataclass(frozen=True)
+class _MutantShim:
+    """Just enough of a test for witness replay of mutant traces."""
+
+    n_nodes: int
+
+
+def _oracle_finding(options, spec, test, allowed, result, reference,
+                    interconnect) -> dict | None:
+    """Cross-check one protocol's enumeration against the oracle."""
+    if result.violation is not None:
+        return {
+            "kind": "invariant-violation",
+            "test": test.name,
+            "protocol": spec.name,
+            "detail": (
+                f"{result.violation['kind']}: "
+                f"{result.violation['detail']}"
+            ),
+            "trace": result.violation["trace"],
+            "witness": None,
+        }
+    if not (result.complete and reference.complete):
+        return None  # bounded enumeration: outcome sets not comparable
+    outcomes = frozenset(result.outcomes)
+    if outcomes == allowed:
+        return None
+    extra = sorted(outcomes - allowed)
+    missing = sorted(allowed - outcomes)
+    witness_trace = result.outcomes[extra[0]] if extra else ()
+    return {
+        "kind": "oracle-divergence",
+        "test": test.name,
+        "protocol": spec.name,
+        "detail": (
+            f"outcomes diverge from the {REFERENCE_PROTOCOL} reference: "
+            f"extra={extra} missing={missing}"
+        ),
+        "trace": witness_trace,
+        "witness": None,
+    }
+
+
+def _shrink(options, spec, test, finding, interconnect):
+    """Minimize an enumeration finding's test; refresh its trace."""
+    kind = finding["kind"]
+
+    def reproduces(candidate) -> bool:
+        allowed, reference = derive_allowed(
+            candidate, interconnect, options.oracle_max_states
+        )
+        res = enumerate_outcomes(
+            spec, candidate, interconnect, options.oracle_max_states
+        )
+        if kind == "invariant-violation":
+            return (
+                res.violation is not None
+                and res.violation["kind"] in finding["detail"]
+            )
+        return (
+            res.violation is None
+            and res.complete and reference.complete
+            and frozenset(res.outcomes) != allowed
+        )
+
+    minimized, attempts = minimize_test(test, reproduces)
+    if minimized is test:
+        return test, {"attempts": attempts, "removed_ops": 0}
+    before = sum(len(p) for p in test.programs)
+    after = sum(len(p) for p in minimized.programs)
+    return minimized, {"attempts": attempts, "removed_ops": before - after}
+
+
+def _generated_iteration(options: FuzzOptions, index: int, rng: SplitRng,
+                         corpus: tuple) -> dict:
+    """Generate, oracle-check, and differentially run one test."""
+    interconnect = _interconnect(options)
+    test = generate_test(rng.split("test"), index, corpus)
+    allowed, reference = derive_allowed(
+        test, interconnect, options.oracle_max_states
+    )
+    rows = _rows(REFERENCE_PROTOCOL, reference.coverage.rows)
+    findings: list[dict] = []
+    for name in options.protocols:
+        spec = ProtocolSpec(name)
+        result = (
+            reference if name == REFERENCE_PROTOCOL
+            else enumerate_outcomes(
+                spec, test, interconnect, options.oracle_max_states
+            )
+        )
+        rows |= _rows(name, result.coverage.rows)
+        finding = _oracle_finding(
+            options, spec, test, allowed, result, reference, interconnect
+        )
+        if finding is None:
+            continue
+        shrunk = test
+        if options.minimize:
+            shrunk, stats = _shrink(
+                options, spec, test, finding, interconnect
+            )
+            finding["minimized"] = dict(
+                stats,
+                programs=[
+                    [list(op) for op in p] for p in shrunk.programs
+                ],
+            )
+            if shrunk is not test:
+                refreshed = enumerate_outcomes(
+                    spec, shrunk, interconnect, options.oracle_max_states
+                )
+                if finding["kind"] == "invariant-violation":
+                    if refreshed.violation is not None:
+                        finding["trace"] = refreshed.violation["trace"]
+                else:
+                    shrunk_allowed, _ = derive_allowed(
+                        shrunk, interconnect, options.oracle_max_states
+                    )
+                    extra = sorted(
+                        frozenset(refreshed.outcomes) - shrunk_allowed
+                    )
+                    if extra:
+                        finding["trace"] = refreshed.outcomes[extra[0]]
+        if options.replay_witnesses and finding["trace"]:
+            finding["witness"] = _witness(
+                name, shrunk, finding["trace"], interconnect
+            )
+        finding["trace"] = _trace_json(finding["trace"])
+        findings.append(finding)
+
+    schedule, decisions = make_schedule(rng.split("schedule"), test)
+    diff = run_differential(
+        test, schedule, decisions, tuple(options.protocols),
+        interconnect, options.replay_witnesses,
+    )
+    for finding in diff.findings:
+        finding["trace"] = _trace_json(finding["trace"])
+        findings.append(finding)
+
+    entry = {
+        "iteration": index,
+        "seed": options.seed,
+        "test": test.name,
+        "programs": [[list(op) for op in p] for p in test.programs],
+        "n_lines": test.n_lines,
+        "n_words": test.n_words,
+        "schedule": [list(e) for e in schedule],
+        "decisions": list(decisions),
+        "mutation": None,
+    }
+    return {
+        "index": index,
+        "kind": "generated",
+        "rows": sorted(rows),
+        "findings": findings,
+        "record": None,
+        "entry": entry,
+    }
+
+
+def run_iteration(options: FuzzOptions, index: int, corpus: tuple) -> dict:
+    """Run iteration ``index`` against a corpus snapshot.
+
+    Module-level and picklable: the campaign maps this over a process
+    pool when ``options.workers > 0``.  The iteration's RNG stream
+    depends only on ``(options.seed, index)``, never on which worker
+    runs it.
+    """
+    rng = SplitRng(options.seed).split(f"iter/{index}")
+    if index % MUTATION_STRIDE == MUTATION_STRIDE - 1:
+        return _mutation_iteration(options, index, rng)
+    return _generated_iteration(options, index, rng, corpus)
+
+
+# ----------------------------------------------------------------------
+# The campaign driver
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class FuzzReport:
+    """Everything one campaign produced, JSON-ready."""
+
+    options: FuzzOptions
+    covered: set = field(default_factory=set)
+    corpus: list = field(default_factory=list)
+    findings: list = field(default_factory=list)
+    mutations: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the campaign surfaced no finding of any kind."""
+        return not self.findings
+
+    def to_json(self) -> dict:
+        """The report document (also the service's result payload)."""
+        seeded = [m for m in self.mutations if m["seeded"]]
+        return {
+            "fuzz": True,
+            "seed": self.options.seed,
+            "budget": self.options.budget,
+            "protocols": list(self.options.protocols),
+            "interconnect": self.options.interconnect,
+            "ok": self.ok,
+            "rows_covered": len(self.covered),
+            "corpus_size": len(self.corpus),
+            "corpus": self.corpus,
+            "findings": self.findings,
+            "mutations": {
+                "attempted": len(self.mutations),
+                "detected": sum(
+                    1 for m in self.mutations if m["detected"]
+                ),
+                "seeded_total": len(MUTATIONS),
+                "seeded_detected": sorted(
+                    m["descriptor"][1] for m in seeded if m["detected"]
+                ),
+                "records": self.mutations,
+            },
+        }
+
+
+def run_campaign(options: FuzzOptions) -> FuzzReport:
+    """Run one campaign to its budget; deterministic per options."""
+    report = FuzzReport(options=options)
+    executor = (
+        ProcessPoolExecutor(max_workers=options.workers)
+        if options.workers > 0 else None
+    )
+    try:
+        index = 0
+        while index < options.budget:
+            batch = range(
+                index, min(index + ROUND_SIZE, options.budget)
+            )
+            snapshot = tuple(
+                e for e in report.corpus if e.get("programs")
+            )
+            if executor is not None:
+                results = list(executor.map(
+                    run_iteration,
+                    (options for _ in batch),
+                    batch,
+                    (snapshot for _ in batch),
+                ))
+            else:
+                results = [
+                    run_iteration(options, i, snapshot) for i in batch
+                ]
+            # Merge strictly in index order: corpus admission (and
+            # therefore later rounds' generation) must not depend on
+            # worker scheduling.
+            for res in results:
+                rows = set(res["rows"])
+                new = rows - report.covered
+                report.covered |= rows
+                if new:
+                    entry = dict(res["entry"])
+                    entry["new_rows"] = sorted(new)
+                    report.corpus.append(entry)
+                report.findings.extend(res["findings"])
+                if res["record"] is not None:
+                    report.mutations.append(res["record"])
+            index += len(batch)
+    finally:
+        if executor is not None:
+            executor.shutdown()
+    return report
+
+
+def run_fuzz_cell(
+    seed: int,
+    budget: int,
+    protocols: tuple[str, ...],
+    interconnect: str,
+) -> dict:
+    """Service entry point: one fuzz cell, executed in a pool worker.
+
+    Runs the campaign serially (the caller already provides process
+    parallelism — one cell per seed) and returns the JSON report.
+    """
+    options = FuzzOptions(
+        seed=seed,
+        budget=budget,
+        protocols=tuple(protocols),
+        interconnect=interconnect,
+        workers=0,
+    )
+    return run_campaign(options).to_json()

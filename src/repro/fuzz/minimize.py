@@ -1,0 +1,71 @@
+"""Greedy counterexample minimization for generated tests.
+
+A failing generated test often carries ops that have nothing to do
+with the failure.  :func:`minimize_test` deletes one op at a time and
+keeps each deletion that still reproduces (per a caller-supplied
+predicate — typically "the oracle/differential finding is still
+present"), restarting the scan after every successful deletion until
+a fixed point or the attempt budget runs out.  The result is a
+1-minimal program set: removing any single remaining op loses the
+failure.
+
+The predicate sees a real :class:`~repro.verify.litmus.LitmusTest`
+(rebuilt via :func:`repro.fuzz.generator.retarget`, which recomputes
+the observed-load set), so minimization composes with any checker the
+campaign uses.  Reproduction under the predicate must be deterministic
+— which it is, because every campaign check is a pure function of the
+test (exhaustive enumeration, fixed schedule walk).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.fuzz.generator import retarget
+from repro.verify.litmus import LitmusTest
+
+#: Cap on predicate evaluations per minimization (each may be an
+#: exhaustive enumeration; generated tests have <= 9 ops, so the cap
+#: is generous).
+DEFAULT_ATTEMPTS = 64
+
+
+def minimize_test(
+    test: LitmusTest,
+    reproduces: Callable[[LitmusTest], bool],
+    attempts: int = DEFAULT_ATTEMPTS,
+) -> tuple[LitmusTest, int]:
+    """Shrink ``test`` while ``reproduces`` stays true.
+
+    Returns ``(minimized_test, attempts_used)``.  ``test`` itself is
+    returned unchanged if no single-op deletion reproduces (or the
+    budget is exhausted immediately).
+    """
+    current = test
+    used = 0
+    improved = True
+    while improved and used < attempts:
+        improved = False
+        programs = [list(p) for p in current.programs]
+        for node in range(len(programs)):
+            for idx in range(len(programs[node])):
+                if used >= attempts:
+                    return current, used
+                candidate_programs = [list(p) for p in programs]
+                del candidate_programs[node][idx]
+                # Drop emptied nodes when the model's 2-node floor
+                # allows it; otherwise keep them as empty programs.
+                pruned = [p for p in candidate_programs if p]
+                if len(pruned) >= 2:
+                    candidate_programs = pruned
+                elif not pruned:
+                    continue
+                candidate = retarget(current, candidate_programs)
+                used += 1
+                if reproduces(candidate):
+                    current = candidate
+                    improved = True
+                    break
+            if improved:
+                break
+    return current, used

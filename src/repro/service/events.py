@@ -86,6 +86,9 @@ EVENT_SPECS: dict[str, EventSpec] = _registry(
               ("fingerprint", "reason")),
     EventSpec("cell.failed", "the cell exhausted its retries; reason as "
               "for cell.retried", ("fingerprint", "reason")),
+    EventSpec("cell.fuzz_finding", "a fuzz campaign cell surfaced a "
+              "finding; finding is its kind (e.g. "
+              "differential-divergence)", ("fingerprint", "finding")),
 )
 
 #: Just the declared names (what SL009 checks literals against).

@@ -3,8 +3,10 @@
 A *job* is one submitted experiment spec; the queue explodes it into
 (benchmark × technique × seed) *cells*, each identified by its
 :func:`~repro.experiments.runner.cell_fingerprint` — the stable hash
-of the fully-configured simulation.  Cells, not jobs, are the unit of
-scheduling:
+of the fully-configured simulation.  A ``{"kind": "fuzz"}`` spec
+instead explodes into one fuzz-campaign cell per seed
+(:func:`fuzz_cell_identity`); both kinds share every queue mechanism
+below.  Cells, not jobs, are the unit of scheduling:
 
 * **dedupe** — a submission whose cell fingerprint matches a live
   (queued or leased) cell joins that cell instead of enqueuing a
@@ -44,6 +46,7 @@ wall clocks, no randomness.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import threading
@@ -74,18 +77,80 @@ class SpecError(ConfigError):
     """A submitted job spec failed validation (HTTP 400)."""
 
 
+#: Protocol names a fuzz spec may list (mirrors ProtocolSpec.NAMES;
+#: kept literal so spec validation needs no verify import).
+FUZZ_PROTOCOLS = ("mesi", "moesi", "mesti", "moesti", "emesti")
+
+#: Ceiling on a fuzz cell's iteration budget: a cell is one lease, so
+#: a huge budget would outlive any reasonable heartbeat horizon.
+MAX_FUZZ_BUDGET = 10_000
+
+
+def _validate_fuzz_spec(spec: dict) -> dict:
+    """Validate a ``kind="fuzz"`` spec: one campaign cell per seed."""
+    seeds = list(spec.get("seeds") or ())
+    if not seeds:
+        raise SpecError("fuzz spec needs non-empty 'seeds'")
+    if not all(
+        isinstance(seed, int) and not isinstance(seed, bool)
+        for seed in seeds
+    ):
+        raise SpecError("'seeds' must be integers (booleans rejected)")
+    seeds = list(dict.fromkeys(seeds))
+    budget = spec.get("budget", 50)
+    if (
+        not isinstance(budget, int) or isinstance(budget, bool)
+        or not 1 <= budget <= MAX_FUZZ_BUDGET
+    ):
+        raise SpecError(
+            f"'budget' must be an integer in 1..{MAX_FUZZ_BUDGET}, "
+            f"got {budget!r}"
+        )
+    protocols = list(spec.get("protocols") or ["mesi", "mesti", "emesti"])
+    for protocol in protocols:
+        if protocol not in FUZZ_PROTOCOLS:
+            raise SpecError(f"unknown protocol {protocol!r}")
+    protocols = list(dict.fromkeys(protocols))
+    interconnect = spec.get("interconnect", "bus")
+    if interconnect not in ("bus", "directory"):
+        raise SpecError(
+            f"'interconnect' must be 'bus' or 'directory', "
+            f"got {interconnect!r}"
+        )
+    priority = spec.get("priority", 0)
+    if not isinstance(priority, int) or isinstance(priority, bool):
+        raise SpecError(f"'priority' must be an integer, got {priority!r}")
+    return {
+        "kind": "fuzz",
+        "seeds": seeds,
+        "budget": budget,
+        "protocols": protocols,
+        "interconnect": interconnect,
+        "priority": priority,
+    }
+
+
 def validate_spec(spec: dict) -> dict:
     """Normalize and validate a job spec; raises :class:`SpecError`.
 
-    Required: ``benchmarks`` (known names), ``techniques`` (known
-    names), ``seeds`` (ints; booleans rejected).  Optional: ``scale``
+    Two spec kinds exist.  The default simulation spec requires
+    ``benchmarks`` (known names), ``techniques`` (known names), and
+    ``seeds`` (ints; booleans rejected), with optional ``scale``
     (positive float, default 0.1) and ``priority`` (int, default 0).
-    Each axis is deduplicated preserving first-seen order — a repeated
-    value would mint the same cell fingerprint twice within one job
+    A ``{"kind": "fuzz"}`` spec instead describes fuzzing campaigns —
+    one cell per entry of ``seeds`` — with optional ``budget``,
+    ``protocols``, ``interconnect``, and ``priority``.  Each axis is
+    deduplicated preserving first-seen order — a repeated value would
+    mint the same cell fingerprint twice within one job
     (double-credited cells, duplicate result rows).
     """
     if not isinstance(spec, dict):
         raise SpecError(f"job spec must be an object, got {type(spec).__name__}")
+    kind = spec.get("kind", "sim")
+    if kind == "fuzz":
+        return _validate_fuzz_spec(spec)
+    if kind != "sim":
+        raise SpecError(f"unknown job kind {kind!r} (expected sim or fuzz)")
     known = set(BENCHMARKS) | set(EXTRA_BENCHMARKS)
     benchmarks = list(spec.get("benchmarks") or ())
     techniques = list(spec.get("techniques") or ())
@@ -133,6 +198,28 @@ def cell_identity(
         configure_technique(base, technique), benchmark, scale, seed,
         jitter=DEFAULT_JITTER,
     )
+
+
+def fuzz_cell_identity(
+    seed: int, budget: int, protocols: list[str], interconnect: str,
+) -> str:
+    """The fingerprint of one fuzz campaign cell.
+
+    A campaign is a pure function of these four parameters, so the
+    hash of their canonical JSON identifies its result exactly — the
+    same dedupe/cache-hit contract simulation cells get from
+    :func:`cell_identity`.
+    """
+    doc = json.dumps(
+        {
+            "seed": seed,
+            "budget": budget,
+            "protocols": list(protocols),
+            "interconnect": interconnect,
+        },
+        sort_keys=True,
+    )
+    return "fuzz-" + hashlib.sha256(doc.encode()).hexdigest()[:16]
 
 
 class JobQueue:
@@ -198,6 +285,49 @@ class JobQueue:
     # Submission
     # ------------------------------------------------------------------
 
+    def _cell_payloads(self, spec: dict) -> list[tuple[str, dict[str, Any]]]:
+        """``(fingerprint, payload)`` for every cell of a valid spec.
+
+        The payload is the kind-specific part of the cell record; the
+        queue bookkeeping fields (state, jobs, lease, retries, order)
+        are layered on by :meth:`submit`.  Simulation cells carry no
+        ``kind`` key — records persisted by earlier versions must keep
+        deserializing as simulation cells.
+        """
+        if spec.get("kind") == "fuzz":
+            return [
+                (
+                    fuzz_cell_identity(
+                        seed, spec["budget"], spec["protocols"],
+                        spec["interconnect"],
+                    ),
+                    {
+                        "kind": "fuzz",
+                        "seed": seed,
+                        "budget": spec["budget"],
+                        "protocols": spec["protocols"],
+                        "interconnect": spec["interconnect"],
+                    },
+                )
+                for seed in spec["seeds"]
+            ]
+        return [
+            (
+                cell_identity(
+                    benchmark, technique, seed, spec["scale"], self.config,
+                ),
+                {
+                    "benchmark": benchmark,
+                    "technique": technique,
+                    "seed": seed,
+                    "scale": spec["scale"],
+                },
+            )
+            for benchmark in spec["benchmarks"]
+            for technique in spec["techniques"]
+            for seed in spec["seeds"]
+        ]
+
     def submit(self, spec: dict) -> dict[str, Any]:
         """Accept a spec; returns the job record (raises SpecError)."""
         spec = validate_spec(spec)
@@ -205,53 +335,44 @@ class JobQueue:
             job_id = self._next_id("job")
             fingerprints: list[str] = []
             deduped: list[str] = []
-            for benchmark in spec["benchmarks"]:
-                for technique in spec["techniques"]:
-                    for seed in spec["seeds"]:
-                        fingerprint = cell_identity(
-                            benchmark, technique, seed, spec["scale"],
-                            self.config,
-                        )
-                        fingerprints.append(fingerprint)
-                        self.events.attach(fingerprint, job_id)
-                        live = self.cells.get(fingerprint)
-                        if live is not None and live["state"] in (
-                            "queued", "leased",
-                        ):
-                            live["jobs"].append(job_id)
-                            deduped.append(fingerprint)
-                            self.events.emit(
-                                "cell.deduped", job=job_id,
-                                fingerprint=fingerprint,
-                            )
-                            continue
-                        # Replacing a finished (done/failed) record:
-                        # jobs still waiting on their *other* cells
-                        # reference this fingerprint, and must carry
-                        # over into the fresh cell — otherwise the
-                        # re-run's completion would never credit them
-                        # and they would stay non-terminal forever.
-                        carried = [
-                            j for j in (live["jobs"] if live else ())
-                            if j in self.jobs
-                            and self.jobs[j]["status"] not in JOB_TERMINAL
-                        ]
-                        self.cells[fingerprint] = {
-                            "fingerprint": fingerprint,
-                            "benchmark": benchmark,
-                            "technique": technique,
-                            "seed": seed,
-                            "scale": spec["scale"],
-                            "state": "queued",
-                            "jobs": carried + [job_id],
-                            "lease": None,
-                            "retries": 0,
-                            "order": self._seq,
-                        }
-                        self.events.emit(
-                            "cell.enqueued", job=job_id,
-                            fingerprint=fingerprint,
-                        )
+            for fingerprint, payload in self._cell_payloads(spec):
+                fingerprints.append(fingerprint)
+                self.events.attach(fingerprint, job_id)
+                live = self.cells.get(fingerprint)
+                if live is not None and live["state"] in (
+                    "queued", "leased",
+                ):
+                    live["jobs"].append(job_id)
+                    deduped.append(fingerprint)
+                    self.events.emit(
+                        "cell.deduped", job=job_id,
+                        fingerprint=fingerprint,
+                    )
+                    continue
+                # Replacing a finished (done/failed) record:
+                # jobs still waiting on their *other* cells
+                # reference this fingerprint, and must carry
+                # over into the fresh cell — otherwise the
+                # re-run's completion would never credit them
+                # and they would stay non-terminal forever.
+                carried = [
+                    j for j in (live["jobs"] if live else ())
+                    if j in self.jobs
+                    and self.jobs[j]["status"] not in JOB_TERMINAL
+                ]
+                self.cells[fingerprint] = {
+                    "fingerprint": fingerprint,
+                    **payload,
+                    "state": "queued",
+                    "jobs": carried + [job_id],
+                    "lease": None,
+                    "retries": 0,
+                    "order": self._seq,
+                }
+                self.events.emit(
+                    "cell.enqueued", job=job_id,
+                    fingerprint=fingerprint,
+                )
             job = {
                 "id": job_id,
                 "spec": spec,

@@ -47,6 +47,7 @@ from repro.experiments.runner import (
     run_cell,
     warm_pool,
 )
+from repro.fuzz.campaign import run_fuzz_cell
 
 from .events import EventLog
 from .queue import JobQueue
@@ -151,12 +152,37 @@ class ResultStore:
             }
             self._save_index()
 
+    def lookup_fuzz(self, fingerprint: str) -> dict[str, Any] | None:
+        """The stored fuzz report for a campaign cell, or None."""
+        with self._lock:
+            path = self.root / "fuzz" / f"{fingerprint}.json"
+            if not path.exists():
+                return None
+            return json.loads(path.read_text())
+
+    def store_fuzz(self, fingerprint: str, doc: dict[str, Any]) -> None:
+        """Persist a fuzz report and index it by cell fingerprint."""
+        with self._lock:
+            fuzz_dir = self.root / "fuzz"
+            fuzz_dir.mkdir(parents=True, exist_ok=True)
+            path = fuzz_dir / f"{fingerprint}.json"
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(doc, indent=1, sort_keys=True))
+            os.replace(tmp, path)
+            self._index[fingerprint] = {"kind": "fuzz"}
+            self._save_index()
+
     def by_fingerprint(self, fingerprint: str) -> dict[str, Any] | None:
         """Resolve ``GET /results/{fingerprint}``: coords + summary."""
         with self._lock:
             coords = self._index.get(fingerprint)
             if coords is None:
                 return None
+            if coords.get("kind") == "fuzz":
+                doc = self.lookup_fuzz(fingerprint)
+                if doc is None:
+                    return None
+                return {"fingerprint": fingerprint, **doc}
             summary = self.runner(coords["scale"]).cached(
                 coords["benchmark"], coords["technique"], coords["seed"],
             )
@@ -203,6 +229,8 @@ class WorkerShard:
         #: Count of cells actually simulated (not cache-served) —
         #: the smoke test's "zero new simulations" probe.
         self.simulated = 0
+        #: Count of fuzz campaigns actually run (not cache-served).
+        self.fuzzed = 0
 
     def executor(self) -> Executor:
         """The shard's executor (warm process pool by default)."""
@@ -270,8 +298,54 @@ class WorkerShard:
                 continue
             await self._process(worker_id, cell)
 
+    async def _await_leased(self, future, fingerprint: str,
+                            worker_id: str):
+        """Await an executor future, renewing the lease by heartbeat."""
+        loop = asyncio.get_running_loop()
+        heartbeat = max(self.queue.lease_ttl / 3, IDLE_POLL)
+        while True:
+            done, _pending = await asyncio.wait(
+                {future}, timeout=heartbeat,
+            )
+            if done:
+                return future.result()
+            # Still running: renew the lease and keep waiting.
+            await loop.run_in_executor(
+                None, self.queue.heartbeat, fingerprint, worker_id,
+            )
+
+    async def _pool_died(self, fingerprint: str) -> None:
+        """Handle a worker process dying mid-cell (BrokenExecutor).
+
+        Retire the broken pool — but only when this shard created it
+        via warm_pool, keyed with its own initializer, so an unrelated
+        same-width pool (e.g. a bench sweep's) in this process is
+        never torn down; an injected executor is the caller's to shut
+        down.  Either way the next lease builds a fresh warm pool, and
+        the cell goes back to the queue's retry budget.
+        """
+        if self._owns_pool:
+            retire_pool(
+                self.workers,
+                initializer=_close_inherited_inet_sockets,
+            )
+        elif self._executor is not None:
+            log.warning(
+                "injected executor for shard %s broke; replacing "
+                "it with a warm pool on the next lease", self.name,
+            )
+        self._executor = None
+        self._owns_pool = False
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            None, self.queue.fail, fingerprint, "worker_death",
+        )
+
     async def _process(self, worker_id: str, cell: dict[str, Any]) -> None:
-        """Serve one leased cell (cache first, simulation second)."""
+        """Serve one leased cell (cache first, execution second)."""
+        if cell.get("kind") == "fuzz":
+            await self._process_fuzz(worker_id, cell)
+            return
         fingerprint = cell["fingerprint"]
         loop = asyncio.get_running_loop()
         cached = await loop.run_in_executor(None, self.store.lookup, cell)
@@ -294,43 +368,12 @@ class WorkerShard:
             self.executor(), run_cell,
             cell_config, cell["benchmark"], cell["scale"], cell["seed"],
         )
-        heartbeat = max(self.queue.lease_ttl / 3, IDLE_POLL)
         try:
-            while True:
-                done, _pending = await asyncio.wait(
-                    {future}, timeout=heartbeat,
-                )
-                if done:
-                    summary = future.result()
-                    break
-                # Still running: renew the lease and keep waiting.
-                await loop.run_in_executor(
-                    None, self.queue.heartbeat, fingerprint, worker_id,
-                )
-        except BrokenExecutor:
-            # The worker process died mid-cell.  Retire the broken
-            # pool — but only when this shard created it via
-            # warm_pool, keyed with its own initializer, so an
-            # unrelated same-width pool (e.g. a bench sweep's) in
-            # this process is never torn down; an injected executor
-            # is the caller's to shut down.  Either way the next
-            # lease builds a fresh warm pool, and the cell goes back
-            # to the queue's retry budget.
-            if self._owns_pool:
-                retire_pool(
-                    self.workers,
-                    initializer=_close_inherited_inet_sockets,
-                )
-            elif self._executor is not None:
-                log.warning(
-                    "injected executor for shard %s broke; replacing "
-                    "it with a warm pool on the next lease", self.name,
-                )
-            self._executor = None
-            self._owns_pool = False
-            await loop.run_in_executor(
-                None, self.queue.fail, fingerprint, "worker_death",
+            summary = await self._await_leased(
+                future, fingerprint, worker_id,
             )
+        except BrokenExecutor:
+            await self._pool_died(fingerprint)
             return
         except asyncio.CancelledError:
             raise
@@ -342,4 +385,56 @@ class WorkerShard:
             return
         self.simulated += 1
         await loop.run_in_executor(None, self.store.store, cell, summary)
+        await loop.run_in_executor(None, self.queue.complete, fingerprint)
+
+    async def _process_fuzz(self, worker_id: str,
+                            cell: dict[str, Any]) -> None:
+        """Serve one leased fuzz-campaign cell.
+
+        Mirrors the simulation path — cache probe, heartbeat-renewed
+        executor run, retry on death — but executes
+        :func:`repro.fuzz.campaign.run_fuzz_cell` (which runs its
+        campaign serially: this cell already occupies a pool worker)
+        and stores the JSON report.  Every finding in the report is
+        surfaced as a ``cell.fuzz_finding`` event before completion.
+        """
+        fingerprint = cell["fingerprint"]
+        loop = asyncio.get_running_loop()
+        cached = await loop.run_in_executor(
+            None, self.store.lookup_fuzz, fingerprint,
+        )
+        if cached is not None:
+            self.events.emit("cell.cache_hit", fingerprint=fingerprint)
+            await loop.run_in_executor(None, self.queue.complete, fingerprint)
+            return
+        self.events.emit(
+            "cell.started", fingerprint=fingerprint, worker=worker_id,
+        )
+        future = loop.run_in_executor(
+            self.executor(), run_fuzz_cell,
+            cell["seed"], cell["budget"], tuple(cell["protocols"]),
+            cell["interconnect"],
+        )
+        try:
+            doc = await self._await_leased(future, fingerprint, worker_id)
+        except BrokenExecutor:
+            await self._pool_died(fingerprint)
+            return
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - any cell error retries
+            log.warning("fuzz cell %s raised %s", fingerprint, exc)
+            await loop.run_in_executor(
+                None, self.queue.fail, fingerprint, "worker_error",
+            )
+            return
+        self.fuzzed += 1
+        await loop.run_in_executor(
+            None, self.store.store_fuzz, fingerprint, doc,
+        )
+        for finding in doc["findings"]:
+            self.events.emit(
+                "cell.fuzz_finding", fingerprint=fingerprint,
+                finding=finding["kind"],
+            )
         await loop.run_in_executor(None, self.queue.complete, fingerprint)

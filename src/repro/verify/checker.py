@@ -119,6 +119,12 @@ def _encode_nl(nl) -> tuple:
     return (st.index, data, vis if vis is not None else (-1,), int(div))
 
 
+# Directory-state canonicalization sweeps all n! node permutations per
+# stored state.  Past this many nodes the sweep costs more than the
+# reduction saves; refuse loudly instead of silently thrashing.
+MAX_SYMMETRY_NODES = 6
+
+
 class ModelChecker:
     """BFS over the abstract machine with node-permutation reduction."""
 
@@ -129,34 +135,67 @@ class ModelChecker:
         self.machine = machine
         self.max_states = max_states
         self.max_depth = max_depth
-        if symmetry:
-            self._perms = list(permutations(range(machine.n_nodes)))
-        else:
-            self._perms = [tuple(range(machine.n_nodes))]
+        self.symmetry = symmetry
+        if (symmetry
+                and machine.interconnect is InterconnectKind.DIRECTORY
+                and machine.n_nodes > MAX_SYMMETRY_NODES):
+            raise ValueError(
+                f"symmetry reduction on a directory machine sweeps "
+                f"n_nodes! permutations per state; {machine.n_nodes} nodes "
+                f"exceeds the cap of {MAX_SYMMETRY_NODES} — pass "
+                f"symmetry=False (bus machines canonicalize by sorting "
+                f"and have no such cap)"
+            )
 
     # -- canonicalization ------------------------------------------------
 
     def _canonical(self, state) -> tuple:
         nodes, mem, arch, gvis, dirs = state
-        best = None
-        for perm in self._perms:
-            inv = [0] * len(perm)
-            for new, old in enumerate(perm):
-                inv[old] = new
+        if not self.symmetry:
             enc_nodes = tuple(
-                tuple(_encode_nl(nl) for nl in nodes[old]) for old in perm
+                tuple(_encode_nl(nl) for nl in row) for row in nodes
             )
             if dirs is None:
                 enc_dirs = ()
             else:
                 enc_dirs = tuple(
                     (
-                        -1 if d[0] is None else inv[d[0]],
-                        tuple(sorted(inv[s] for s in d[1])),
-                        tuple(sorted(inv[s] for s in d[2])),
+                        -1 if d[0] is None else d[0],
+                        tuple(sorted(d[1])),
+                        tuple(sorted(d[2])),
                     )
                     for d in dirs
                 )
+            return ((enc_nodes, enc_dirs), mem, arch, gvis)
+        if dirs is None:
+            # Bus states carry no node-index cross references, so the
+            # minimum over all node permutations of the node-row tuple
+            # is exactly the sorted tuple: same canonical classes, same
+            # key values, O(n log n) instead of O(n!) — this is what
+            # makes 8/16-node bus configs checkable at all.
+            enc_nodes = tuple(sorted(
+                tuple(_encode_nl(nl) for nl in row) for row in nodes
+            ))
+            return ((enc_nodes, ()), mem, arch, gvis)
+        # Directory: sharer/owner fields reference node indices, so the
+        # full permutation sweep is required — but iterate it lazily
+        # (nothing materialized) and rely on the constructor cap.
+        best = None
+        for perm in permutations(range(self.machine.n_nodes)):
+            inv = [0] * len(perm)
+            for new, old in enumerate(perm):
+                inv[old] = new
+            enc_nodes = tuple(
+                tuple(_encode_nl(nl) for nl in nodes[old]) for old in perm
+            )
+            enc_dirs = tuple(
+                (
+                    -1 if d[0] is None else inv[d[0]],
+                    tuple(sorted(inv[s] for s in d[1])),
+                    tuple(sorted(inv[s] for s in d[2])),
+                )
+                for d in dirs
+            )
             key = (enc_nodes, enc_dirs)
             if best is None or key < best:
                 best = key

@@ -125,8 +125,8 @@ class AbstractMachine:
         values: tuple[int, ...] = (0, 1),
         interconnect: InterconnectKind = InterconnectKind.BUS,
     ):
-        if not 2 <= n_nodes <= 4:
-            raise ValueError("model supports 2-4 nodes")
+        if not 2 <= n_nodes <= 16:
+            raise ValueError("model supports 2-16 nodes")
         self.protocol = protocol
         self.n_nodes = n_nodes
         self.n_lines = n_lines

@@ -1,14 +1,21 @@
 """Seeded protocol bugs for exercising the verification loop.
 
-Each mutation patches one decision on a live
-:class:`~repro.coherence.protocol.ProtocolLogic` *instance* (never the
-class, so simulation code paths stay pristine) to re-introduce a
-plausible implementation mistake.  The model checker must find a
-counterexample for every mutation, and replaying that counterexample
-on the concrete system must trip the runtime
+Each mutation patches one decision on a *fresh copy* of a
+:class:`~repro.coherence.protocol.ProtocolLogic` instance (never the
+class, and never the caller's instance) to re-introduce a plausible
+implementation mistake.  The model checker must find a counterexample
+for every mutation, and replaying that counterexample on the concrete
+system must trip the runtime
 :class:`~repro.coherence.validation.CoherenceChecker` the same way —
 demonstrating that the abstract model, the invariants, and the replay
 bridge all talk about the same machine.
+
+:func:`apply_mutation` returns the mutated copy and leaves its
+argument untouched.  The copy discipline is what makes mutation
+testing safe to run in a loop (the fuzz campaign applies thousands of
+mutations per process): a mutated table can never leak into a
+subsequent clean run, because no live instance is ever patched in
+place.
 
 Mutations only make sense for temporal protocols where noted.
 """
@@ -16,7 +23,7 @@ Mutations only make sense for temporal protocols where noted.
 from __future__ import annotations
 
 from repro.coherence.messages import TxnKind
-from repro.coherence.protocol import ProtocolLogic
+from repro.coherence.protocol import ProtocolLogic, make_protocol
 from repro.coherence.states import LineState
 
 
@@ -74,7 +81,15 @@ TEMPORAL_ONLY = frozenset({"validate-installs-m", "t-ignores-flush"})
 
 
 def apply_mutation(protocol: ProtocolLogic, name: str) -> ProtocolLogic:
-    """Apply the named mutation to ``protocol`` (in place) and return it."""
+    """Return a mutated fresh copy of ``protocol``; the argument is untouched.
+
+    The copy is rebuilt from ``protocol.config`` via
+    :func:`~repro.coherence.protocol.make_protocol`, so the caller's
+    instance (and any tables the class shares) stays byte-identical to
+    pristine.  Callers must use the return value::
+
+        ctrl.protocol = apply_mutation(ctrl.protocol, "t-ignores-flush")
+    """
     try:
         patch = MUTATIONS[name]
     except KeyError:
@@ -83,5 +98,6 @@ def apply_mutation(protocol: ProtocolLogic, name: str) -> ProtocolLogic:
         ) from None
     if name in TEMPORAL_ONLY and not protocol.has_temporal:
         raise ValueError(f"mutation {name!r} needs a temporal protocol")
-    patch(protocol)
-    return protocol
+    mutated = make_protocol(protocol.config)
+    patch(mutated)
+    return mutated

@@ -161,7 +161,9 @@ class ConcreteReplayer:
                 i, config, self.bus, self.memory, self.stats.scoped(f"ctrl{i}")
             )
             if mutate is not None:
-                apply_mutation(ctrl.protocol, mutate)
+                # apply_mutation returns a mutated fresh copy — swap it
+                # in; the controller's original logic is never touched.
+                ctrl.protocol = apply_mutation(ctrl.protocol, mutate)
             policy = _ScriptedPolicy()
             ctrl.policy = policy
             node = NodeMemory(

@@ -28,7 +28,9 @@ def patched_logic(monkeypatch):
         def factory(name):
             logic = orig(name)
             if name == protocol:
-                mutate(logic)
+                # Mutators may patch in place (return None) or, like
+                # apply_mutation, return a patched fresh copy.
+                logic = mutate(logic) or logic
             return logic
 
         monkeypatch.setattr(ta, "_make_logic", factory)

@@ -58,6 +58,40 @@ def test_check_json_mutated_carries_trace_and_replay(capsys):
     assert run["replay"]["failed_at"] == len(violation["trace"]) - 1
 
 
+def test_check_mutated_json_carries_mutation_record(capsys):
+    # The record schema is shared with the fuzz campaign's mutation
+    # iterations (repro.fuzz.report.mutation_record).
+    code = main([
+        "check", "--protocol", "mesti", "--interconnect", "bus",
+        "--mutate", "t-ignores-flush", "--format", "json",
+    ])
+    assert code == 1
+    (run,) = json.loads(capsys.readouterr().out)["runs"]
+    record = run["mutation"]
+    assert record["name"] == "t-ignores-flush"
+    assert record["seeded"] is True
+    assert record["detected"] is True
+    assert record["caught_as"] == "t-discipline"
+    assert record["trace_len"] >= 1
+    assert record["rows_reached"] == len(record["rows"]) > 0
+
+
+def test_check_escaped_mutation_exits_one(capsys, monkeypatch):
+    # A mutation the checker misses is a failure of the verification
+    # loop itself, not a success.
+    from repro.verify import mutations
+
+    monkeypatch.setitem(
+        mutations.MUTATIONS, "no-op", lambda protocol: None,
+    )
+    code = main([
+        "check", "--protocol", "mesi", "--interconnect", "bus",
+        "--mutate", "no-op",
+    ])
+    assert code == 1
+    assert "ESCAPED" in capsys.readouterr().out
+
+
 def test_check_bad_protocol_exits_two():
     with pytest.raises(SystemExit) as exc:
         build_parser().parse_args(["check", "--protocol", "mosi"])

@@ -53,12 +53,59 @@ def test_swmr_counterexample_replays_identically(mutate):
 
 def test_t_ignores_flush_caught_abstractly():
     # This bug corrupts the *saved* value of a T copy; the abstract
-    # checker sees it against the last-globally-visible shadow.  (The
-    # concrete runtime checker can only compare T copies against each
-    # other, so this one is exactly the class of bug that needs the
-    # model checker.)
+    # checker sees it against the last-globally-visible shadow.
     result = checked("moesti", "t-ignores-flush")
     assert result.violations[0].kind == "t-discipline"
+
+
+@pytest.mark.parametrize("name", ["mesti", "moesti", "emesti"])
+def test_t_ignores_flush_counterexample_replays_concretely(name):
+    """Regression for the fuzz campaign's headline find.
+
+    The runtime CoherenceChecker used to compare T copies only against
+    each other, so a *lone* rotten T copy (exactly what this mutation
+    produces with one sharer) replayed clean and the campaign flagged a
+    replay-divergence.  The checker now holds every T copy to the last
+    globally visible value.
+    """
+    spec = ProtocolSpec(name)
+    result = checked(name, "t-ignores-flush")
+    v = result.violations[0]
+    assert v.kind == "t-discipline"
+    outcome = ConcreteReplayer(
+        spec, mutate="t-ignores-flush"
+    ).replay(v.trace)
+    assert not outcome.ok
+    assert "globally visible" in outcome.error
+
+
+def test_apply_mutation_leaves_argument_untouched():
+    """Regression: the mutation must not leak into the caller's tables.
+
+    ``apply_mutation`` once patched the passed instance in place; a
+    fuzz loop that checked a mutant then reused the 'clean' logic
+    inherited the bug.  The argument must keep pristine behavior after
+    the call, decision for decision.
+    """
+    from repro.coherence.messages import SnoopResult, TxnKind
+    from repro.coherence.states import LineState
+
+    logic = ProtocolSpec("mesti").make_logic()
+    pristine = ProtocolSpec("mesti").make_logic()
+    mutated = apply_mutation(logic, "fill-exclusive-on-shared-read")
+    assert mutated is not logic
+
+    shared = SnoopResult()
+    shared.shared = True
+    assert (logic.fill_state(TxnKind.READ, shared)
+            is pristine.fill_state(TxnKind.READ, shared)
+            is LineState.S)
+    assert mutated.fill_state(TxnKind.READ, shared) is LineState.E
+
+    mutated_v = apply_mutation(logic, "validate-installs-m")
+    assert (logic.revalidated_state()
+            is pristine.revalidated_state())
+    assert mutated_v.revalidated_state() is LineState.M
 
 
 def test_unknown_mutation_rejected():
