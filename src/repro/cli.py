@@ -4,7 +4,9 @@ Usage (installed as ``repro-sim``, or ``python -m repro.cli``):
 
     repro-sim run tpc-b --technique emesti+lvp --scale 0.5 --seed 1
     repro-sim run locks --technique emesti --trace /tmp/t.json --trace-format chrome
-    repro-sim report /tmp/t.json
+    repro-sim report /tmp/t.json --chrome /tmp/t.chrome.json
+    repro-sim service top --port 8642
+    repro-sim service postmortem flight.json
     repro-sim experiment figure7 --scale 0.6 --workers 4
     repro-sim bench --quick
     repro-sim check --protocol emesti --interconnect both
@@ -24,7 +26,7 @@ from repro.common.errors import ConfigError
 from repro.experiments.runner import summarize
 from repro.obs.profiler import SimProfiler
 from repro.obs.report import load_trace, render_report, summarize_trace
-from repro.obs.tracer import TraceFilter, Tracer
+from repro.obs.tracer import TraceFilter, Tracer, chrome_document
 from repro.system.system import System
 from repro.system.techniques import ALL_TECHNIQUES, configure_technique
 from repro.workloads.registry import BENCHMARKS, EXTRA_BENCHMARKS, get_benchmark
@@ -115,6 +117,13 @@ def cmd_report(args) -> int:
     if load.skipped:
         print(f"repro-sim: warning: skipped {load.skipped} malformed "
               f"event(s) in {args.trace}", file=sys.stderr)
+    if args.chrome:
+        from pathlib import Path
+
+        doc = chrome_document(load.events)
+        Path(args.chrome).write_text(json.dumps(doc) + "\n")
+        print(f"chrome trace: {len(doc['traceEvents'])} records -> "
+              f"{args.chrome}")
     print(render_report(summarize_trace(load.events, top=args.top)))
     return 0
 
@@ -404,12 +413,24 @@ def cmd_bench(args) -> int:
 def cmd_serve(args) -> int:
     """Handle ``repro-sim serve`` (the simulation service)."""
     import asyncio
+    import signal
 
     from repro.service.api import Service
+
+    # A server launched as a background job from a non-interactive
+    # shell (``nohup repro-sim serve ... &``, as the CI smoke does)
+    # inherits SIGINT set to SIG_IGN — the shell ignores it for
+    # async commands without job control, and Python honors an
+    # inherited SIG_IGN.  Restore the default handler so
+    # ``kill -INT`` always reaches the graceful-shutdown path that
+    # flushes the event log and the flight recorder.
+    signal.signal(signal.SIGINT, signal.default_int_handler)
 
     async def _serve() -> int:
         service = Service(
             args.root, workers=args.workers, lease_ttl=args.lease_ttl,
+            flight_path=args.flight,
+            telemetry_interval=args.telemetry_interval,
         )
         host, port = await service.start(host=args.host, port=args.port)
         print(f"repro-sim service on http://{host}:{port} "
@@ -430,6 +451,35 @@ def cmd_serve(args) -> int:
         return asyncio.run(_serve())
     except KeyboardInterrupt:
         return 0
+
+
+def cmd_service(args) -> int:
+    """Handle ``repro-sim service`` (live top / crash postmortem)."""
+    if args.service_command == "top":
+        from repro.service.client import ServiceClient, ServiceError
+        from repro.service.top import run_top
+
+        client = ServiceClient(args.host, args.port, timeout=args.timeout)
+        try:
+            shown = run_top(
+                client, interval=args.interval, iterations=args.iterations,
+                clear=not args.no_clear,
+            )
+        except (ServiceError, ConnectionError, OSError) as exc:
+            print(f"repro-sim: error: {exc}", file=sys.stderr)
+            return 1
+        return 0 if shown else 1
+    if args.service_command == "postmortem":
+        from repro.obs.flight import load_flight, render_postmortem
+
+        try:
+            doc = load_flight(args.path)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"repro-sim: error: {exc}", file=sys.stderr)
+            return 1
+        print(render_postmortem(doc, tail=args.tail))
+        return 0
+    raise AssertionError(f"unknown service command {args.service_command!r}")
 
 
 def cmd_submit(args) -> int:
@@ -596,6 +646,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=10,
         help="rows per ranking (hot lines, nodes)",
     )
+    report_p.add_argument(
+        "--chrome", metavar="PATH", default=None,
+        help="also convert the trace to Chrome trace-event JSON at "
+             "PATH (loads in Perfetto; works on per-job service "
+             "traces from GET /jobs/{id}/trace)",
+    )
 
     explain_p = sub.add_parser(
         "explain",
@@ -727,6 +783,60 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument(
         "--event-log", default=None, metavar="PATH",
         help="write the full NDJSON event log here on shutdown",
+    )
+    serve_p.add_argument(
+        "--flight", default=None, metavar="PATH",
+        help="persist a flight-recorder ring (last events + telemetry "
+             "samples) to PATH for crash postmortems; render it with "
+             "`repro-sim service postmortem PATH`",
+    )
+    serve_p.add_argument(
+        "--telemetry-interval", type=float, default=1.0, metavar="SECONDS",
+        help="vitals sampling cadence for /telemetry and the sampled "
+             "gauges (0 disables the sampler)",
+    )
+
+    service_p = sub.add_parser(
+        "service",
+        help="service observability: live top, crash postmortem",
+        description=(
+            "Client-side observability for a `repro-sim serve` "
+            "instance: `top` renders a refresh-loop terminal dashboard "
+            "from GET /telemetry; `postmortem` renders a flight-"
+            "recorder file left behind by `serve --flight PATH`."
+        ),
+    )
+    service_sub = service_p.add_subparsers(
+        dest="service_command", required=True,
+    )
+    top_p = service_sub.add_parser(
+        "top", help="live terminal dashboard over GET /telemetry",
+    )
+    top_p.add_argument("--host", default="127.0.0.1")
+    top_p.add_argument("--port", type=int, default=8642)
+    top_p.add_argument(
+        "--interval", type=float, default=1.0,
+        help="refresh cadence in seconds",
+    )
+    top_p.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="render N refreshes then exit (default: until Ctrl-C)",
+    )
+    top_p.add_argument(
+        "--timeout", type=float, default=10.0,
+        help="client socket timeout in seconds",
+    )
+    top_p.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of clearing the screen (CI logs)",
+    )
+    post_p = service_sub.add_parser(
+        "postmortem", help="render a flight-recorder file",
+    )
+    post_p.add_argument("path", help="flight-recorder JSON (serve --flight)")
+    post_p.add_argument(
+        "--tail", type=int, default=15,
+        help="newest events to show",
     )
 
     submit_p = sub.add_parser(
@@ -962,6 +1072,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": cmd_experiment,
         "bench": cmd_bench,
         "serve": cmd_serve,
+        "service": cmd_service,
         "submit": cmd_submit,
         "check": cmd_check,
         "fuzz": cmd_fuzz,

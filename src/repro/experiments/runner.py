@@ -43,7 +43,8 @@ from typing import Callable, Iterable
 from repro.common.config import MachineConfig, scaled_config
 from repro.obs.progress import CellUpdate, MatrixProgress, RunManifest
 from repro.obs.provenance import analyze_events
-from repro.obs.tracer import Tracer
+from repro.obs.spans import fold_spans
+from repro.obs.tracer import TraceFilter, Tracer
 from repro.system.system import RunResult, System
 from repro.system.techniques import configure_technique
 from repro.workloads.registry import BENCHMARKS, get_benchmark
@@ -223,6 +224,7 @@ def run_cell(
     scale: float,
     seed: int,
     provenance: bool = False,
+    trace: dict | None = None,
 ) -> RunSummary:
     """Run one fully-configured cell and summarize it.
 
@@ -235,10 +237,26 @@ def run_cell(
     health) under ``summary["provenance"]``.  Spans add no scheduler
     events, so every other summary field is identical to an untraced
     run — cached and traced results stay comparable.
+
+    ``trace`` is the service's distributed-trace context — a plain
+    ``{"trace": id}`` dict (plain data only: it crosses the process-
+    pool boundary).  When set, the run is traced spans-only and the
+    coherence spans come back folded under ``summary["trace"]`` as
+    ``{"trace", "spans", "count", "truncated"}`` (see
+    :func:`repro.obs.spans.fold_spans`); the worker shard pops that
+    key before storing, so stored summaries stay byte-identical to
+    serial runs.
     """
     workload = get_benchmark(benchmark, scale=scale)
     start = time.perf_counter()
-    tracer = Tracer() if provenance else None
+    if provenance:
+        tracer = Tracer()
+    elif trace is not None:
+        # Spans only: the full point-event firehose is provenance's
+        # business; trace propagation needs just the causal tree.
+        tracer = Tracer(filter=TraceFilter(kinds=("span",)))
+    else:
+        tracer = None
     # The simulator allocates heavily but creates almost no cyclic
     # garbage a run needs collected mid-flight; cyclic-GC passes over
     # the live System graph only add wall time that *grows* with the
@@ -257,8 +275,13 @@ def run_cell(
         if gc_was_enabled:
             gc.enable()
     summary = summarize(result, time.perf_counter() - start)
-    if tracer is not None:
+    if provenance and tracer is not None:
         summary["provenance"] = analyze_events(tracer.events).cell_summary()
+    if trace is not None and tracer is not None:
+        summary["trace"] = {
+            "trace": trace.get("trace"),
+            **fold_spans(tracer.events),
+        }
     # Provenance over the result pipe: which process produced this
     # summary.  Host-dependent, hence in NONDETERMINISTIC_FIELDS.
     summary["worker"] = os.getpid()

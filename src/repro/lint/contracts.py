@@ -11,9 +11,11 @@
   artefacts never embed per-run entropy.
 * **SL205** — contract cross-check, generalizing SL009 from *names* to
   *fields*: every ``emit("<declared event>", ...)`` call must provide
-  that event's required payload fields statically, and every metric
-  name read back via ``metrics.get(...)`` / ``metrics.total(...)``
-  must be a family some module actually declares.
+  that event's required payload fields statically, must not supply a
+  field the spec declares neither required nor optional (the EventLog
+  rejects those at emit time), and every metric name read back via
+  ``metrics.get(...)`` / ``metrics.total(...)`` must be a family some
+  module actually declares.
 """
 
 from __future__ import annotations
@@ -310,7 +312,22 @@ class ContractCrossCheckRule(Rule):
             if name is None or name not in specs:
                 continue  # undeclared names are SL009's finding
             required = tuple(specs[name].fields)
+            allowed = set(required) | set(
+                getattr(specs[name], "optional", ()) or ()
+            )
             present, complete = self._payload_keys(node, fn)
+            # A statically-supplied key outside fields+optional is an
+            # error even when the payload also has dynamic parts: the
+            # EventLog rejects undeclared fields at emit time.
+            undeclared = sorted(present - allowed)
+            if undeclared:
+                yield _finding(
+                    self, module, node,
+                    f"emit({name!r}) supplies field(s) "
+                    f"{', '.join(repr(u) for u in undeclared)} that the "
+                    f"event's spec does not declare (neither required "
+                    f"nor optional); EventLog.emit rejects them",
+                )
             if not complete:
                 continue  # **dynamic payload: cannot vouch, stay quiet
             missing = [f for f in required if f not in present]

@@ -662,7 +662,11 @@ class MetricsRegistryRule(Rule):
 # ---------------------------------------------------------------------------
 
 #: Directories where span instrumentation must keep begin/end paired.
-SPAN_SCOPE = ("coherence/", "lvp/", "sle/")
+#: ``service/`` entered the scope with the distributed job traces: the
+#: queue/shard mint ``job``/``cell.lease``/``cell.run`` spans into the
+#: :class:`~repro.obs.jobtrace.JobTraceStore` under the same
+#: begin/end API, so the same discipline applies.
+SPAN_SCOPE = ("coherence/", "lvp/", "sle/", "service/")
 
 
 class SpanDisciplineRule(Rule):

@@ -1,0 +1,220 @@
+"""Per-job distributed trace store for the simulation service.
+
+The service keeps one bounded span buffer *per job trace* rather than
+one global ring: a large cell folding thousands of coherence spans
+into its job must not evict another job's causal tree.  Spans are
+minted here (service side: ``job``, ``cell.lease``, ``cell.run``,
+``cell.cache_hit`` — see :data:`repro.obs.spans.SERVICE_SPAN_NAMES`)
+or ingested as folded worker payloads (:func:`repro.obs.spans.
+fold_spans` / :func:`~repro.obs.spans.remap_spans`), and exported as
+the same span-event JSONL the tracer writes, so ``repro-sim report``
+(and its ``--chrome`` export) consume a job trace unchanged.
+
+Thread-safety: span ids come from one ``itertools.count`` and every
+buffer mutation happens under one reentrant lock, because the queue
+mints spans from executor threads while the worker shard mints them
+on the event loop.  Two clock domains share a trace: service spans
+are stamped in perf-counter microseconds, ingested worker spans keep
+their simulated-cycle timestamps and carry ``clock: "cycles"`` so
+viewers and reports can tell them apart.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import OrderedDict
+from itertools import count
+from typing import Any, Iterable
+
+#: Traces retained (whole oldest traces are evicted beyond this).
+DEFAULT_MAX_TRACES = 64
+
+#: Span events retained per trace; the excess is counted, not kept.
+DEFAULT_MAX_EVENTS = 50_000
+
+
+def _microseconds() -> int:
+    """Default timestamp: monotonic perf-counter microseconds."""
+    return int(time.perf_counter() * 1e6)
+
+
+class _TraceBuf:
+    """One trace's event rows plus overflow accounting."""
+
+    __slots__ = ("rows", "dropped")
+
+    def __init__(self):
+        self.rows: list[dict[str, Any]] = []
+        self.dropped = 0
+
+
+class JobTraceStore:
+    """Bounded, thread-safe store of span events keyed by trace id."""
+
+    def __init__(
+        self,
+        max_traces: int = DEFAULT_MAX_TRACES,
+        max_events: int = DEFAULT_MAX_EVENTS,
+        clock=_microseconds,
+    ):
+        self.max_traces = max_traces
+        self.max_events = max_events
+        self.clock = clock
+        self._lock = threading.RLock()
+        self._traces: OrderedDict[str, _TraceBuf] = OrderedDict()
+        self._span_ids = count(1)
+
+    # -- span minting (service side) -------------------------------------
+
+    def span_begin(
+        self,
+        trace: str,
+        name: str,
+        parent: int | None = None,
+        ts: int | None = None,
+        **fields: Any,
+    ) -> int:
+        """Open a service span on ``trace``; returns its id."""
+        sid = next(self._span_ids)
+        row: dict[str, Any] = {
+            "ts": ts if ts is not None else self.clock(),
+            "kind": "span.begin",
+            "span": sid,
+            "name": name,
+            "trace": trace,
+        }
+        if parent is not None:
+            row["parent"] = parent
+        row.update(fields)
+        self._append(trace, [row])
+        return sid
+
+    def span_end(
+        self,
+        trace: str,
+        span: int | None,
+        ts: int | None = None,
+        **fields: Any,
+    ) -> None:
+        """Close a span; ``None`` (span never opened) is ignored."""
+        if span is None:
+            return
+        row: dict[str, Any] = {
+            "ts": ts if ts is not None else self.clock(),
+            "kind": "span.end",
+            "span": span,
+        }
+        row.update(fields)
+        self._append(trace, [row])
+
+    def ingest(self, trace: str, spans: Iterable[dict], truncated: int = 0) -> None:
+        """Add remapped worker spans (see :func:`~repro.obs.spans.remap_spans`).
+
+        Each folded span becomes a begin row (and an end row when the
+        span closed worker-side) stamped ``clock: "cycles"`` — worker
+        timestamps are simulated cycles, not service microseconds.
+        """
+        rows: list[dict[str, Any]] = []
+        for rec in spans:
+            begin: dict[str, Any] = {
+                "ts": rec.get("begin", 0),
+                "kind": "span.begin",
+                "span": rec.get("span"),
+                "name": rec.get("name", "span"),
+                "trace": trace,
+                "clock": "cycles",
+            }
+            if rec.get("node") is not None:
+                begin["node"] = rec["node"]
+            if rec.get("base") is not None:
+                begin["base"] = rec["base"]
+            if rec.get("parent") is not None:
+                begin["parent"] = rec["parent"]
+            begin.update(rec.get("fields") or {})
+            rows.append(begin)
+            if rec.get("end") is not None:
+                rows.append(
+                    {
+                        "ts": rec["end"],
+                        "kind": "span.end",
+                        "span": rec.get("span"),
+                    }
+                )
+        with self._lock:
+            self._append(trace, rows)
+            if truncated:
+                self._buf(trace).dropped += truncated
+
+    # -- read side -------------------------------------------------------
+
+    def has(self, trace: str) -> bool:
+        """True if ``trace`` still has a buffer (not yet evicted)."""
+        with self._lock:
+            return trace in self._traces
+
+    def traces(self) -> list[str]:
+        """Retained trace ids, oldest first."""
+        with self._lock:
+            return list(self._traces)
+
+    def events(self, trace: str) -> list[dict[str, Any]]:
+        """The trace's span-event rows in emission order (copies)."""
+        with self._lock:
+            buf = self._traces.get(trace)
+            return [dict(row) for row in buf.rows] if buf else []
+
+    def dropped(self, trace: str) -> int:
+        """Rows lost to the per-trace cap plus worker-side truncation."""
+        with self._lock:
+            buf = self._traces.get(trace)
+            return buf.dropped if buf else 0
+
+    def to_jsonl(self, trace: str) -> str:
+        """Span-event JSONL (the tracer's wire format) for one trace.
+
+        Ends with a meta trailer carrying ``trace``/``events``/
+        ``dropped`` so consumers can detect bounded-buffer loss; the
+        report loader counts the trailer as one skipped line.
+        """
+        with self._lock:
+            buf = self._traces.get(trace)
+            rows = list(buf.rows) if buf else []
+            dropped = buf.dropped if buf else 0
+        lines = [json.dumps(row) for row in rows]
+        lines.append(
+            json.dumps(
+                {"meta": "job-trace", "trace": trace, "events": len(rows),
+                 "dropped": dropped}
+            )
+        )
+        return "\n".join(lines) + "\n"
+
+    def stats(self) -> dict[str, Any]:
+        """Occupancy summary for telemetry sampling."""
+        with self._lock:
+            return {
+                "traces": len(self._traces),
+                "events": sum(len(b.rows) for b in self._traces.values()),
+                "dropped": sum(b.dropped for b in self._traces.values()),
+            }
+
+    # -- internals -------------------------------------------------------
+
+    def _buf(self, trace: str) -> _TraceBuf:
+        buf = self._traces.get(trace)
+        if buf is None:
+            buf = self._traces[trace] = _TraceBuf()
+            while len(self._traces) > self.max_traces:
+                self._traces.popitem(last=False)
+        return buf
+
+    def _append(self, trace: str, rows: list[dict[str, Any]]) -> None:
+        with self._lock:
+            buf = self._buf(trace)
+            room = self.max_events - len(buf.rows)
+            if room < len(rows):
+                buf.dropped += len(rows) - max(room, 0)
+                rows = rows[: max(room, 0)]
+            buf.rows.extend(rows)

@@ -1,0 +1,103 @@
+"""Ring-buffer time series for service telemetry.
+
+The service samples its own vitals — queue depth, per-state job
+counts, lease latency, worker utilization, cache-hit ratio, event-ring
+occupancy — on a background cadence (``repro.service.api.Service``'s
+telemetry loop) and records each row here.  The store is a bounded
+ring of *rows* (one dict per sampling tick, each stamped with a
+monotonic ``ts``), which keeps the memory bound explicit and makes
+the JSON export trivially greppable; :meth:`TelemetryStore.series`
+projects one named column out of the rows for sparklines and tests.
+
+Thread-safety: rows are recorded from the event loop's sampler but
+read from API coroutines and the flight recorder, so every access
+takes the store's lock.  The export is the ``GET /telemetry`` body
+(schema documented in docs/observability.md, "Service telemetry").
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+#: Rows retained; at the default 1 s cadence this is ~12 minutes.
+DEFAULT_CAPACITY = 720
+
+#: The numeric columns every sample carries (the time-series schema).
+SAMPLE_COLUMNS = (
+    "queued",            # cells waiting in the queue
+    "leased",            # cells currently under a worker lease
+    "jobs_active",       # jobs not yet terminal
+    "jobs_done",         # jobs completed with reason=done
+    "jobs_failed",       # jobs completed with reason=failed
+    "jobs_cancelled",    # jobs completed with reason=cancelled
+    "workers",           # worker slots in the shard
+    "busy",              # workers currently simulating
+    "utilization",       # busy / workers
+    "leases",            # cumulative leases granted
+    "lease_wait_avg",    # mean queued->leased latency, seconds
+    "lease_wait_max",    # worst queued->leased latency, seconds
+    "cache_hit_ratio",   # cache_hits / (cache_hits + started)
+    "event_records",     # EventLog ring occupancy
+    "event_dropped",     # cumulative records the ring overwrote
+)
+
+
+class TelemetryStore:
+    """Bounded, thread-safe ring of telemetry sample rows."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self.capacity = capacity
+        self._lock = threading.RLock()
+        self._rows: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._recorded = 0
+
+    def record(self, sample: dict[str, Any]) -> None:
+        """Append one sample row (must carry a monotonic ``ts``)."""
+        if "ts" not in sample:
+            raise ValueError("telemetry sample missing 'ts'")
+        with self._lock:
+            self._rows.append(dict(sample))
+            self._recorded += 1
+
+    def latest(self) -> dict[str, Any] | None:
+        """The newest row, or None before the first sample."""
+        with self._lock:
+            return dict(self._rows[-1]) if self._rows else None
+
+    def rows(self, limit: int | None = None) -> list[dict[str, Any]]:
+        """The newest ``limit`` rows (all retained rows when None)."""
+        with self._lock:
+            rows = list(self._rows)
+        if limit is not None:
+            rows = rows[-limit:]
+        return [dict(row) for row in rows]
+
+    def series(self, name: str, limit: int | None = None) -> list[tuple]:
+        """Project one column as ``(ts, value)`` pairs, oldest first."""
+        return [
+            (row["ts"], row[name])
+            for row in self.rows(limit)
+            if name in row
+        ]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._rows)
+
+    def to_json(self, limit: int | None = None) -> dict[str, Any]:
+        """The ``GET /telemetry`` document (schema 1)."""
+        with self._lock:
+            rows = list(self._rows)
+            recorded = self._recorded
+        if limit is not None:
+            rows = rows[-limit:]
+        return {
+            "schema": 1,
+            "capacity": self.capacity,
+            "recorded": recorded,
+            "columns": list(SAMPLE_COLUMNS),
+            "latest": dict(rows[-1]) if rows else None,
+            "samples": [dict(row) for row in rows],
+        }

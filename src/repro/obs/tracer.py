@@ -37,6 +37,7 @@ import json
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from itertools import count
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.common.errors import ConfigError
@@ -242,7 +243,10 @@ class Tracer:
         self._events: deque[TraceEvent] | list[TraceEvent]
         self._events = deque(maxlen=ring) if ring else []
         self.dropped = 0  # events rejected by the filter
-        self._span_seq = 0
+        # itertools.count: next() is atomic under the GIL, so span ids
+        # stay unique when the service mints spans from both the event
+        # loop and executor threads.
+        self._span_ids = count(1)
         self._sink_path = None
         self._sink_format = "jsonl"
         self._atexit_registered = False
@@ -293,8 +297,7 @@ class Tracer:
         deterministic and double as creation order.  ``parent`` links
         this span under another, forming the causal tree.
         """
-        self._span_seq += 1
-        sid = self._span_seq
+        sid = next(self._span_ids)
         if parent is not None:
             fields["parent"] = parent
         self.emit("span.begin", node=node, base=base, ts=ts, span=sid,
@@ -401,59 +404,8 @@ class Tracer:
         return "\n".join(json.dumps(e.to_dict()) for e in self._events)
 
     def to_chrome(self) -> dict[str, Any]:
-        """The Chrome trace-event format (Perfetto-compatible).
-
-        One ``tid`` track per node; events carrying a ``dur`` field
-        become complete (``X``) duration events, the rest instants.
-        ``span.begin``/``span.end`` become async (``b``/``e``) events
-        keyed by span id, and parent links become flow (``s``/``f``)
-        arrows from the parent's begin to the child's begin.  Events
-        are sorted by timestamp so viewers see a monotone timeline
-        even when duration events were stamped retroactively.
-        """
-        events = sorted(self._events, key=lambda e: e.ts)
-        # Prescan: span id -> (name, begin ts, tid) so end events can
-        # carry the span's name and flow arrows can anchor on parents.
-        begun: dict[int, tuple[str, int, int]] = {}
-        for e in events:
-            if e.kind == "span.begin":
-                begun[e.fields.get("span")] = (
-                    e.fields.get("name", "span"),
-                    e.ts,
-                    e.node if e.node is not None else -1,
-                )
-        trace_events = []
-        for e in events:
-            if e.kind in ("span.begin", "span.end"):
-                trace_events.extend(chrome_span_records(e, begun))
-                continue
-            args = dict(e.fields)
-            if e.base is not None:
-                args["base"] = f"{e.base:#x}"
-            record: dict[str, Any] = {
-                "name": e.kind,
-                "cat": e.kind.split(".", 1)[0],
-                "ts": e.ts,
-                "pid": 0,
-                "tid": e.node if e.node is not None else -1,
-                "args": args,
-            }
-            dur = args.pop("dur", None)
-            if dur is not None:
-                record["ph"] = "X"
-                record["dur"] = dur
-            else:
-                record["ph"] = "i"
-                record["s"] = "t"
-            trace_events.append(record)
-        return {
-            "traceEvents": trace_events,
-            "displayTimeUnit": "ns",
-            "metadata": {
-                "clock": "cycles",
-                "spans_truncated": self.spans_truncated,
-            },
-        }
+        """The Chrome trace-event format (see :func:`chrome_document`)."""
+        return chrome_document(self._events, spans_truncated=self.spans_truncated)
 
     def to_spans(self) -> str:
         """Span-JSONL: one object per reconstructed span, plus a meta
@@ -473,3 +425,67 @@ class Tracer:
             raise ConfigError(f"unknown trace format {format!r}")
         with open(path, "w") as fh:
             fh.write(text)
+
+
+def chrome_document(
+    events: Iterable[TraceEvent], spans_truncated: int | None = None
+) -> dict[str, Any]:
+    """Render any event stream as a Chrome trace document.
+
+    One ``tid`` track per node; events carrying a ``dur`` field
+    become complete (``X``) duration events, the rest instants.
+    ``span.begin``/``span.end`` become async (``b``/``e``) events
+    keyed by span id, and parent links become flow (``s``/``f``)
+    arrows from the parent's begin to the child's begin.  Events
+    are sorted by timestamp so viewers see a monotone timeline
+    even when duration events were stamped retroactively.
+
+    Module-level (not a :class:`Tracer` method) so loaded traces —
+    ``repro-sim report --chrome`` and the per-job service trace
+    export — convert without round-tripping through a tracer.
+    """
+    events = sorted(events, key=lambda e: e.ts)
+    if spans_truncated is None:
+        spans_truncated = collect_spans(events).truncated
+    # Prescan: span id -> (name, begin ts, tid) so end events can
+    # carry the span's name and flow arrows can anchor on parents.
+    begun: dict[int, tuple[str, int, int]] = {}
+    for e in events:
+        if e.kind == "span.begin":
+            begun[e.fields.get("span")] = (
+                e.fields.get("name", "span"),
+                e.ts,
+                e.node if e.node is not None else -1,
+            )
+    trace_events = []
+    for e in events:
+        if e.kind in ("span.begin", "span.end"):
+            trace_events.extend(chrome_span_records(e, begun))
+            continue
+        args = dict(e.fields)
+        if e.base is not None:
+            args["base"] = f"{e.base:#x}"
+        record: dict[str, Any] = {
+            "name": e.kind,
+            "cat": e.kind.split(".", 1)[0],
+            "ts": e.ts,
+            "pid": 0,
+            "tid": e.node if e.node is not None else -1,
+            "args": args,
+        }
+        dur = args.pop("dur", None)
+        if dur is not None:
+            record["ph"] = "X"
+            record["dur"] = dur
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        trace_events.append(record)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ns",
+        "metadata": {
+            "clock": "cycles",
+            "spans_truncated": spans_truncated,
+        },
+    }

@@ -2,7 +2,7 @@
 
 No third-party web framework: a small HTTP/1.1 request parser on
 :func:`asyncio.start_server` (the container has stdlib only, and the
-service needs exactly six routes).  Every response closes the
+service needs fewer than ten routes).  Every response closes the
 connection (``Connection: close``) — the client is a CLI, not a
 browser pool, and close-delimited bodies keep the event stream
 implementation trivial.
@@ -23,11 +23,20 @@ Routes
     reaches a terminal state (then the stream ends).  Replays events
     emitted before the request attached, so a client can always
     follow a job from the beginning.
+``GET /jobs/{id}/trace``
+    The job's distributed trace as span-event JSONL (service spans
+    plus the remapped worker-side coherence spans) — feed it to
+    ``repro-sim report [--chrome]``.  404 until the trace exists.
 ``GET /results/{fingerprint}``
     The stored summary for one cell fingerprint; 404 if unknown.
 ``GET /metrics``
     Prometheus text exposition of the service registry (includes
-    ``repro_service_events_total{event=...}``).
+    ``repro_service_events_total{event=...}`` and the sampled
+    ``repro_service_queue_depth{state=...}`` gauges).
+``GET /telemetry``
+    The time-series vitals ring (see
+    :mod:`repro.obs.timeseries`) plus an event tail and trace-store
+    occupancy — what ``repro-sim service top`` renders.
 ``GET /healthz``
     Liveness: ``{"ok": true}``.
 """
@@ -40,7 +49,10 @@ import logging
 from pathlib import Path
 from typing import Any
 
+from repro.obs.flight import FlightRecorder
+from repro.obs.jobtrace import JobTraceStore
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TelemetryStore
 
 from .events import EventLog
 from .queue import JOB_TERMINAL, JobQueue, SpecError
@@ -51,9 +63,33 @@ log = logging.getLogger("repro.service")
 #: Cap on request bodies (a job spec is tiny; anything bigger is abuse).
 MAX_BODY = 1 << 20
 
+#: How many newest EventLog records ``GET /telemetry`` tails.
+TELEMETRY_EVENT_TAIL = 50
+
+#: Sentinel for "caller did not override the EventLog default".
+_UNSET = object()
+
 
 class Service:
-    """The assembled service: queue, store, shard, event log, HTTP."""
+    """The assembled service: queue, store, shard, event log, HTTP.
+
+    Observability plumbing assembled here:
+
+    * one shared :class:`JobTraceStore` — the queue mints ``job`` /
+      ``cell.lease`` spans into it from executor threads, the shard
+      mints ``cell.run`` / ``cell.cache_hit`` spans and ingests the
+      worker-side folded coherence spans; ``GET /jobs/{id}/trace``
+      serves it;
+    * a :class:`TelemetryStore` fed by a background sampler task
+      (:meth:`_telemetry_loop`) that also updates the sampled
+      Prometheus gauges; ``GET /telemetry`` serves it;
+    * optionally (``flight_path``) a :class:`FlightRecorder`
+      subscribed to the event log and flushed every sampler tick, so
+      a killed server leaves a parseable postmortem on disk.
+
+    ``max_event_records`` / ``retain_terminal`` pass through to the
+    :class:`EventLog` ring (tests shrink them to exercise truncation).
+    """
 
     def __init__(
         self,
@@ -62,23 +98,75 @@ class Service:
         lease_ttl: float | None = None,
         executor=None,
         metrics: MetricsRegistry | None = None,
+        flight_path: str | Path | None = None,
+        telemetry_interval: float = 1.0,
+        max_event_records=_UNSET,
+        retain_terminal=_UNSET,
     ):
         self.root = Path(root)
         self.metrics = metrics or MetricsRegistry()
-        self.events = EventLog(metrics=self.metrics)
+        self.traces = JobTraceStore()
+        self.telemetry = TelemetryStore()
+        self.telemetry_interval = telemetry_interval
+        self.flight = (
+            FlightRecorder(flight_path) if flight_path is not None else None
+        )
+        log_kwargs = {}
+        if max_event_records is not _UNSET:
+            log_kwargs["max_records"] = max_event_records
+        if retain_terminal is not _UNSET:
+            log_kwargs["retain_terminal"] = retain_terminal
+        self.events = EventLog(
+            metrics=self.metrics,
+            on_drop=self._note_drop if self.flight is not None else None,
+            **log_kwargs,
+        )
         queue_kwargs = {} if lease_ttl is None else {"lease_ttl": lease_ttl}
         self.queue = JobQueue(
-            self.root / "queue", events=self.events, **queue_kwargs,
+            self.root / "queue", events=self.events,
+            traces=self.traces, metrics=self.metrics, **queue_kwargs,
         )
         self.store = ResultStore(self.root / "results")
         self.shard = WorkerShard(
             self.queue, self.store, self.events,
             workers=workers, executor=executor,
         )
+        # Sampled gauges (set by _sample_once; declared here so the
+        # families exist — with help text — before the first tick).
+        self._depth_gauge = self.metrics.gauge(
+            "repro_service_queue_depth", "cells by queue state",
+            labels=("state",),
+        )
+        self._jobs_gauge = self.metrics.gauge(
+            "repro_service_jobs", "jobs by status (active, or the "
+            "terminal reason)", labels=("status",),
+        )
+        self._util_gauge = self.metrics.gauge(
+            "repro_service_worker_utilization",
+            "busy workers / worker slots",
+        )
+        self._busy_gauge = self.metrics.gauge(
+            "repro_service_workers_busy", "workers currently simulating",
+        )
+        self._ring_gauge = self.metrics.gauge(
+            "repro_service_event_ring_records", "EventLog ring occupancy",
+        )
+        self._cache_gauge = self.metrics.gauge(
+            "repro_service_cache_hit_ratio",
+            "cache hits / (cache hits + started)",
+        )
         self._server: asyncio.AbstractServer | None = None
         self._wake = asyncio.Event()
         self._loop: asyncio.AbstractEventLoop | None = None
+        self._telemetry_task: asyncio.Task | None = None
         self.events.subscribe(lambda _record: self._wake_streams())
+        if self.flight is not None:
+            self.events.subscribe(self.flight.record_event)
+
+    def _note_drop(self, dropped: int) -> None:
+        """EventLog overflow hook: leave a flight-recorder marker."""
+        if self.flight is not None:
+            self.flight.note("events.dropped", dropped=dropped)
 
     def _wake_streams(self) -> None:
         """Wake every pending event stream after an emit.
@@ -99,9 +187,13 @@ class Service:
     # ------------------------------------------------------------------
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
-        """Start the shard and the HTTP listener; returns (host, port)."""
+        """Start the shard, the telemetry sampler, and the listener."""
         self._loop = asyncio.get_running_loop()
         await self.shard.start()
+        if self.telemetry_interval > 0:
+            self._telemetry_task = asyncio.create_task(
+                self._telemetry_loop(), name="repro-telemetry",
+            )
         self._server = await asyncio.start_server(
             self._handle_connection, host=host, port=port,
         )
@@ -116,7 +208,91 @@ class Service:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._telemetry_task is not None:
+            self._telemetry_task.cancel()
+            try:
+                await self._telemetry_task
+            except asyncio.CancelledError:
+                pass
+            self._telemetry_task = None
         await self.shard.stop()
+        if self.flight is not None:
+            # One last sample + forced flush so the on-disk document
+            # reflects the final state (file I/O off the loop).
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, self._sample_once)
+            await loop.run_in_executor(None, self.flight.close)
+
+    # ------------------------------------------------------------------
+    # Telemetry sampling
+    # ------------------------------------------------------------------
+
+    def _sample_once(self) -> dict:
+        """Take one vitals sample (runs on an executor thread).
+
+        Reads go through the locked accessors (``depth_counts`` /
+        ``lease_stats`` / ``occupancy``); ``shard.busy`` and
+        ``shard.workers`` are loop-thread-written ints, so a stale
+        read costs one tick of accuracy, never a torn value.
+        """
+        depth = self.queue.depth_counts()
+        lease = self.queue.lease_stats()
+        ring = self.events.occupancy()
+        cells = depth["cells"]
+        jobs = depth["jobs"]
+        workers = self.shard.workers
+        busy = self.shard.busy
+        hits = self.metrics.get(
+            "repro_service_events_total", event="cell.cache_hit",
+        )
+        started = self.metrics.get(
+            "repro_service_events_total", event="cell.started",
+        )
+        sample = {
+            "ts": self.queue.clock(),
+            "queued": cells.get("queued", 0),
+            "leased": cells.get("leased", 0),
+            "jobs_active": jobs.get("active", 0),
+            "jobs_done": jobs.get("done", 0),
+            "jobs_failed": jobs.get("failed", 0),
+            "jobs_cancelled": jobs.get("cancelled", 0),
+            "workers": workers,
+            "busy": busy,
+            "utilization": busy / workers if workers else 0.0,
+            "leases": lease["count"],
+            "lease_wait_avg": (
+                lease["wait_total"] / lease["count"] if lease["count"] else 0.0
+            ),
+            "lease_wait_max": lease["wait_max"],
+            "cache_hit_ratio": (
+                hits / (hits + started) if hits + started else 0.0
+            ),
+            "event_records": ring["records"],
+            "event_dropped": ring["dropped"],
+        }
+        for state, n in cells.items():
+            self._depth_gauge.labels(state=state).set(n)
+        for status, n in jobs.items():
+            self._jobs_gauge.labels(status=status).set(n)
+        self._util_gauge.labels().set(sample["utilization"])
+        self._busy_gauge.labels().set(busy)
+        self._ring_gauge.labels().set(ring["records"])
+        self._cache_gauge.labels().set(sample["cache_hit_ratio"])
+        self.telemetry.record(sample)
+        if self.flight is not None:
+            self.flight.record_sample(sample)
+            self.flight.flush()
+        return sample
+
+    async def _telemetry_loop(self) -> None:
+        """Sample vitals every ``telemetry_interval`` seconds."""
+        loop = asyncio.get_running_loop()
+        while True:
+            try:
+                await loop.run_in_executor(None, self._sample_once)
+            except Exception:  # noqa: BLE001 - keep sampling through faults
+                log.exception("telemetry sample failed")
+            await asyncio.sleep(self.telemetry_interval)
 
     async def serve_forever(self) -> None:
         """Block until cancelled (the ``repro-sim serve`` main loop)."""
@@ -219,8 +395,13 @@ class Service:
         elif (method == "GET" and len(parts) == 3 and parts[0] == "jobs"
               and parts[2] == "events"):
             await self._stream_events(parts[1], writer)
+        elif (method == "GET" and len(parts) == 3 and parts[0] == "jobs"
+              and parts[2] == "trace"):
+            await self._get_trace(parts[1], writer)
         elif method == "GET" and len(parts) == 2 and parts[0] == "results":
             await self._get_result(parts[1], writer)
+        elif method == "GET" and parts == ["telemetry"]:
+            await self._get_telemetry(writer)
         elif method == "GET" and parts == ["metrics"]:
             await self._respond(
                 writer, 200, self.metrics.to_prometheus(),
@@ -253,6 +434,7 @@ class Service:
             return
         await self._respond(writer, 202, {
             "job": job["id"], "cells": job["cells"], "status": job["status"],
+            "trace": job.get("trace"),
         })
 
     async def _get_job(
@@ -320,6 +502,45 @@ class Service:
                 await asyncio.wait_for(self._wake.wait(), timeout=1.0)
             except asyncio.TimeoutError:
                 pass  # periodic re-check even with no event traffic
+
+    async def _get_trace(
+        self, job_id: str, writer: asyncio.StreamWriter,
+    ) -> None:
+        """``GET /jobs/{id}/trace``: the job's span-event JSONL.
+
+        The trace id comes from the locked queue accessor; the trace
+        store itself is lock-serialized in-memory state (no file
+        I/O), so it is read directly like the event log.
+        """
+        loop = asyncio.get_running_loop()
+        try:
+            trace = await loop.run_in_executor(
+                None, self.queue.job_trace, job_id,
+            )
+        except KeyError:
+            await self._respond(writer, 404, {"error": f"no job {job_id}"})
+            return
+        if trace is None or not self.traces.has(trace):
+            await self._respond(
+                writer, 404, {"error": f"no trace for job {job_id}"},
+            )
+            return
+        await self._respond(
+            writer, 200, self.traces.to_jsonl(trace),
+            content_type="application/x-ndjson",
+        )
+
+    async def _get_telemetry(self, writer: asyncio.StreamWriter) -> None:
+        """``GET /telemetry``: vitals ring + event tail + trace stats.
+
+        Everything here is lock-serialized in-memory state — no file
+        I/O — so, like the event-stream reads, it stays on the loop.
+        """
+        doc = self.telemetry.to_json()
+        doc["events"] = self.events.tail(TELEMETRY_EVENT_TAIL)
+        doc["event_ring"] = self.events.occupancy()
+        doc["traces"] = self.traces.stats()
+        await self._respond(writer, 200, doc)
 
     async def _get_result(
         self, fingerprint: str, writer: asyncio.StreamWriter,

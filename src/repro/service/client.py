@@ -87,6 +87,22 @@ class ServiceClient:
             raise ServiceError(f"metrics failed ({status})")
         return doc if isinstance(doc, str) else json.dumps(doc)
 
+    def telemetry(self) -> dict:
+        """``GET /telemetry`` (the vitals time-series document)."""
+        status, doc = self._request("GET", "/telemetry")
+        if status != 200:
+            raise ServiceError(f"telemetry failed ({status}): {doc}")
+        return doc
+
+    def trace(self, job_id: str) -> str:
+        """``GET /jobs/{id}/trace`` (span-event JSONL, raw text)."""
+        status, doc = self._request("GET", f"/jobs/{job_id}/trace")
+        if status != 200:
+            raise ServiceError(
+                f"trace for {job_id} failed ({status}): {doc}"
+            )
+        return doc if isinstance(doc, str) else json.dumps(doc)
+
     def follow(self, job_id: str) -> Iterator[dict]:
         """Stream ``GET /jobs/{id}/events`` records until the job ends."""
         conn = http.client.HTTPConnection(

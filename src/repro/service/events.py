@@ -44,11 +44,18 @@ DEFAULT_RETAIN_TERMINAL = 256
 
 @dataclass(frozen=True)
 class EventSpec:
-    """Declaration of one named service event."""
+    """Declaration of one named service event.
+
+    ``fields`` must be present on every emit; ``optional`` fields may
+    be — anything else is rejected at emit time (and statically by
+    simlint SL205), so an event's payload surface is exactly what is
+    declared here.
+    """
 
     name: str
     description: str
-    fields: tuple[str, ...] = ()  # required payload fields
+    fields: tuple[str, ...] = ()   # required payload fields
+    optional: tuple[str, ...] = ()  # declared but not required
 
 
 def _registry(*specs: EventSpec) -> dict[str, EventSpec]:
@@ -66,29 +73,35 @@ def _registry(*specs: EventSpec) -> dict[str, EventSpec]:
 #: the transition is attributable to one submission).
 EVENT_SPECS: dict[str, EventSpec] = _registry(
     EventSpec("job.enqueued", "a submitted spec was accepted and exploded "
-              "into cells", ("job", "cells")),
+              "into cells", ("job", "cells"), optional=("trace",)),
     EventSpec("job.completed", "a job reached a terminal state; reason is "
-              "done | failed | cancelled", ("job", "reason")),
+              "done | failed | cancelled", ("job", "reason"),
+              optional=("trace",)),
     EventSpec("cell.enqueued", "a new cell entered the queue",
-              ("job", "fingerprint")),
+              ("job", "fingerprint"), optional=("trace",)),
     EventSpec("cell.deduped", "a submission matched an in-flight cell and "
-              "shares its run", ("job", "fingerprint")),
+              "shares its run", ("job", "fingerprint"),
+              optional=("trace",)),
     EventSpec("cell.leased", "a worker took the cell under a heartbeat "
-              "lease", ("fingerprint", "worker")),
+              "lease", ("fingerprint", "worker"), optional=("trace",)),
     EventSpec("cell.started", "a worker began simulating the cell (it was "
-              "not cached)", ("fingerprint", "worker")),
+              "not cached)", ("fingerprint", "worker"),
+              optional=("trace",)),
     EventSpec("cell.cache_hit", "the cell was served from the result store "
-              "without simulation", ("fingerprint",)),
+              "without simulation", ("fingerprint",),
+              optional=("trace",)),
     EventSpec("cell.finished", "the cell's summary is stored and its jobs "
-              "were credited", ("fingerprint",)),
+              "were credited", ("fingerprint",), optional=("trace",)),
     EventSpec("cell.retried", "the cell was re-enqueued; reason is "
               "lease_expired | worker_death | worker_error",
-              ("fingerprint", "reason")),
+              ("fingerprint", "reason"), optional=("trace",)),
     EventSpec("cell.failed", "the cell exhausted its retries; reason as "
-              "for cell.retried", ("fingerprint", "reason")),
+              "for cell.retried", ("fingerprint", "reason"),
+              optional=("trace",)),
     EventSpec("cell.fuzz_finding", "a fuzz campaign cell surfaced a "
               "finding; finding is its kind (e.g. "
-              "differential-divergence)", ("fingerprint", "finding")),
+              "differential-divergence)", ("fingerprint", "finding"),
+              optional=("trace",)),
 )
 
 #: Just the declared names (what SL009 checks literals against).
@@ -118,12 +131,18 @@ class EventLog:
     against a concurrent emitter.
     """
 
+    #: The drop hook fires on the first overwritten record, then every
+    #: this-many drops — one flight-recorder note per episode, not one
+    #: per event at saturation.
+    DROP_NOTE_EVERY = 10_000
+
     def __init__(
         self,
         metrics=NULL_METRICS,
         tracer=NULL_TRACER,
         max_records: int | None = DEFAULT_MAX_RECORDS,
         retain_terminal: int | None = DEFAULT_RETAIN_TERMINAL,
+        on_drop: Callable[[int], None] | None = None,
     ):
         self._metrics = metrics
         self._tracer = tracer
@@ -131,7 +150,15 @@ class EventLog:
             "repro_service_events_total",
             "service events by declared name", labels=("event",),
         )
+        # .labels() materializes the (unlabeled) series now, so the
+        # Prometheus export shows an explicit 0 before any overwrite.
+        self._dropped_series = metrics.counter(
+            "repro_service_events_dropped_total",
+            "global event-ring records overwritten before any dump/replay",
+        ).labels()
         self._seq = 0
+        self.dropped = 0
+        self._on_drop = on_drop
         self.retain_terminal = retain_terminal
         self._lock = threading.RLock()
         self.records: deque[dict[str, Any]] = deque(maxlen=max_records)
@@ -141,7 +168,8 @@ class EventLog:
         self._subscribers: list[Callable[[dict[str, Any]], None]] = []
 
     def emit(self, name: str, **fields: Any) -> dict[str, Any]:
-        """Record one event; raises on undeclared names/missing fields."""
+        """Record one event; raises on undeclared names/missing or
+        undeclared fields."""
         spec = EVENT_SPECS.get(name)
         if spec is None:
             raise ValueError(f"undeclared service event: {name!r}")
@@ -150,7 +178,31 @@ class EventLog:
             raise ValueError(
                 f"event {name!r} is missing required fields {missing}"
             )
+        undeclared = [
+            f for f in fields
+            if f not in spec.fields and f not in spec.optional
+        ]
+        if undeclared:
+            raise ValueError(
+                f"event {name!r} carries undeclared fields {undeclared}"
+            )
+        drop_hook = None
         with self._lock:
+            # The ring is full: the append below overwrites the oldest
+            # record before anything could dump or replay it.  Account
+            # for it loudly (counter + throttled note) instead of
+            # letting the deque drop it silently.
+            if (
+                self.records.maxlen is not None
+                and len(self.records) == self.records.maxlen
+            ):
+                self.dropped += 1
+                self._dropped_series.inc()
+                if self._on_drop is not None and (
+                    self.dropped == 1
+                    or self.dropped % self.DROP_NOTE_EVERY == 0
+                ):
+                    drop_hook = self._on_drop
             self._seq += 1
             record = {"seq": self._seq, "event": name, **fields}
             self.records.append(record)
@@ -173,6 +225,12 @@ class EventLog:
             self._counter.labels(event=name).inc()
             self._tracer.emit(name, **fields)
             subscribers = list(self._subscribers)
+            drop_count = self.dropped
+        if drop_hook is not None:
+            # Outside the lock, like subscribers: the hook writes a
+            # flight-recorder note and must not be able to deadlock
+            # against a concurrent emitter.
+            drop_hook(drop_count)
         for subscriber in subscribers:
             subscriber(record)
         return record
@@ -227,6 +285,22 @@ class EventLog:
         """Every record of one declared event name."""
         with self._lock:
             return [r for r in self.records if r["event"] == name]
+
+    def tail(self, n: int) -> list[dict[str, Any]]:
+        """The newest ``n`` records (the ``/telemetry`` event tail)."""
+        with self._lock:
+            records = list(self.records)
+        return records[-n:]
+
+    def occupancy(self) -> dict[str, Any]:
+        """Ring occupancy for telemetry sampling."""
+        with self._lock:
+            return {
+                "records": len(self.records),
+                "capacity": self.records.maxlen,
+                "dropped": self.dropped,
+                "views": len(self._by_job),
+            }
 
     def to_ndjson(self) -> str:
         """The retained log (newest ``max_records`` records), one

@@ -49,6 +49,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 import threading
 import time
 from pathlib import Path
@@ -57,6 +58,8 @@ from typing import Any, Callable, Iterable
 from repro.common.config import MachineConfig, scaled_config
 from repro.common.errors import ConfigError
 from repro.experiments.runner import DEFAULT_JITTER, cell_fingerprint
+from repro.obs.jobtrace import JobTraceStore
+from repro.obs.metrics import NULL_METRICS
 from repro.system.techniques import ALL_TECHNIQUES, configure_technique
 from repro.workloads.registry import BENCHMARKS, EXTRA_BENCHMARKS
 
@@ -64,6 +67,12 @@ from .events import EventLog
 
 #: Lease deadline, in seconds of the queue's monotonic clock.
 DEFAULT_LEASE_TTL = 30.0
+
+#: Client-supplied trace ids: short, grep/filename-safe tokens.
+TRACE_ID = re.compile(r"^[A-Za-z0-9._:-]{1,64}$")
+
+#: Lease-latency histogram bounds, seconds (queued -> leased wait).
+LEASE_LATENCY_BOUNDS = (0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 30.0)
 
 #: How many times a cell is re-enqueued after lease loss before it
 #: fails for good ("exactly once" is the tested contract).
@@ -84,6 +93,23 @@ FUZZ_PROTOCOLS = ("mesi", "moesi", "mesti", "moesti", "emesti")
 #: Ceiling on a fuzz cell's iteration budget: a cell is one lease, so
 #: a huge budget would outlive any reasonable heartbeat horizon.
 MAX_FUZZ_BUDGET = 10_000
+
+
+def _validate_trace(spec: dict) -> str | None:
+    """Validate an optional client-supplied ``trace`` id.
+
+    Submitters may name the distributed trace their job's spans land
+    in (e.g. to correlate across services); otherwise the job id
+    becomes the trace id.  Must be a short filename/grep-safe token.
+    """
+    trace = spec.get("trace")
+    if trace is None:
+        return None
+    if not isinstance(trace, str) or not TRACE_ID.match(trace):
+        raise SpecError(
+            "'trace' must match [A-Za-z0-9._:-]{1,64}, got " f"{trace!r}"
+        )
+    return trace
 
 
 def _validate_fuzz_spec(spec: dict) -> dict:
@@ -120,7 +146,7 @@ def _validate_fuzz_spec(spec: dict) -> dict:
     priority = spec.get("priority", 0)
     if not isinstance(priority, int) or isinstance(priority, bool):
         raise SpecError(f"'priority' must be an integer, got {priority!r}")
-    return {
+    out = {
         "kind": "fuzz",
         "seeds": seeds,
         "budget": budget,
@@ -128,6 +154,10 @@ def _validate_fuzz_spec(spec: dict) -> dict:
         "interconnect": interconnect,
         "priority": priority,
     }
+    trace = _validate_trace(spec)
+    if trace is not None:
+        out["trace"] = trace
+    return out
 
 
 def validate_spec(spec: dict) -> dict:
@@ -179,13 +209,17 @@ def validate_spec(spec: dict) -> dict:
     priority = spec.get("priority", 0)
     if not isinstance(priority, int):
         raise SpecError(f"'priority' must be an integer, got {priority!r}")
-    return {
+    out = {
         "benchmarks": benchmarks,
         "techniques": techniques,
         "seeds": seeds,
         "scale": float(scale),
         "priority": priority,
     }
+    trace = _validate_trace(spec)
+    if trace is not None:
+        out["trace"] = trace
+    return out
 
 
 def cell_identity(
@@ -233,6 +267,8 @@ class JobQueue:
         lease_ttl: float = DEFAULT_LEASE_TTL,
         max_retries: int = DEFAULT_MAX_RETRIES,
         config: MachineConfig | None = None,
+        traces: JobTraceStore | None = None,
+        metrics=NULL_METRICS,
     ):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
@@ -241,11 +277,20 @@ class JobQueue:
         self.lease_ttl = lease_ttl
         self.max_retries = max_retries
         self.config = config or scaled_config()
+        self.traces = traces if traces is not None else JobTraceStore()
+        self._lease_hist = metrics.histogram(
+            "repro_service_lease_latency_seconds",
+            "queued -> leased wait per cell",
+            bounds=LEASE_LATENCY_BOUNDS,
+        )
         self._state_path = self.root / "state.json"
         # Reentrant: public methods take it and call helpers that
         # assume it is held; queue -> events is the only lock order.
         self._lock = threading.RLock()
         self._seq = 0
+        self._lease_count = 0
+        self._lease_wait_total = 0.0
+        self._lease_wait_max = 0.0
         self.jobs: dict[str, dict[str, Any]] = {}
         self.cells: dict[str, dict[str, Any]] = {}
         self._load()
@@ -333,6 +378,11 @@ class JobQueue:
         spec = validate_spec(spec)
         with self._lock:
             job_id = self._next_id("job")
+            # The distributed trace every span and event of this job
+            # lands in: client-supplied, or the job id itself — both
+            # deterministic (the id comes from the persisted counter).
+            trace = spec.get("trace") or job_id
+            job_span = self.traces.span_begin(trace, "job", job=job_id)
             fingerprints: list[str] = []
             deduped: list[str] = []
             for fingerprint, payload in self._cell_payloads(spec):
@@ -346,7 +396,7 @@ class JobQueue:
                     deduped.append(fingerprint)
                     self.events.emit(
                         "cell.deduped", job=job_id,
-                        fingerprint=fingerprint,
+                        fingerprint=fingerprint, trace=trace,
                     )
                     continue
                 # Replacing a finished (done/failed) record:
@@ -368,10 +418,14 @@ class JobQueue:
                     "lease": None,
                     "retries": 0,
                     "order": self._seq,
+                    "trace": trace,
+                    "job_span": job_span,
+                    "lease_span": None,
+                    "enqueued_at": self.clock(),
                 }
                 self.events.emit(
                     "cell.enqueued", job=job_id,
-                    fingerprint=fingerprint,
+                    fingerprint=fingerprint, trace=trace,
                 )
             job = {
                 "id": job_id,
@@ -380,10 +434,13 @@ class JobQueue:
                 "cells": fingerprints,
                 "status": "queued",
                 "reason": None,
+                "trace": trace,
+                "span": job_span,
             }
             self.jobs[job_id] = job
             self.events.emit(
                 "job.enqueued", job=job_id, cells=len(fingerprints),
+                trace=trace,
             )
             self._save()
             return job
@@ -418,12 +475,27 @@ class JobQueue:
                 return None
             cell = min(queued, key=lambda c: (-self._priority(c), c["order"]))
             cell["state"] = "leased"
+            now = self.clock()
             cell["lease"] = {
                 "worker": worker,
-                "deadline": self.clock() + self.lease_ttl,
+                "deadline": now + self.lease_ttl,
             }
+            enqueued_at = cell.get("enqueued_at")
+            if enqueued_at is not None:
+                wait = max(now - enqueued_at, 0.0)
+                self._lease_count += 1
+                self._lease_wait_total += wait
+                self._lease_wait_max = max(self._lease_wait_max, wait)
+                self._lease_hist.labels().record(wait)
+            trace = cell.get("trace")
+            if trace is not None:
+                cell["lease_span"] = self.traces.span_begin(
+                    trace, "cell.lease", parent=cell.get("job_span"),
+                    fingerprint=cell["fingerprint"], worker=worker,
+                )
             self.events.emit(
                 "cell.leased", fingerprint=cell["fingerprint"], worker=worker,
+                trace=trace,
             )
             self._save()
             return dict(cell)
@@ -465,16 +537,25 @@ class JobQueue:
         if cell is None or cell["state"] != "leased":
             return
         cell["lease"] = None
+        trace = cell.get("trace")
+        if trace is not None:
+            self.traces.span_end(
+                trace, cell.get("lease_span"), outcome=reason,
+            )
+            cell["lease_span"] = None
         if cell["retries"] < self.max_retries:
             cell["retries"] += 1
             cell["state"] = "queued"
+            cell["enqueued_at"] = self.clock()
             self.events.emit(
                 "cell.retried", fingerprint=fingerprint, reason=reason,
+                trace=trace,
             )
         else:
             cell["state"] = "failed"
             self.events.emit(
                 "cell.failed", fingerprint=fingerprint, reason=reason,
+                trace=trace,
             )
             for job_id in list(cell["jobs"]):
                 self._finish_job(job_id, "failed")
@@ -492,7 +573,15 @@ class JobQueue:
                 return
             cell["state"] = "done"
             cell["lease"] = None
-            self.events.emit("cell.finished", fingerprint=fingerprint)
+            trace = cell.get("trace")
+            if trace is not None:
+                self.traces.span_end(
+                    trace, cell.get("lease_span"), outcome="done",
+                )
+                cell["lease_span"] = None
+            self.events.emit(
+                "cell.finished", fingerprint=fingerprint, trace=trace,
+            )
             for job_id in list(cell["jobs"]):
                 job = self.jobs.get(job_id)
                 if job is None or job["status"] in JOB_TERMINAL:
@@ -512,7 +601,12 @@ class JobQueue:
             return
         job["status"] = reason
         job["reason"] = reason
-        self.events.emit("job.completed", job=job_id, reason=reason)
+        trace = job.get("trace")
+        if trace is not None:
+            self.traces.span_end(trace, job.get("span"), reason=reason)
+        self.events.emit(
+            "job.completed", job=job_id, reason=reason, trace=trace,
+        )
 
     def _gc_cells(self) -> None:
         """Drop done cells whose every referencing job is terminal.
@@ -581,6 +675,33 @@ class JobQueue:
         ``jobs`` directly — simlint SL202)."""
         with self._lock:
             return job_id in self.jobs
+
+    def job_trace(self, job_id: str) -> str | None:
+        """The job's distributed-trace id (raises KeyError)."""
+        with self._lock:
+            return self.jobs[job_id].get("trace")
+
+    def depth_counts(self) -> dict[str, Any]:
+        """Cells by state and jobs by status (telemetry sampling)."""
+        with self._lock:
+            cells: dict[str, int] = {}
+            for cell in self.cells.values():
+                cells[cell["state"]] = cells.get(cell["state"], 0) + 1
+            jobs: dict[str, int] = {}
+            for job in self.jobs.values():
+                status = job["status"]
+                key = status if status in JOB_TERMINAL else "active"
+                jobs[key] = jobs.get(key, 0) + 1
+            return {"cells": cells, "jobs": jobs}
+
+    def lease_stats(self) -> dict[str, float]:
+        """Cumulative queued->leased latency accounting."""
+        with self._lock:
+            return {
+                "count": self._lease_count,
+                "wait_total": self._lease_wait_total,
+                "wait_max": self._lease_wait_max,
+            }
 
     def status(self, job_id: str) -> str:
         """A job's current status string (raises KeyError)."""

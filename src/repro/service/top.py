@@ -1,0 +1,148 @@
+"""``repro-sim service top``: a refresh-loop terminal dashboard.
+
+Renders the ``GET /telemetry`` document — the newest vitals row, a
+sparkline per headline series, the trace-store / event-ring occupancy,
+and the newest service events — then sleeps and refreshes.  The
+renderer (:func:`render_top`) is a pure document -> string function so
+tests can drive it with canned telemetry; only :func:`run_top` touches
+the network and the terminal.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+#: Eight-level unicode sparkline ramp.
+_SPARK = "▁▂▃▄▅▆▇█"
+
+#: (column, short label) pairs rendered as sparklines, in order.
+_SPARK_COLUMNS = (
+    ("queued", "queued"),
+    ("leased", "leased"),
+    ("utilization", "util"),
+    ("lease_wait_avg", "wait"),
+    ("cache_hit_ratio", "cache"),
+    ("event_records", "ring"),
+)
+
+#: ANSI clear-screen + home (what the refresh loop prefixes).
+CLEAR = "\x1b[2J\x1b[H"
+
+
+def _sparkline(values: list[float], width: int = 32) -> str:
+    """Render the newest ``width`` values as a unicode sparkline."""
+    values = [float(v) for v in values][-width:]
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    span = high - low
+    if span <= 0:
+        return _SPARK[0] * len(values)
+    return "".join(
+        _SPARK[min(int((v - low) / span * len(_SPARK)), len(_SPARK) - 1)]
+        for v in values
+    )
+
+
+def _fmt(value: Any) -> str:
+    """Compact numeric formatting for the vitals line."""
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".") or "0"
+    return str(value)
+
+
+def render_top(doc: dict[str, Any], width: int = 78,
+               events: int = 8) -> str:
+    """Render one ``GET /telemetry`` document for the terminal."""
+    latest = doc.get("latest") or {}
+    samples = doc.get("samples") or []
+    ring = doc.get("event_ring") or {}
+    traces = doc.get("traces") or {}
+    lines = [
+        "repro-sim service top — "
+        f"{doc.get('recorded', len(samples))} samples recorded, "
+        f"{len(samples)} retained",
+        "-" * width,
+    ]
+    if latest:
+        lines.append(
+            "queue   : "
+            f"queued={_fmt(latest.get('queued', 0))} "
+            f"leased={_fmt(latest.get('leased', 0))} "
+            f"jobs active={_fmt(latest.get('jobs_active', 0))} "
+            f"done={_fmt(latest.get('jobs_done', 0))} "
+            f"failed={_fmt(latest.get('jobs_failed', 0))} "
+            f"cancelled={_fmt(latest.get('jobs_cancelled', 0))}"
+        )
+        lines.append(
+            "workers : "
+            f"busy={_fmt(latest.get('busy', 0))}/"
+            f"{_fmt(latest.get('workers', 0))} "
+            f"utilization={_fmt(latest.get('utilization', 0.0))} "
+            f"leases={_fmt(latest.get('leases', 0))} "
+            f"wait avg={_fmt(latest.get('lease_wait_avg', 0.0))}s "
+            f"max={_fmt(latest.get('lease_wait_max', 0.0))}s"
+        )
+        lines.append(
+            "caching : "
+            f"hit ratio={_fmt(latest.get('cache_hit_ratio', 0.0))}  "
+            "events  : "
+            f"ring={_fmt(ring.get('records', latest.get('event_records', 0)))}"
+            f"/{_fmt(ring.get('capacity', '?'))} "
+            f"dropped={_fmt(ring.get('dropped', latest.get('event_dropped', 0)))}  "
+            "traces  : "
+            f"{_fmt(traces.get('traces', 0))} "
+            f"({_fmt(traces.get('events', 0))} spans)"
+        )
+    else:
+        lines.append("(no telemetry samples yet)")
+    if samples:
+        lines.append("")
+        for column, label in _SPARK_COLUMNS:
+            series = [row.get(column, 0) for row in samples]
+            lines.append(
+                f"{label:<7s} {_sparkline(series)}  now={_fmt(series[-1])}"
+            )
+    tail = doc.get("events") or []
+    if tail:
+        lines.append("")
+        lines.append(f"newest {min(events, len(tail))} events:")
+        for record in tail[-events:]:
+            detail = " ".join(
+                f"{k}={v}" for k, v in record.items()
+                if k not in ("seq", "event")
+            )
+            lines.append(
+                f"  seq {record.get('seq', '?'):>6} "
+                f"{record.get('event', '?'):<18s} {detail}"
+            )
+    return "\n".join(lines)
+
+
+def run_top(
+    client,
+    interval: float = 1.0,
+    iterations: int | None = None,
+    out: Callable[[str], None] = print,
+    clear: bool = True,
+) -> int:
+    """Fetch + render + sleep until interrupted (or ``iterations``).
+
+    ``client`` needs only a ``telemetry()`` method; ``iterations``
+    bounds the loop for tests and scripts.  Returns the number of
+    refreshes rendered.
+    """
+    shown = 0
+    try:
+        while iterations is None or shown < iterations:
+            doc = client.telemetry()
+            text = render_top(doc)
+            out(CLEAR + text if clear else text)
+            shown += 1
+            if iterations is not None and shown >= iterations:
+                break
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        pass
+    return shown

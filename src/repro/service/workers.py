@@ -48,6 +48,7 @@ from repro.experiments.runner import (
     warm_pool,
 )
 from repro.fuzz.campaign import run_fuzz_cell
+from repro.obs.spans import SPAN_REMAP_STRIDE, remap_spans
 
 from .events import EventLog
 from .queue import JobQueue
@@ -218,6 +219,10 @@ class WorkerShard:
         self.queue = queue
         self.store = store
         self.events = events
+        # Service spans land in the queue's per-job trace store, so
+        # the lease span a worker parents under lives where the job
+        # span does.
+        self.traces = queue.traces
         self.workers = max(1, workers)
         self._executor = executor
         # Whether _executor came from warm_pool (ours to retire) or
@@ -231,6 +236,9 @@ class WorkerShard:
         self.simulated = 0
         #: Count of fuzz campaigns actually run (not cache-served).
         self.fuzzed = 0
+        #: Workers currently processing a leased cell (utilization
+        #: telemetry).  Loop-thread only — no lock needed.
+        self.busy = 0
 
     def executor(self) -> Executor:
         """The shard's executor (warm process pool by default)."""
@@ -296,7 +304,11 @@ class WorkerShard:
             if cell is None:
                 await asyncio.sleep(IDLE_POLL)
                 continue
-            await self._process(worker_id, cell)
+            self.busy += 1
+            try:
+                await self._process(worker_id, cell)
+            finally:
+                self.busy -= 1
 
     async def _await_leased(self, future, fingerprint: str,
                             worker_id: str):
@@ -347,43 +359,90 @@ class WorkerShard:
             await self._process_fuzz(worker_id, cell)
             return
         fingerprint = cell["fingerprint"]
+        trace = cell.get("trace")
         loop = asyncio.get_running_loop()
         cached = await loop.run_in_executor(None, self.store.lookup, cell)
         if cached is not None:
-            self.events.emit("cell.cache_hit", fingerprint=fingerprint)
+            hit_span = (
+                self.traces.span_begin(
+                    trace, "cell.cache_hit", parent=cell.get("lease_span"),
+                    fingerprint=fingerprint,
+                )
+                if trace is not None else None
+            )
+            self.events.emit(
+                "cell.cache_hit", fingerprint=fingerprint, trace=trace,
+            )
             # Ensure the fingerprint index covers cache entries that
             # predate this service instance.
             await loop.run_in_executor(None, self.store.store, cell, cached)
+            if trace is not None:
+                self.traces.span_end(trace, hit_span)
             await loop.run_in_executor(None, self.queue.complete, fingerprint)
             return
         self.events.emit(
             "cell.started", fingerprint=fingerprint, worker=worker_id,
+            trace=trace,
         )
         # The *exact* config a serial MatrixRunner would use for this
         # cell — byte-identical summaries are the service's contract.
         cell_config = await loop.run_in_executor(
             None, self.store.cell_config, cell,
         )
+        run_span = (
+            self.traces.span_begin(
+                trace, "cell.run", parent=cell.get("lease_span"),
+                fingerprint=fingerprint, worker=worker_id,
+            )
+            if trace is not None else None
+        )
+        # The trace context crosses the process-pool boundary, so it
+        # is plain data only (simlint SL203) — run_cell folds its
+        # coherence spans under this trace id and ships them back
+        # inside the summary.
+        trace_ctx = {"trace": trace} if trace is not None else None
         future = loop.run_in_executor(
             self.executor(), run_cell,
             cell_config, cell["benchmark"], cell["scale"], cell["seed"],
+            False, trace_ctx,
         )
         try:
             summary = await self._await_leased(
                 future, fingerprint, worker_id,
             )
         except BrokenExecutor:
+            if trace is not None:
+                self.traces.span_end(trace, run_span, outcome="worker_death")
             await self._pool_died(fingerprint)
             return
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # noqa: BLE001 - any cell error retries
             log.warning("cell %s raised %s", fingerprint, exc)
+            if trace is not None:
+                self.traces.span_end(trace, run_span, outcome="worker_error")
             await loop.run_in_executor(
                 None, self.queue.fail, fingerprint, "worker_error",
             )
             return
         self.simulated += 1
+        # The folded worker spans ride back under summary["trace"];
+        # pop them before storing so the stored summary stays
+        # byte-identical to a serial run's.
+        trace_doc = summary.pop("trace", None)
+        if trace is not None:
+            self.traces.span_end(trace, run_span, outcome="done")
+            if trace_doc:
+                self.traces.ingest(
+                    trace,
+                    remap_spans(
+                        trace_doc.get("spans") or (),
+                        base=run_span * SPAN_REMAP_STRIDE,
+                        parent=run_span,
+                        trace=trace,
+                    ),
+                    truncated=trace_doc.get("truncated", 0),
+                )
         await loop.run_in_executor(None, self.store.store, cell, summary)
         await loop.run_in_executor(None, self.queue.complete, fingerprint)
 
@@ -399,16 +458,36 @@ class WorkerShard:
         surfaced as a ``cell.fuzz_finding`` event before completion.
         """
         fingerprint = cell["fingerprint"]
+        trace = cell.get("trace")
         loop = asyncio.get_running_loop()
         cached = await loop.run_in_executor(
             None, self.store.lookup_fuzz, fingerprint,
         )
         if cached is not None:
-            self.events.emit("cell.cache_hit", fingerprint=fingerprint)
+            hit_span = (
+                self.traces.span_begin(
+                    trace, "cell.cache_hit", parent=cell.get("lease_span"),
+                    fingerprint=fingerprint,
+                )
+                if trace is not None else None
+            )
+            self.events.emit(
+                "cell.cache_hit", fingerprint=fingerprint, trace=trace,
+            )
+            if trace is not None:
+                self.traces.span_end(trace, hit_span)
             await loop.run_in_executor(None, self.queue.complete, fingerprint)
             return
         self.events.emit(
             "cell.started", fingerprint=fingerprint, worker=worker_id,
+            trace=trace,
+        )
+        run_span = (
+            self.traces.span_begin(
+                trace, "cell.run", parent=cell.get("lease_span"),
+                fingerprint=fingerprint, worker=worker_id,
+            )
+            if trace is not None else None
         )
         future = loop.run_in_executor(
             self.executor(), run_fuzz_cell,
@@ -418,23 +497,29 @@ class WorkerShard:
         try:
             doc = await self._await_leased(future, fingerprint, worker_id)
         except BrokenExecutor:
+            if trace is not None:
+                self.traces.span_end(trace, run_span, outcome="worker_death")
             await self._pool_died(fingerprint)
             return
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # noqa: BLE001 - any cell error retries
             log.warning("fuzz cell %s raised %s", fingerprint, exc)
+            if trace is not None:
+                self.traces.span_end(trace, run_span, outcome="worker_error")
             await loop.run_in_executor(
                 None, self.queue.fail, fingerprint, "worker_error",
             )
             return
         self.fuzzed += 1
+        if trace is not None:
+            self.traces.span_end(trace, run_span, outcome="done")
         await loop.run_in_executor(
             None, self.store.store_fuzz, fingerprint, doc,
         )
         for finding in doc["findings"]:
             self.events.emit(
                 "cell.fuzz_finding", fingerprint=fingerprint,
-                finding=finding["kind"],
+                finding=finding["kind"], trace=trace,
             )
         await loop.run_in_executor(None, self.queue.complete, fingerprint)

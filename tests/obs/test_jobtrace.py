@@ -1,0 +1,133 @@
+"""JobTraceStore: minting, ingest, bounds, eviction, JSONL export."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.obs.jobtrace import JobTraceStore
+
+
+def _store(**kwargs):
+    ticks = iter(range(1, 10_000))
+    return JobTraceStore(clock=lambda: next(ticks), **kwargs)
+
+
+class TestMinting:
+    def test_span_ids_are_unique_and_rows_recorded(self):
+        store = _store()
+        a = store.span_begin("t-1", "job", job="job-1")
+        b = store.span_begin("t-1", "cell.lease", parent=a, worker="w0")
+        assert a != b
+        store.span_end("t-1", b, outcome="done")
+        store.span_end("t-1", a, reason="done")
+        rows = store.events("t-1")
+        assert [r["kind"] for r in rows] == [
+            "span.begin", "span.begin", "span.end", "span.end",
+        ]
+        assert rows[1]["parent"] == a
+        assert all(r["trace"] == "t-1" for r in rows if "trace" in r)
+
+    def test_span_end_none_is_noop(self):
+        store = _store()
+        store.span_end("t-1", None)
+        assert store.events("t-1") == []
+
+    def test_minting_is_thread_safe(self):
+        store = JobTraceStore()
+        ids: list[int] = []
+        lock = threading.Lock()
+
+        def mint():
+            got = [store.span_begin("t-1", "cell.lease") for _ in range(200)]
+            with lock:
+                ids.extend(got)
+
+        threads = [threading.Thread(target=mint) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(ids)) == 800
+
+
+class TestIngest:
+    def test_worker_spans_get_cycle_clock_rows(self):
+        store = _store()
+        run = store.span_begin("t-1", "cell.run")
+        store.ingest("t-1", [
+            {"span": 5000, "name": "miss", "node": 2, "base": 0x100,
+             "begin": 10, "end": 20, "parent": run,
+             "fields": {"cause": "comm"}},
+            {"span": 5001, "name": "stall", "begin": 15, "end": None,
+             "parent": 5000, "fields": {}},
+        ])
+        rows = store.events("t-1")
+        begins = [r for r in rows if r["kind"] == "span.begin"]
+        ends = [r for r in rows if r["kind"] == "span.end"]
+        worker = [r for r in begins if r.get("clock") == "cycles"]
+        assert len(worker) == 2
+        assert worker[0]["cause"] == "comm" and worker[0]["node"] == 2
+        # Only the closed worker span gets an end row.
+        assert [r["span"] for r in ends] == [5000]
+
+    def test_ingest_truncation_is_accounted(self):
+        store = _store()
+        store.ingest("t-1", [], truncated=7)
+        assert store.dropped("t-1") == 7
+
+
+class TestBounds:
+    def test_per_trace_event_cap_drops_and_counts(self):
+        store = _store(max_events=3)
+        for _ in range(5):
+            store.span_begin("t-1", "cell.lease")
+        assert len(store.events("t-1")) == 3
+        assert store.dropped("t-1") == 2
+
+    def test_oldest_trace_evicted_whole(self):
+        store = _store(max_traces=2)
+        for i in range(3):
+            store.span_begin(f"t-{i}", "job")
+        assert store.traces() == ["t-1", "t-2"]
+        assert not store.has("t-0")
+        assert store.events("t-0") == []
+
+    def test_stats_summarize_occupancy(self):
+        store = _store(max_events=2)
+        store.span_begin("t-1", "job")
+        for _ in range(4):
+            store.span_begin("t-2", "cell.lease")
+        assert store.stats() == {"traces": 2, "events": 3, "dropped": 2}
+
+
+class TestExport:
+    def test_jsonl_ends_with_meta_trailer(self):
+        store = _store()
+        sid = store.span_begin("t-1", "job", job="job-1")
+        store.span_end("t-1", sid, reason="done")
+        lines = [json.loads(x) for x in store.to_jsonl("t-1").splitlines()]
+        assert lines[-1] == {
+            "meta": "job-trace", "trace": "t-1", "events": 2, "dropped": 0,
+        }
+        assert lines[0]["kind"] == "span.begin"
+
+    def test_jsonl_loads_through_report_loader(self, tmp_path):
+        from repro.obs.report import load_trace
+
+        store = _store()
+        sid = store.span_begin("t-1", "job", job="job-1")
+        store.span_end("t-1", sid, reason="done")
+        path = tmp_path / "trace.jsonl"
+        path.write_text(store.to_jsonl("t-1"))
+        load = load_trace(path)
+        # The meta trailer is the single skipped line.
+        assert load.skipped == 1
+        assert [e.kind for e in load.events] == ["span.begin", "span.end"]
+
+    def test_unknown_trace_exports_empty_trailer(self):
+        store = _store()
+        lines = [json.loads(x) for x in store.to_jsonl("nope").splitlines()]
+        assert lines == [
+            {"meta": "job-trace", "trace": "nope", "events": 0, "dropped": 0},
+        ]

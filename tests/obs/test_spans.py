@@ -149,3 +149,52 @@ class TestChromeRoundTrip:
         out = capsys.readouterr().out
         # Async span records come back under their span names.
         assert "by kind:" in out and "txn" in out and "miss" in out
+
+
+class TestFoldRemap:
+    """fold_spans / remap_spans — the pool-boundary span payload."""
+
+    def _events(self):
+        from repro.obs.spans import fold_spans
+
+        tracer = Tracer(clock=lambda: 0)
+        parent = tracer.span_begin("miss", node=1, base=0x100, ts=10)
+        child = tracer.span_begin("txn", parent=parent, ts=11, txn="Read")
+        tracer.span_end(child, ts=12)
+        tracer.span_end(parent, ts=14)
+        open_span = tracer.span_begin("stall", ts=15)  # noqa: F841 - open
+        return fold_spans(tracer.events)
+
+    def test_fold_produces_plain_dicts(self):
+        doc = self._events()
+        assert doc["count"] == 3 and doc["truncated"] == 0
+        assert all(isinstance(s, dict) for s in doc["spans"])
+        by_name = {s["name"]: s for s in doc["spans"]}
+        assert by_name["txn"]["parent"] is not None
+        assert by_name["txn"]["begin"] == 11 and by_name["txn"]["end"] == 12
+        assert by_name["stall"]["end"] is None  # still open: kept, no end
+        assert by_name["miss"]["node"] == 1
+
+    def test_fold_limit_counts_overflow(self):
+        from repro.obs.spans import fold_spans
+
+        tracer = Tracer(clock=lambda: 0)
+        for i in range(5):
+            tracer.span_end(tracer.span_begin("txn", ts=i), ts=i)
+        doc = fold_spans(tracer.events, limit=3)
+        assert doc["count"] == 5 and doc["truncated"] == 2
+        assert len(doc["spans"]) == 3
+
+    def test_remap_shifts_ids_and_parents_roots(self):
+        from repro.obs.spans import remap_spans
+
+        doc = self._events()
+        spans = remap_spans(doc["spans"], base=1000, parent=7, trace="t-1")
+        by_name = {s["name"]: s for s in spans}
+        # Roots re-parent under the service-side span.
+        assert by_name["miss"]["parent"] == 7
+        assert by_name["stall"]["parent"] == 7
+        # Children keep their (shifted) worker-side parent.
+        assert by_name["txn"]["parent"] == by_name["miss"]["span"]
+        assert all(s["span"] > 1000 for s in spans)
+        assert all(s["trace"] == "t-1" for s in spans)

@@ -1,0 +1,80 @@
+"""TelemetryStore: ring bounds, projections, JSON export schema."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.timeseries import SAMPLE_COLUMNS, TelemetryStore
+
+
+def _sample(ts, **over):
+    row = {col: 0 for col in SAMPLE_COLUMNS}
+    row["ts"] = ts
+    row.update(over)
+    return row
+
+
+class TestRecording:
+    def test_sample_without_ts_is_rejected(self):
+        store = TelemetryStore()
+        with pytest.raises(ValueError, match="ts"):
+            store.record({"queued": 1})
+
+    def test_latest_and_len(self):
+        store = TelemetryStore()
+        assert store.latest() is None
+        store.record(_sample(1, queued=3))
+        store.record(_sample(2, queued=5))
+        assert len(store) == 2
+        assert store.latest()["queued"] == 5
+
+    def test_capacity_evicts_oldest(self):
+        store = TelemetryStore(capacity=3)
+        for i in range(5):
+            store.record(_sample(i))
+        assert [r["ts"] for r in store.rows()] == [2, 3, 4]
+
+    def test_rows_are_copies(self):
+        store = TelemetryStore()
+        store.record(_sample(1))
+        store.rows()[0]["queued"] = 99
+        assert store.latest()["queued"] == 0
+
+
+class TestProjection:
+    def test_series_projects_one_column(self):
+        store = TelemetryStore()
+        store.record(_sample(1, leased=2))
+        store.record(_sample(2, leased=4))
+        assert store.series("leased") == [(1, 2), (2, 4)]
+
+    def test_series_limit_takes_newest(self):
+        store = TelemetryStore()
+        for i in range(4):
+            store.record(_sample(i, queued=i))
+        assert store.series("queued", limit=2) == [(2, 2), (3, 3)]
+
+
+class TestExport:
+    def test_to_json_schema(self):
+        store = TelemetryStore(capacity=8)
+        for i in range(3):
+            store.record(_sample(i, busy=i))
+        doc = store.to_json()
+        assert doc["schema"] == 1
+        assert doc["capacity"] == 8
+        assert doc["recorded"] == 3
+        assert doc["columns"] == list(SAMPLE_COLUMNS)
+        assert doc["latest"]["busy"] == 2
+        assert len(doc["samples"]) == 3
+
+    def test_to_json_empty(self):
+        doc = TelemetryStore().to_json()
+        assert doc["latest"] is None and doc["samples"] == []
+
+    def test_recorded_outlives_eviction(self):
+        store = TelemetryStore(capacity=2)
+        for i in range(5):
+            store.record(_sample(i))
+        doc = store.to_json()
+        assert doc["recorded"] == 5 and len(doc["samples"]) == 2

@@ -125,3 +125,57 @@ class TestBoundedMemory:
             log.emit("job.completed", job=job, reason="done")
         assert len(log.records) == 8
         assert len(log.for_job("job-0")) == 2
+
+
+class TestDropAccounting:
+    def test_undeclared_payload_field_is_rejected(self):
+        log = EventLog()
+        with pytest.raises(ValueError, match="undeclared fields"):
+            log.emit("cell.finished", fingerprint="f", bogus=1)
+
+    def test_trace_is_declared_optional_everywhere(self):
+        log = EventLog()
+        for name, spec in EVENT_SPECS.items():
+            assert "trace" in spec.optional, name
+        record = log.emit("cell.finished", fingerprint="f", trace="t-1")
+        assert record["trace"] == "t-1"
+
+    def test_ring_overwrite_bumps_dropped_counter(self):
+        registry = MetricsRegistry()
+        log = EventLog(metrics=registry, max_records=3)
+        for i in range(5):
+            log.emit("cell.finished", fingerprint=f"f{i}")
+        assert log.dropped == 2
+        assert "repro_service_events_dropped_total 2" in (
+            registry.to_prometheus()
+        )
+
+    def test_unbounded_log_never_drops(self):
+        log = EventLog(max_records=None)
+        for i in range(5):
+            log.emit("cell.finished", fingerprint=f"f{i}")
+        assert log.dropped == 0
+
+    def test_on_drop_hook_fires_on_first_drop_only(self):
+        calls: list[int] = []
+        log = EventLog(max_records=2, on_drop=calls.append)
+        for i in range(6):
+            log.emit("cell.finished", fingerprint=f"f{i}")
+        # First overwrite notes once; the next note waits for
+        # DROP_NOTE_EVERY more drops.
+        assert calls == [1]
+
+    def test_tail_returns_newest_records(self):
+        log = EventLog()
+        for i in range(5):
+            log.emit("cell.finished", fingerprint=f"f{i}")
+        assert [r["fingerprint"] for r in log.tail(2)] == ["f3", "f4"]
+
+    def test_occupancy_reports_ring_state(self):
+        log = EventLog(max_records=3)
+        for i in range(4):
+            log.emit("cell.finished", fingerprint=f"f{i}")
+        occ = log.occupancy()
+        assert occ["records"] == 3
+        assert occ["capacity"] == 3
+        assert occ["dropped"] == 1

@@ -10,6 +10,7 @@ immediate identical re-submission served entirely from cache —
 
 from __future__ import annotations
 
+import json
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
@@ -114,6 +115,116 @@ class TestEndToEnd:
         job, _events = first_run
         doc = client.job(job["id"])
         assert doc["status"] == "done"
+
+
+class TestFleetTelemetry:
+    """ISSUE 10: distributed traces, /telemetry, sampled gauges."""
+
+    def test_submission_is_assigned_its_trace_id(self, first_run, client):
+        job, _events = first_run
+        accepted = client.submit(SPEC)  # deduped: same cells, new job
+        assert accepted["trace"] == accepted["job"]
+        assert accepted["job"] != job["id"]
+        list(client.follow(accepted["job"]))  # drain to terminal
+
+    def test_streamed_events_carry_the_trace_id(self, first_run):
+        job, events = first_run
+        for record in events:
+            assert record.get("trace") == job["id"], record
+
+    def test_job_trace_is_one_causal_tree(self, first_run, client):
+        job, _events = first_run
+        rows = [json.loads(x) for x in client.trace(job["id"]).splitlines()]
+        meta = rows.pop()
+        assert meta["meta"] == "job-trace" and meta["trace"] == job["id"]
+        begins = {r["span"]: r for r in rows if r["kind"] == "span.begin"}
+        ended = {r["span"] for r in rows if r["kind"] == "span.end"}
+        # Every span row belongs to the submitting job's trace.
+        assert all(r["trace"] == job["id"] for r in begins.values())
+        by_name: dict[str, list] = {}
+        for r in begins.values():
+            by_name.setdefault(r["name"], []).append(r)
+        # One root job span; every cell.lease parents under it.
+        (job_span,) = by_name["job"]
+        assert job_span.get("parent") is None
+        leases = by_name["cell.lease"]
+        assert len(leases) == 4
+        assert {r["parent"] for r in leases} == {job_span["span"]}
+        # Every cell.run parents under its lease and was closed.
+        runs = by_name["cell.run"]
+        assert len(runs) == 4
+        assert {r["parent"] for r in runs} <= {r["span"] for r in leases}
+        service_spans = [job_span, *leases, *runs]
+        assert {r["span"] for r in service_spans} <= ended
+        # Worker-process coherence spans rode back over the pool
+        # boundary: cycle-clock rows whose roots parent under a
+        # cell.run span, trace id identical on both sides.
+        worker = [r for r in begins.values() if r.get("clock") == "cycles"]
+        assert worker, "no worker-side spans ingested"
+        run_ids = {r["span"] for r in runs}
+        assert any(r.get("parent") in run_ids for r in worker)
+        assert all(r["trace"] == job["id"] for r in worker)
+
+    def test_job_trace_exports_as_chrome_document(
+        self, first_run, client, tmp_path,
+    ):
+        from repro.obs.report import load_trace
+        from repro.obs.tracer import chrome_document
+
+        job, _events = first_run
+        path = tmp_path / "job-trace.jsonl"
+        path.write_text(client.trace(job["id"]))
+        load = load_trace(path)
+        assert load.skipped == 1  # the meta trailer
+        doc = chrome_document(load.events)
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        # Async begin/end pairs plus flow arrows for the parent links.
+        assert {"b", "e", "s", "f"} <= phases
+
+    def test_client_supplied_trace_id_is_honored(self, first_run, client):
+        accepted = client.submit({**SPEC, "trace": "e2e.custom-trace"})
+        assert accepted["trace"] == "e2e.custom-trace"
+        list(client.follow(accepted["job"]))
+        rows = [
+            json.loads(x)
+            for x in client.trace(accepted["job"]).splitlines()
+        ]
+        begins = [r for r in rows if r.get("kind") == "span.begin"]
+        assert begins
+        assert all(r["trace"] == "e2e.custom-trace" for r in begins)
+
+    def test_malformed_trace_id_is_rejected(self, client):
+        with pytest.raises(ServiceError, match="(?i)trace"):
+            client.submit({**SPEC, "trace": "no spaces allowed"})
+
+    def test_unknown_job_trace_is_404(self, client):
+        with pytest.raises(ServiceError, match="failed"):
+            client.trace("job-999999")
+
+    def test_telemetry_document_schema(self, first_run, client, service):
+        # The module harness runs with the default 1 s cadence; force
+        # one deterministic sample instead of sleeping for the loop.
+        service.service._sample_once()
+        doc = client.telemetry()
+        assert doc["schema"] == 1
+        latest = doc["latest"]
+        assert latest is not None
+        assert latest["leases"] >= 4
+        assert latest["lease_wait_max"] >= latest["lease_wait_avg"] >= 0
+        assert latest["workers"] == 1
+        assert doc["event_ring"]["capacity"] == 100_000
+        assert doc["traces"]["events"] > 0
+        assert [e for e in doc["events"] if e["event"] == "job.completed"]
+
+    def test_sampled_gauges_reach_prometheus(
+        self, first_run, client, service,
+    ):
+        service.service._sample_once()
+        text = client.metrics()
+        assert "repro_service_queue_depth" in text
+        assert "repro_service_worker_utilization 0" in text
+        assert "repro_service_events_dropped_total 0" in text
+        assert "repro_service_lease_latency_seconds_count" in text
 
 
 class TestApiErrors:

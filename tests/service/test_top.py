@@ -1,0 +1,87 @@
+"""repro-sim service top: pure renderer + refresh loop."""
+
+from __future__ import annotations
+
+from repro.service.top import CLEAR, _sparkline, render_top, run_top
+
+
+def _doc(samples=2):
+    rows = [
+        {"ts": i, "queued": i, "leased": 1, "jobs_active": 1,
+         "jobs_done": 2, "jobs_failed": 0, "jobs_cancelled": 0,
+         "workers": 2, "busy": 1, "utilization": 0.5, "leases": 4,
+         "lease_wait_avg": 0.01, "lease_wait_max": 0.02,
+         "cache_hit_ratio": 0.25, "event_records": 10 + i,
+         "event_dropped": 0}
+        for i in range(samples)
+    ]
+    return {
+        "schema": 1, "capacity": 720, "recorded": samples,
+        "latest": rows[-1] if rows else None, "samples": rows,
+        "events": [
+            {"seq": 7, "event": "cell.leased", "fingerprint": "f0",
+             "trace": "job-1"},
+        ],
+        "event_ring": {"records": 11, "capacity": 100_000, "dropped": 0,
+                       "views": 1},
+        "traces": {"traces": 1, "events": 42, "dropped": 0},
+    }
+
+
+class TestSparkline:
+    def test_flat_series_renders_floor(self):
+        assert _sparkline([3, 3, 3]) == "▁▁▁"
+
+    def test_ramp_is_monotone(self):
+        line = _sparkline([0, 1, 2, 3])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_width_takes_newest(self):
+        assert len(_sparkline(list(range(100)), width=5)) == 5
+
+    def test_empty_series(self):
+        assert _sparkline([]) == ""
+
+
+class TestRenderTop:
+    def test_vitals_lines_present(self):
+        text = render_top(_doc())
+        assert "queued=1" in text
+        assert "busy=1/2" in text
+        assert "hit ratio=0.25" in text
+        assert "ring=11/100000" in text
+        assert "1 (42 spans)" in text
+
+    def test_sparklines_and_events_rendered(self):
+        text = render_top(_doc(samples=8))
+        assert "util" in text and "cache" in text
+        assert "cell.leased" in text and "trace=job-1" in text
+
+    def test_empty_document_renders(self):
+        text = render_top({"samples": [], "latest": None})
+        assert "no telemetry samples yet" in text
+
+
+class _FakeClient:
+    def __init__(self):
+        self.calls = 0
+
+    def telemetry(self):
+        self.calls += 1
+        return _doc()
+
+
+class TestRunTop:
+    def test_bounded_iterations(self):
+        client = _FakeClient()
+        frames: list[str] = []
+        shown = run_top(client, interval=0.0, iterations=3,
+                        out=frames.append, clear=False)
+        assert shown == 3 and client.calls == 3
+        assert all(not f.startswith(CLEAR) for f in frames)
+
+    def test_clear_prefixes_frames(self):
+        frames: list[str] = []
+        run_top(_FakeClient(), interval=0.0, iterations=1,
+                out=frames.append, clear=True)
+        assert frames[0].startswith(CLEAR)
